@@ -1,0 +1,62 @@
+// Figure 7 — throughput (surviving frames) and error rate as a function of
+// FilterDegree.
+//
+// Paper: (a) car detection, TOR 0.197 — raising FilterDegree filters more
+// frames whose SNM score lies between c_low and c_high, trading output
+// volume against false negatives; (b) person detection, TOR 1.000 — the
+// aquarium is at tourist peak, every frame contains persons, so
+// FilterDegree has almost no effect.
+//
+// Method: real filters, one recorded trace per workload, FilterDegree swept
+// as a pure threshold over the trace (t_pre = (c_high-c_low)*FD + c_low).
+#include "common.hpp"
+
+using namespace ffsva;
+
+static void sweep(const char* title, bench::CalibratedStream& s) {
+  const double c_low = s.models.snm_report.c_low;
+  const double c_high = s.models.snm_report.c_high;
+  std::printf("\n%s   (c_low=%.2f c_high=%.2f, %zu frames)\n", title, c_low, c_high,
+              s.trace.size());
+  std::printf("%-13s %14s %12s %12s\n", "FilterDegree", "output frames",
+              "output rate", "error rate");
+  bench::print_rule();
+  for (double fd : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    core::CascadeThresholds t = core::thresholds_of(s.models, 1);
+    t.t_pre = (c_high - c_low) * fd + c_low;
+    const auto stats = core::evaluate_trace(s.trace, t);
+    std::printf("%-13.1f %14lld %12.3f %12.4f\n", fd,
+                static_cast<long long>(stats.output), stats.output_rate,
+                stats.error_rate);
+  }
+}
+
+int main() {
+  bench::print_header("FIGURE 7 -- output frames & error rate vs FilterDegree");
+
+  {
+    // The FilterDegree trade-off only exists while SNM scores populate the
+    // (c_low, c_high) band — i.e. while frames are genuinely ambiguous to
+    // the model. A clean synthetic stream separates almost perfectly
+    // (every score at ~0 or ~1), which flattens the sweep; a noisy,
+    // lighting-unstable camera with a short calibration window reproduces
+    // the paper's operating regime.
+    auto cfg = video::jackson_profile();
+    cfg.noise_amp = 5.0;        // elevated sensor noise (evening gain)
+    cfg.lighting_amp = 0.06;    // noticeable illumination swings
+    cfg.dynamic_texture = 0.12; // moving shadows on the roadway
+    auto s = bench::build_stream(cfg, 0.197, 61, 1000, 5000, 4);
+    sweep("(a) car detection, TOR ~= 0.197 (noisy low-light camera)", s);
+    std::printf("(paper: output falls and error rises as FilterDegree -> 1)\n");
+  }
+  {
+    auto cfg = video::coral_profile();
+    cfg.width = 256;
+    cfg.height = 144;
+    auto s = bench::build_stream(cfg, 1.0, 62, 1200, 5000, 8);
+    sweep("(b) person detection, TOR = 1.000", s);
+    std::printf("(paper: FilterDegree has little effect -- every frame has persons,\n"
+                " so SNM scores sit above c_high and t_pre cannot filter them)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Microbenchmarks (google-benchmark) of the real CPU implementations:
+// per-filter inference kernels, preprococessing, codec, and the pipeline
+// primitives. These are *our* CPU costs; the calibrated GPU-era costs the
+// performance simulator charges live in detect/cost_model.hpp and are
+// printed by bench_fig5_filter_ratios for comparison against the paper.
+#include <benchmark/benchmark.h>
+
+#include "core/policies.hpp"
+#include "nn/layers.hpp"
+#include "detect/specialize.hpp"
+#include "image/ops.hpp"
+#include "runtime/bounded_queue.hpp"
+#include "video/codec.hpp"
+#include "video/profiles.hpp"
+
+namespace {
+
+using namespace ffsva;
+
+/// Shared fixture state, built once.
+struct Fixture {
+  video::SceneConfig cfg;
+  std::unique_ptr<video::SceneSimulator> sim;
+  detect::StreamModels models;
+  std::vector<video::Frame> frames;
+  video::StoredVideo stored;
+
+  Fixture() {
+    cfg = video::jackson_profile();
+    cfg.tor = 0.3;
+    sim = std::make_unique<video::SceneSimulator>(cfg, 42, 700);
+    std::vector<video::Frame> calib;
+    for (int i = 0; i < 500; ++i) calib.push_back(sim->render(i));
+    detect::SpecializeConfig sc;
+    sc.target = cfg.target;
+    sc.snm.epochs = 3;
+    models = detect::specialize_stream(calib, sc, 42);
+    for (int i = 500; i < 700; ++i) frames.push_back(sim->render(i));
+    stored = video::StoredVideo::encode(frames, 32, 4);
+  }
+};
+
+Fixture& fx() {
+  static auto* f = new Fixture();
+  return *f;
+}
+
+void BM_SceneRender(benchmark::State& state) {
+  auto& f = fx();
+  std::int64_t i = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sim->render(i));
+    if (++i >= 700) i = 500;
+  }
+}
+BENCHMARK(BM_SceneRender);
+
+void BM_SddDistance(benchmark::State& state) {
+  auto& f = fx();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.models.sdd->distance(f.frames[i].image));
+    i = (i + 1) % f.frames.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SddDistance);
+
+void BM_SnmPredict(benchmark::State& state) {
+  auto& f = fx();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.models.snm->predict(f.frames[i].image));
+    i = (i + 1) % f.frames.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnmPredict);
+
+void BM_SnmPredictBatch(benchmark::State& state) {
+  auto& f = fx();
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<const image::Image*> imgs;
+  for (int k = 0; k < batch; ++k) {
+    imgs.push_back(&f.frames[static_cast<std::size_t>(k) % f.frames.size()].image);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.models.snm->predict_batch(imgs));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SnmPredictBatch)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_TYoloDetect(benchmark::State& state) {
+  auto& f = fx();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.models.tyolo->detect(f.frames[i].image));
+    i = (i + 1) % f.frames.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TYoloDetect);
+
+void BM_ReferenceDetect(benchmark::State& state) {
+  auto& f = fx();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.models.reference->detect(f.frames[i].image));
+    i = (i + 1) % f.frames.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReferenceDetect);
+
+void BM_ResizeToSddInput(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(image::resize_bilinear(f.frames[0].image, 100, 100));
+  }
+}
+BENCHMARK(BM_ResizeToSddInput);
+
+void BM_DecodeFrame(benchmark::State& state) {
+  auto& f = fx();
+  video::VideoReader reader(f.stored);
+  for (auto _ : state) {
+    auto frame = reader.next();
+    if (!frame) {
+      state.PauseTiming();
+      reader.seek(0);
+      state.ResumeTiming();
+      frame = reader.next();
+    }
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeFrame);
+
+void BM_Conv2dDirect(benchmark::State& state) {
+  runtime::Xoshiro256 rng(5);
+  nn::Conv2d conv(8, 16, 3, 2, 1, rng);
+  conv.set_use_im2col(false);
+  nn::Tensor x(1, 8, 25, 25);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i % 13) * 0.1f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv2dDirect);
+
+void BM_Conv2dIm2Col(benchmark::State& state) {
+  runtime::Xoshiro256 rng(5);
+  nn::Conv2d conv(8, 16, 3, 2, 1, rng);
+  conv.set_use_im2col(true);
+  nn::Tensor x(1, 8, 25, 25);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i % 13) * 0.1f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv2dIm2Col);
+
+void BM_Conv2dIm2ColPruned(benchmark::State& state) {
+  // The pruning fast path in gemm(): zero weights are skipped per row.
+  runtime::Xoshiro256 rng(5);
+  nn::Conv2d conv(8, 16, 3, 2, 1, rng);
+  // Hand-prune half the weights; gemm() skips exact zeros.
+  for (std::size_t i = 0; i < conv.weight.size(); i += 2) conv.weight[i] = 0.0f;
+  nn::Tensor x(1, 8, 25, 25);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i % 13) * 0.1f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv2dIm2ColPruned);
+
+void BM_BoundedQueuePushPop(benchmark::State& state) {
+  runtime::BoundedQueue<int> q(64);
+  for (auto _ : state) {
+    q.push(1);
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_BoundedQueuePushPop);
+
+void BM_TYoloSchedulerCycle(benchmark::State& state) {
+  core::TYoloScheduler sched(4);
+  std::vector<int> depths(30, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.next(depths));
+  }
+}
+BENCHMARK(BM_TYoloSchedulerCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+#include "common.hpp"
+
+namespace ffsva::bench {
+
+CalibratedStream build_stream(video::SceneConfig base, double tor, std::uint64_t seed,
+                              std::int64_t calib_frames, std::int64_t eval_frames,
+                              int snm_epochs) {
+  CalibratedStream s;
+  s.cfg = base;
+  s.cfg.tor = tor;
+  s.sim = std::make_shared<video::SceneSimulator>(s.cfg, seed,
+                                                  calib_frames + eval_frames);
+  std::vector<video::Frame> calib;
+  calib.reserve(static_cast<std::size_t>(calib_frames));
+  for (std::int64_t i = 0; i < calib_frames; ++i) calib.push_back(s.sim->render(i));
+
+  detect::SpecializeConfig sc;
+  sc.target = s.cfg.target;
+  sc.snm.epochs = snm_epochs;
+  s.models = detect::specialize_stream(calib, sc, seed);
+
+  s.eval_begin = calib_frames;
+  s.trace = core::record_trace(*s.sim, s.models, calib_frames,
+                               calib_frames + eval_frames);
+  return s;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+sim::SimSetup sim_setup_from(const sim::MarkovParams& params,
+                             const core::FfsVaConfig& config, int streams,
+                             bool online, std::int64_t frames_per_stream,
+                             double duration_sec) {
+  sim::SimSetup s;
+  s.config = config;
+  s.num_streams = streams;
+  s.online = online;
+  s.duration_sec = duration_sec;
+  s.frames_per_stream = frames_per_stream;
+  s.make_outcomes = [params](int i) {
+    return std::make_unique<sim::MarkovOutcomes>(params,
+                                                 0xbe5c40u + static_cast<unsigned>(i));
+  };
+  return s;
+}
+
+}  // namespace ffsva::bench

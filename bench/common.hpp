@@ -1,0 +1,49 @@
+// Shared harness code for the per-figure benchmark binaries.
+//
+// Every bench regenerates one table or figure of the paper's evaluation
+// (Section 5), printing the measured series next to the values the paper
+// reports. Accuracy figures run the *real* filters over synthetic
+// workloads; throughput/latency figures run the discrete-event simulator
+// with trace-calibrated outcome models (see DESIGN.md for the substitution
+// argument).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "detect/specialize.hpp"
+#include "sim/ffsva_sim.hpp"
+#include "video/profiles.hpp"
+
+namespace ffsva::bench {
+
+/// A specialized stream plus a recorded evaluation trace.
+struct CalibratedStream {
+  video::SceneConfig cfg;
+  std::shared_ptr<video::SceneSimulator> sim;
+  detect::StreamModels models;
+  std::vector<core::FrameRecord> trace;  ///< Over [calib_frames, total).
+  std::int64_t eval_begin = 0;
+};
+
+/// Render `calib + eval` frames of the profile at the given TOR, specialize
+/// the per-stream models on the calibration window (Section 4.1), and
+/// record the real-filter trace over the evaluation window.
+CalibratedStream build_stream(video::SceneConfig base, double tor, std::uint64_t seed,
+                              std::int64_t calib_frames, std::int64_t eval_frames,
+                              int snm_epochs = 8);
+
+/// A small frame for printing aligned tables.
+void print_header(const std::string& title);
+void print_rule();
+
+/// Markov outcome factory for the simulator, calibrated from a trace.
+sim::SimSetup sim_setup_from(const sim::MarkovParams& params,
+                             const core::FfsVaConfig& config, int streams,
+                             bool online, std::int64_t frames_per_stream,
+                             double duration_sec = 120.0);
+
+}  // namespace ffsva::bench

@@ -1,0 +1,100 @@
+// Traffic monitor: online multi-camera congestion detection.
+//
+// The paper's motivating scenario (Section 2.3): "at a crossroad, more cars
+// detected than usual means a traffic jam". This example runs several live
+// traffic cameras through one FFS-VA instance with NumberofObjects = 2 —
+// frames with fewer than two vehicles are filtered out before the
+// full-feature model — and raises a congestion alert whenever the reference
+// model confirms a scene with 3+ vehicles.
+//
+// Build & run:  ./build/examples/traffic_monitor
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "video/profiles.hpp"
+#include "video/source.hpp"
+
+using namespace ffsva;
+
+int main() {
+  constexpr int kCameras = 3;
+  constexpr std::int64_t kCalib = 800;
+  constexpr std::int64_t kLive = 500;
+
+  core::FfsVaConfig config;
+  config.number_of_objects = 2;  // "more cars than usual"
+  config.online_fps = 120.0;     // compressed wall-clock for the demo
+  core::FfsVaInstance instance(config);
+
+  std::printf("Specializing %d traffic cameras...\n", kCameras);
+  std::vector<std::shared_ptr<video::SceneSimulator>> sims;
+  for (int cam = 0; cam < kCameras; ++cam) {
+    video::SceneConfig cfg = video::jackson_profile();
+    cfg.tor = 0.15 + 0.1 * cam;  // each intersection is differently busy
+    cfg.multi_object_bias = 0.55;
+    auto sim = std::make_shared<video::SceneSimulator>(cfg, 100 + cam,
+                                                       kCalib + kLive);
+    std::vector<video::Frame> calib;
+    for (std::int64_t i = 0; i < kCalib; ++i) calib.push_back(sim->render(i));
+    detect::SpecializeConfig sc;
+    sc.target = cfg.target;
+    sc.snm.epochs = 6;
+    auto models = detect::specialize_stream(calib, sc, 100 + cam);
+    std::printf("  cam%d: TOR %.2f, SNM accuracy %.1f%%\n", cam, sim->planned_tor(),
+                100 * models.snm_report.val_accuracy);
+
+    class LiveClip final : public video::FrameSource {
+     public:
+      LiveClip(std::shared_ptr<const video::SceneSimulator> s, int id,
+               std::int64_t begin, std::int64_t end)
+          : sim_(std::move(s)), id_(id), next_(begin), end_(end) {}
+      std::optional<video::Frame> next() override {
+        if (next_ >= end_) return std::nullopt;
+        return sim_->render(next_++, id_);
+      }
+      std::int64_t total_frames() const override { return end_; }
+
+     private:
+      std::shared_ptr<const video::SceneSimulator> sim_;
+      int id_;
+      std::int64_t next_, end_;
+    };
+    instance.add_stream(
+        std::make_unique<LiveClip>(sim, cam, kCalib, kCalib + kLive),
+        std::move(models));
+    sims.push_back(std::move(sim));
+  }
+
+  // Congestion alerts from the reference model's confirmed counts.
+  std::atomic<int> alerts{0};
+  std::vector<std::int64_t> last_alert(kCameras, -1000);
+  std::mutex alert_mu;
+  instance.set_output_sink([&](const core::OutputEvent& ev) {
+    const int vehicles = ev.result.count_target(video::ObjectClass::kCar);
+    if (vehicles < 3) return;
+    std::lock_guard lk(alert_mu);
+    auto& last = last_alert[static_cast<std::size_t>(ev.frame.stream_id)];
+    if (ev.frame.index - last < 60) return;  // debounce: one alert per scene
+    last = ev.frame.index;
+    ++alerts;
+    std::printf("  [ALERT] cam%d t=%.1fs: congestion, %d vehicles "
+                "(pipeline latency %.0f ms)\n",
+                ev.frame.stream_id, ev.frame.pts_sec, vehicles, ev.latency_ms);
+  });
+
+  std::printf("\nMonitoring %d live streams...\n", kCameras);
+  const auto stats = instance.run(/*online=*/true);
+
+  const auto agg = stats.aggregate();
+  std::printf("\nProcessed %llu frames across %d cameras in %.1f s wall time\n",
+              (unsigned long long)agg.prefetch.passed, kCameras, stats.wall_sec);
+  std::printf("Filtered before the full-feature model: %.1f%%  "
+              "(dropped at ingest: %llu)\n",
+              100.0 * (1.0 - static_cast<double>(agg.ref.in) /
+                                 static_cast<double>(agg.prefetch.passed)),
+              (unsigned long long)agg.dropped_at_ingest);
+  std::printf("Congestion alerts raised: %d\n", alerts.load());
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/accuracy.hpp"
+
+namespace ffsva::core {
+
+ErrorRunStats classify_error_runs(const std::vector<bool>& false_negative) {
+  ErrorRunStats s;
+  std::size_t i = 0;
+  const std::size_t n = false_negative.size();
+  while (i < n) {
+    if (!false_negative[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && false_negative[j]) ++j;
+    const auto len = static_cast<std::int64_t>(j - i);
+    if (len == 1) {
+      s.isolated_single += len;
+    } else if (len <= 3) {
+      s.isolated_2_3 += len;
+    } else if (len < 30) {
+      s.continuous_under_30 += len;
+    } else {
+      s.continuous_30_plus += len;
+    }
+    i = j;
+  }
+  return s;
+}
+
+SceneAccuracy scene_level_accuracy(const std::vector<video::SceneInterval>& intervals,
+                                   const std::vector<bool>& pass,
+                                   std::int64_t begin) {
+  SceneAccuracy acc;
+  const std::int64_t end = begin + static_cast<std::int64_t>(pass.size());
+  for (const auto& iv : intervals) {
+    const std::int64_t lo = std::max(iv.begin, begin);
+    const std::int64_t hi = std::min(iv.end, end);
+    if (lo >= hi) continue;
+    ++acc.scenes;
+    bool hit = false;
+    for (std::int64_t f = lo; f < hi && !hit; ++f) {
+      hit = pass[static_cast<std::size_t>(f - begin)];
+    }
+    if (hit) {
+      ++acc.caught;
+    } else {
+      ++acc.lost;
+    }
+  }
+  if (acc.scenes > 0) {
+    acc.loss_rate = static_cast<double>(acc.lost) / static_cast<double>(acc.scenes);
+  }
+  return acc;
+}
+
+double frame_error_rate(const std::vector<bool>& false_negative) {
+  if (false_negative.empty()) return 0.0;
+  std::int64_t fn = 0;
+  for (bool b : false_negative) fn += b ? 1 : 0;
+  return static_cast<double>(fn) / static_cast<double>(false_negative.size());
+}
+
+}  // namespace ffsva::core

@@ -1,0 +1,50 @@
+// Accuracy analysis (paper Sections 3.3 and 5.3).
+//
+// The paper's notion of accuracy is scene-level: "users are particularly
+// concerned about missing scenes rather than missing frames"; a scene is
+// caught if at least one of its frames survives the cascade. Frame-level
+// false negatives are classified by run length (Table 2) because isolated
+// or short runs do not lose the scene, while long runs — typically a
+// partially-visible vehicle waiting at a stop line — may.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "video/scene.hpp"
+
+namespace ffsva::core {
+
+/// Table 2: frames of false negatives bucketed by the length of the
+/// consecutive run they belong to.
+struct ErrorRunStats {
+  std::int64_t isolated_single = 0;     ///< Frames in runs of length 1.
+  std::int64_t isolated_2_3 = 0;        ///< Frames in runs of length 2-3.
+  std::int64_t continuous_under_30 = 0; ///< Frames in runs of length 4-29.
+  std::int64_t continuous_30_plus = 0;  ///< Frames in runs of length >= 30.
+
+  std::int64_t total() const {
+    return isolated_single + isolated_2_3 + continuous_under_30 + continuous_30_plus;
+  }
+};
+
+/// Classify the false-negative mask into Table-2 buckets.
+ErrorRunStats classify_error_runs(const std::vector<bool>& false_negative);
+
+/// Scene-level accuracy against the simulator's planned target intervals,
+/// restricted to frames [begin, begin + pass.size()).
+struct SceneAccuracy {
+  int scenes = 0;           ///< Target scenes overlapping the window.
+  int caught = 0;           ///< Scenes with at least one surviving frame.
+  int lost = 0;
+  double loss_rate = 0.0;   ///< lost / scenes.
+};
+
+SceneAccuracy scene_level_accuracy(const std::vector<video::SceneInterval>& intervals,
+                                   const std::vector<bool>& pass,
+                                   std::int64_t begin);
+
+/// Frame-level error rate: false negatives / all frames (Section 3.3).
+double frame_error_rate(const std::vector<bool>& false_negative);
+
+}  // namespace ffsva::core

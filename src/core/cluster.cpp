@@ -1,0 +1,89 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ffsva::core {
+
+ClusterManager::ClusterManager(int num_instances, const FfsVaConfig& config) {
+  if (num_instances < 1) throw std::invalid_argument("cluster needs >= 1 instance");
+  instances_.reserve(static_cast<std::size_t>(num_instances));
+  for (int i = 0; i < num_instances; ++i) instances_.emplace_back(config);
+}
+
+void ClusterManager::report_tyolo_service(int id, double now_sec, int frames) {
+  instances_.at(static_cast<std::size_t>(id)).admission.on_tyolo_served(now_sec, frames);
+}
+
+void ClusterManager::report_queue_over_threshold(int id, double now_sec) {
+  instances_.at(static_cast<std::size_t>(id)).admission.on_queue_over_threshold(now_sec);
+}
+
+void ClusterManager::attach_stream(int stream_id, int instance_id) {
+  detach_stream(stream_id);
+  instances_.at(static_cast<std::size_t>(instance_id)).streams.push_back(stream_id);
+  stream_home_[stream_id] = instance_id;
+}
+
+void ClusterManager::detach_stream(int stream_id) {
+  const auto it = stream_home_.find(stream_id);
+  if (it == stream_home_.end()) return;
+  auto& v = instances_.at(static_cast<std::size_t>(it->second)).streams;
+  v.erase(std::remove(v.begin(), v.end(), stream_id), v.end());
+  stream_home_.erase(it);
+}
+
+int ClusterManager::instance_of(int stream_id) const {
+  const auto it = stream_home_.find(stream_id);
+  return it == stream_home_.end() ? -1 : it->second;
+}
+
+int ClusterManager::stream_count(int instance_id) const {
+  return static_cast<int>(instances_.at(static_cast<std::size_t>(instance_id)).streams.size());
+}
+
+bool ClusterManager::instance_overloaded(int id, double now_sec) const {
+  return instances_.at(static_cast<std::size_t>(id)).admission.overloaded(now_sec);
+}
+
+bool ClusterManager::instance_has_spare(int id, double now_sec) {
+  auto& inst = instances_.at(static_cast<std::size_t>(id));
+  return !inst.admission.overloaded(now_sec) &&
+         inst.admission.has_spare_capacity(now_sec);
+}
+
+std::optional<int> ClusterManager::place_new_stream(double now_sec) {
+  int best = -1;
+  for (int i = 0; i < num_instances(); ++i) {
+    if (!instance_has_spare(i, now_sec)) continue;
+    if (best < 0 || stream_count(i) < stream_count(best)) best = i;
+  }
+  if (best < 0) return std::nullopt;
+  return best;
+}
+
+std::optional<ReforwardDecision> ClusterManager::next_reforward(double now_sec) {
+  // Find the most-loaded overloaded instance and a spare target.
+  int from = -1;
+  for (int i = 0; i < num_instances(); ++i) {
+    if (!instance_overloaded(i, now_sec)) continue;
+    if (stream_count(i) == 0) continue;
+    if (from < 0 || stream_count(i) > stream_count(from)) from = i;
+  }
+  if (from < 0) return std::nullopt;
+  int to = -1;
+  for (int i = 0; i < num_instances(); ++i) {
+    if (i == from || !instance_has_spare(i, now_sec)) continue;
+    if (to < 0 || stream_count(i) < stream_count(to)) to = i;
+  }
+  if (to < 0) return std::nullopt;
+
+  ReforwardDecision d;
+  d.from_instance = from;
+  d.to_instance = to;
+  d.stream_id = instances_[static_cast<std::size_t>(from)].streams.back();
+  attach_stream(d.stream_id, to);
+  return d;
+}
+
+}  // namespace ffsva::core

@@ -1,0 +1,74 @@
+// Multi-instance stream placement and re-forwarding (paper Section 4.3.1):
+//
+//   "when the execution speed of T-YOLO is lower than a certain level for
+//    a period of time, it means this FFS-VA instance has spare ability to
+//    serve extra streams. Consequently, a new stream can be considered to
+//    add into the instance. In contrast, when any queue of T-YOLO or SNM
+//    is longer than its predefined threshold, it means that the FFS-VA
+//    instance overloads. The corresponding video stream is re-forwarded to
+//    another FFS-VA instance with spare capacity immediately."
+//
+// ClusterManager is the pure placement policy: each instance reports its
+// T-YOLO service rate and queue-overflow events; the manager admits new
+// streams to instances with spare capacity and moves streams away from
+// overloaded ones. It holds no threads and no sockets — embedding it in a
+// real control plane (or the simulator) is the caller's job.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/policies.hpp"
+
+namespace ffsva::core {
+
+struct ReforwardDecision {
+  int stream_id = -1;
+  int from_instance = -1;
+  int to_instance = -1;
+};
+
+class ClusterManager {
+ public:
+  ClusterManager(int num_instances, const FfsVaConfig& config);
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+
+  /// Telemetry from instance `id` at time `now_sec`.
+  void report_tyolo_service(int id, double now_sec, int frames);
+  void report_queue_over_threshold(int id, double now_sec);
+
+  /// Register / remove stream membership.
+  void attach_stream(int stream_id, int instance_id);
+  void detach_stream(int stream_id);
+  int instance_of(int stream_id) const;
+  int stream_count(int instance_id) const;
+
+  /// Where should a NEW stream go? Prefers an instance with demonstrated
+  /// spare capacity; among candidates picks the one with the fewest
+  /// streams. Returns nullopt if no instance currently shows spare
+  /// capacity (caller should provision another server).
+  std::optional<int> place_new_stream(double now_sec);
+
+  /// If some instance is overloaded and another has spare capacity, pick
+  /// one stream to move "immediately". Returns nullopt when no move is
+  /// warranted. The returned stream is re-attached to the target.
+  std::optional<ReforwardDecision> next_reforward(double now_sec);
+
+  bool instance_overloaded(int id, double now_sec) const;
+  bool instance_has_spare(int id, double now_sec);
+
+ private:
+  struct Instance {
+    AdmissionController admission;
+    std::vector<int> streams;
+    explicit Instance(const FfsVaConfig& cfg)
+        : admission(cfg.admit_tyolo_fps, cfg.admit_window_sec) {}
+  };
+  std::vector<Instance> instances_;
+  std::map<int, int> stream_home_;
+};
+
+}  // namespace ffsva::core

@@ -1,0 +1,68 @@
+// FFS-VA system configuration (paper Sections 3-4).
+#pragma once
+
+#include <cstdint>
+
+namespace ffsva::core {
+
+/// SNM batching policy (Section 4.3.2 / Figures 9-10):
+///  * kStatic   — always wait for a full BatchSize of frames (queues are
+///                effectively unbounded; no feedback).
+///  * kFeedback — feedback-queue mechanism alone: bounded queues throttle
+///                upstream stages; SNM waits for min(BatchSize, queue
+///                threshold) frames.
+///  * kDynamic  — feedback plus dynamic batch: SNM takes whatever is
+///                waiting, up to BatchSize, and never waits for more.
+enum class BatchPolicy : std::uint8_t { kStatic = 0, kFeedback = 1, kDynamic = 2 };
+
+const char* to_string(BatchPolicy p);
+
+struct FfsVaConfig {
+  // --- user-facing event definition (Section 4.2) -------------------------
+  double filter_degree = 0.5;   ///< Aggressiveness of SNM filtering in [0,1].
+  int number_of_objects = 1;    ///< Minimum target count a frame must carry.
+
+  // --- batching (Section 4.3.2) -------------------------------------------
+  BatchPolicy batch_policy = BatchPolicy::kDynamic;
+  int batch_size = 16;
+
+  // --- feedback-queue thresholds (Section 4.3.1: "2, 10, and 2 as the
+  // queue depth thresholds of the SDD queues, SNM queues, and T-YOLO
+  // queues respectively") ---------------------------------------------------
+  int sdd_queue_depth = 2;
+  int snm_queue_depth = 10;
+  int tyolo_queue_depth = 2;
+  /// The reference model's input queue. The paper fixes only the three
+  /// filter-queue thresholds above; this queue must be deep enough that a
+  /// scene burst saturating the reference GPU does not block the single
+  /// shared T-YOLO service (which would stall every stream at once).
+  /// Depth 64 ≈ 1 s of reference-model work — the backlog that shows up
+  /// as the multi-second latencies of Figure 3 near the stream limit.
+  int ref_queue_depth = 64;
+
+  /// Max frames T-YOLO extracts from one stream's queue per service cycle
+  /// (inter-stream load balancing, Section 3.2.3 / 4.3.1).
+  int num_tyolo = 4;
+
+  // --- online mode ----------------------------------------------------------
+  double online_fps = 30.0;
+  /// Capacity of the live-capture ring buffer in front of SDD. A camera
+  /// cannot block, so bursts ride out here (~4 s at 30 FPS, enough to ride out one scene-length burst); a frame is
+  /// lost only once this buffer overflows. Offline mode ignores it (the
+  /// decoder simply stalls on the SDD feedback threshold instead).
+  int ingest_buffer = 128;
+
+  // --- admission / re-forwarding (Section 4.3.1) ---------------------------
+  /// Sustained T-YOLO service speed below this (FPS) for admit_window_sec
+  /// means the instance has spare capacity for another stream.
+  double admit_tyolo_fps = 140.0;
+  double admit_window_sec = 5.0;
+
+  /// Effective queue capacity for a stage given the policy: static batching
+  /// runs without feedback, so its queues are effectively unbounded.
+  int capacity(int threshold) const {
+    return batch_policy == BatchPolicy::kStatic ? 4096 : threshold;
+  }
+};
+
+}  // namespace ffsva::core

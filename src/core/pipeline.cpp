@@ -1,0 +1,359 @@
+#include "core/pipeline.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/bounded_queue.hpp"
+#include "runtime/rate_limiter.hpp"
+#include "runtime/stopwatch.hpp"
+
+namespace ffsva::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// A frame in flight, stamped with its ingest time.
+struct Item {
+  video::Frame frame;
+  Clock::time_point ingest;
+};
+}  // namespace
+
+const char* to_string(BatchPolicy p) {
+  switch (p) {
+    case BatchPolicy::kStatic: return "static";
+    case BatchPolicy::kFeedback: return "feedback";
+    case BatchPolicy::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+StreamStats InstanceStats::aggregate() const {
+  StreamStats agg;
+  for (const auto& s : streams) {
+    agg.prefetch.in += s.prefetch.in;
+    agg.prefetch.passed += s.prefetch.passed;
+    agg.sdd.in += s.sdd.in;
+    agg.sdd.passed += s.sdd.passed;
+    agg.snm.in += s.snm.in;
+    agg.snm.passed += s.snm.passed;
+    agg.tyolo.in += s.tyolo.in;
+    agg.tyolo.passed += s.tyolo.passed;
+    agg.ref.in += s.ref.in;
+    agg.ref.passed += s.ref.passed;
+    agg.dropped_at_ingest += s.dropped_at_ingest;
+    agg.latency_ms.merge(s.latency_ms);
+    agg.ingest_fps += s.ingest_fps;
+  }
+  return agg;
+}
+
+struct FfsVaInstance::Stream {
+  int id = 0;
+  std::unique_ptr<video::FrameSource> source;
+  detect::StreamModels models;
+
+  runtime::BoundedQueue<Item> sdd_q;
+  runtime::BoundedQueue<Item> snm_q;
+  runtime::BoundedQueue<Item> tyolo_q;
+
+  StreamStats stats;
+  std::atomic<bool> tyolo_open{true};  ///< SNM still producing for T-YOLO.
+  double ingest_wall_sec = 0.0;
+
+  Stream(int id_, std::unique_ptr<video::FrameSource> src, detect::StreamModels m,
+         const FfsVaConfig& cfg)
+      : id(id_), source(std::move(src)), models(std::move(m)),
+        // The live-capture ring buffer must absorb bursts without blocking
+        // the camera; offline the decoder throttles on the SDD threshold.
+        // Sized for the larger of the two so one queue serves both modes.
+        sdd_q(static_cast<std::size_t>(std::max(cfg.ingest_buffer,
+                                                cfg.capacity(cfg.sdd_queue_depth)))),
+        snm_q(static_cast<std::size_t>(cfg.capacity(cfg.snm_queue_depth))),
+        tyolo_q(static_cast<std::size_t>(cfg.capacity(cfg.tyolo_queue_depth))) {}
+};
+
+struct FfsVaInstance::TYoloShared {
+  runtime::BoundedQueue<std::pair<int, Item>> ref_q;  ///< (stream id, item)
+  AdmissionController admission;
+  explicit TYoloShared(const FfsVaConfig& cfg)
+      : ref_q(static_cast<std::size_t>(cfg.capacity(cfg.ref_queue_depth))),
+        admission(cfg.admit_tyolo_fps, cfg.admit_window_sec) {}
+};
+
+FfsVaInstance::FfsVaInstance(FfsVaConfig config)
+    : config_(config), tyolo_shared_(std::make_unique<TYoloShared>(config)) {}
+
+FfsVaInstance::~FfsVaInstance() = default;
+
+void FfsVaInstance::add_stream(std::unique_ptr<video::FrameSource> source,
+                               detect::StreamModels models) {
+  streams_.push_back(std::make_unique<Stream>(static_cast<int>(streams_.size()),
+                                              std::move(source), std::move(models),
+                                              config_));
+}
+
+void FfsVaInstance::set_output_sink(std::function<void(const OutputEvent&)> sink) {
+  sink_ = std::move(sink);
+}
+
+void FfsVaInstance::prefetch_loop(Stream& s, bool online) {
+  runtime::RateLimiter limiter(config_.online_fps, /*burst=*/2.0);
+  runtime::Stopwatch watch;
+  const auto frame_interval =
+      std::chrono::duration<double>(1.0 / config_.online_fps);
+  while (auto f = s.source->next()) {
+    ++s.stats.prefetch.in;
+    Item item{std::move(*f), Clock::now()};
+    if (online) {
+      limiter.acquire();
+      // Overload behaviour: a live camera cannot block — if the pipeline
+      // cannot absorb the frame within one frame time, the frame is lost
+      // and counted (the admission controller re-forwards such streams).
+      if (!s.sdd_q.push_for(std::move(item), frame_interval)) {
+        ++s.stats.dropped_at_ingest;
+        continue;
+      }
+    } else {
+      if (!s.sdd_q.push(std::move(item))) break;  // queue closed underneath us
+    }
+    ++s.stats.prefetch.passed;
+  }
+  s.ingest_wall_sec = watch.elapsed_sec();
+  s.sdd_q.close();
+}
+
+void FfsVaInstance::sdd_loop(Stream& s) {
+  while (auto item = s.sdd_q.pop()) {
+    ++s.stats.sdd.in;
+    if (s.models.sdd->pass(item->frame.image)) {
+      ++s.stats.sdd.passed;
+      if (!s.snm_q.push(std::move(*item))) break;
+    } else {
+      s.stats.latency_ms.add(ms_since(item->ingest));
+    }
+  }
+  s.snm_q.close();
+}
+
+void FfsVaInstance::snm_loop(Stream& s) {
+  const int queue_threshold = config_.snm_queue_depth;
+  for (;;) {
+    // Batch formation mirrors DynamicBatcher::next_batch (Section 4.3.2):
+    // static waits for a full batch, feedback waits for min(batch, queue
+    // threshold), dynamic takes whatever is available.
+    std::vector<Item> batch;
+    switch (config_.batch_policy) {
+      case BatchPolicy::kStatic:
+        batch = s.snm_q.pop_exact(static_cast<std::size_t>(config_.batch_size));
+        break;
+      case BatchPolicy::kFeedback:
+        batch = s.snm_q.pop_exact(static_cast<std::size_t>(
+            std::min(config_.batch_size, queue_threshold)));
+        break;
+      case BatchPolicy::kDynamic:
+        batch = s.snm_q.pop_batch(static_cast<std::size_t>(config_.batch_size));
+        break;
+    }
+    if (batch.empty()) break;  // closed and drained
+
+    std::vector<double> scores;
+    {
+      // SNM executes on GPU0 (shared with T-YOLO).
+      std::lock_guard gpu(gpu0_);
+      std::vector<const image::Image*> imgs;
+      imgs.reserve(batch.size());
+      for (const auto& it : batch) imgs.push_back(&it.frame.image);
+      scores = s.models.snm->predict_batch(imgs);
+    }
+    const double t_pre = s.models.snm->t_pre();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ++s.stats.snm.in;
+      if (scores[i] >= t_pre) {
+        ++s.stats.snm.passed;
+        if (!s.tyolo_q.push(std::move(batch[i]))) return;
+      } else {
+        s.stats.latency_ms.add(ms_since(batch[i].ingest));
+      }
+    }
+  }
+  s.tyolo_open.store(false, std::memory_order_release);
+}
+
+void FfsVaInstance::tyolo_loop() {
+  TYoloScheduler scheduler(config_.num_tyolo);
+  std::vector<int> depths(streams_.size(), 0);
+  for (;;) {
+    bool any_open = false;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      depths[i] = static_cast<int>(streams_[i]->tyolo_q.depth());
+      if (streams_[i]->tyolo_open.load(std::memory_order_acquire) || depths[i] > 0) {
+        any_open = true;
+      }
+    }
+    const auto pick = scheduler.next(depths);
+    if (pick.stream < 0) {
+      if (!any_open) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    Stream& s = *streams_[static_cast<std::size_t>(pick.stream)];
+    std::vector<Item> items;
+    for (int k = 0; k < pick.take; ++k) {
+      auto it = s.tyolo_q.try_pop();
+      if (!it) break;
+      items.push_back(std::move(*it));
+    }
+    int served = 0;
+    for (auto& item : items) {
+      ++s.stats.tyolo.in;
+      bool pass;
+      {
+        std::lock_guard gpu(gpu0_);
+        pass = s.models.tyolo->pass(item.frame.image, s.models.target,
+                                    config_.number_of_objects);
+      }
+      ++served;
+      if (pass) {
+        ++s.stats.tyolo.passed;
+        if (!tyolo_shared_->ref_q.push({s.id, std::move(item)})) return;
+      } else {
+        s.stats.latency_ms.add(ms_since(item.ingest));
+      }
+    }
+    if (served > 0) {
+      const double now =
+          std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+      tyolo_shared_->admission.on_tyolo_served(now, served);
+    }
+  }
+  tyolo_shared_->ref_q.close();
+}
+
+void FfsVaInstance::reference_loop() {
+  while (auto entry = tyolo_shared_->ref_q.pop()) {
+    auto& [stream_id, item] = *entry;
+    Stream& s = *streams_[static_cast<std::size_t>(stream_id)];
+    ++s.stats.ref.in;
+    detect::DetectionResult result;
+    {
+      std::lock_guard gpu(gpu1_);
+      result = s.models.reference->detect(item.frame.image);
+    }
+    ++s.stats.ref.passed;
+    const double latency = ms_since(item.ingest);
+    s.stats.latency_ms.add(latency);
+    OutputEvent ev{std::move(item.frame), std::move(result), latency};
+    if (sink_) {
+      sink_(ev);
+    } else {
+      std::lock_guard lk(outputs_mu_);
+      outputs_.push_back(std::move(ev));
+    }
+  }
+}
+
+InstanceStats FfsVaInstance::run(bool online) {
+  runtime::Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(streams_.size() * 3 + 2);
+  for (auto& s : streams_) {
+    threads.emplace_back([this, &s, online] { prefetch_loop(*s, online); });
+    threads.emplace_back([this, &s] { sdd_loop(*s); });
+    threads.emplace_back([this, &s] { snm_loop(*s); });
+  }
+  threads.emplace_back([this] { tyolo_loop(); });
+  threads.emplace_back([this] { reference_loop(); });
+  for (auto& t : threads) t.join();
+
+  InstanceStats out;
+  out.wall_sec = wall.elapsed_sec();
+  std::uint64_t ingested = 0;
+  for (auto& s : streams_) {
+    if (s->ingest_wall_sec > 0.0) {
+      s->stats.ingest_fps =
+          static_cast<double>(s->stats.prefetch.passed) / s->ingest_wall_sec;
+    }
+    ingested += s->stats.prefetch.passed;
+    out.streams.push_back(s->stats);
+  }
+  out.total_throughput_fps =
+      out.wall_sec > 0.0 ? static_cast<double>(ingested) / out.wall_sec : 0.0;
+  {
+    std::lock_guard lk(outputs_mu_);
+    for (const auto& ev : outputs_) out.output_latency_ms.add(ev.latency_ms);
+  }
+  return out;
+}
+
+BaselineStats run_yolo_baseline(
+    std::vector<std::unique_ptr<video::FrameSource>> sources,
+    const std::vector<detect::StreamModels>& models, bool online,
+    double online_fps) {
+  BaselineStats stats;
+  runtime::Stopwatch wall;
+  // Two GPU workers pull from a shared frame queue — YOLOv2 running on both
+  // GPUs, the paper's baseline deployment.
+  runtime::BoundedQueue<std::pair<int, Item>> q(8);
+  std::atomic<std::uint64_t> frames{0}, dropped{0};
+  std::mutex hist_mu;
+
+  std::vector<std::thread> producers;
+  producers.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    producers.emplace_back([&, i] {
+      runtime::RateLimiter limiter(online_fps, 2.0);
+      const auto interval = std::chrono::duration<double>(1.0 / online_fps);
+      while (auto f = sources[i]->next()) {
+        Item item{std::move(*f), Clock::now()};
+        if (online) {
+          limiter.acquire();
+          if (!q.push_for(std::make_pair(static_cast<int>(i), std::move(item)),
+                          interval)) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+        } else {
+          if (!q.push(std::make_pair(static_cast<int>(i), std::move(item)))) break;
+        }
+        frames.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::mutex gpu[2];
+  std::vector<std::thread> workers;
+  for (int g = 0; g < 2; ++g) {
+    workers.emplace_back([&, g] {
+      while (auto entry = q.pop()) {
+        auto& [stream_id, item] = *entry;
+        detect::DetectionResult r;
+        {
+          std::lock_guard lk(gpu[g]);
+          r = models[static_cast<std::size_t>(stream_id)].reference->detect(
+              item.frame.image);
+        }
+        std::lock_guard lk(hist_mu);
+        stats.latency_ms.add(ms_since(item.ingest));
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : workers) t.join();
+
+  stats.wall_sec = wall.elapsed_sec();
+  stats.frames = frames.load();
+  stats.dropped = dropped.load();
+  stats.throughput_fps =
+      stats.wall_sec > 0.0 ? static_cast<double>(stats.frames) / stats.wall_sec : 0.0;
+  return stats;
+}
+
+}  // namespace ffsva::core

@@ -1,0 +1,125 @@
+// The FFS-VA threaded pipeline engine (paper Sections 3.1.2 and 4.3).
+//
+// Per stream: prefetch -> SDD -> SNM, each a thread, decoupled by bounded
+// queues whose capacities are the paper's feedback-queue thresholds
+// ({2, 10, 2}); a blocking push *is* the feedback throttle. Globally: one
+// T-YOLO service thread round-robins over all streams' T-YOLO queues with
+// the per-stream `num_tyolo` extraction cap, and one reference-model thread
+// drains the survivors. SDDs run on CPU threads; SNM batches and T-YOLO
+// executions serialize on the GPU0 token, the reference model on GPU1 —
+// the paper's device placement, expressed as mutual exclusion.
+//
+// This engine is the *correctness* vehicle (end-to-end behaviour, ordering,
+// no-loss, backpressure, accuracy); calibrated performance numbers come
+// from the discrete-event simulator in src/sim, which runs the same policy
+// objects (src/core/policies.hpp) under virtual time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/policies.hpp"
+#include "detect/specialize.hpp"
+#include "runtime/stats.hpp"
+#include "video/source.hpp"
+
+namespace ffsva::core {
+
+/// A frame that survived the whole cascade, plus its reference-model result.
+struct OutputEvent {
+  video::Frame frame;
+  detect::DetectionResult result;
+  double latency_ms = 0.0;  ///< Ingest-to-output time.
+};
+
+struct StreamStats {
+  runtime::StageCounters prefetch;  ///< in = source frames, passed = ingested.
+  runtime::StageCounters sdd;
+  runtime::StageCounters snm;
+  runtime::StageCounters tyolo;
+  runtime::StageCounters ref;       ///< in = frames reaching reference model.
+  std::uint64_t dropped_at_ingest = 0;
+  runtime::Histogram latency_ms;    ///< Terminal latency of every ingested frame.
+  double ingest_fps = 0.0;          ///< Realized ingest rate.
+};
+
+struct InstanceStats {
+  std::vector<StreamStats> streams;
+  double wall_sec = 0.0;
+  double total_throughput_fps = 0.0;  ///< Ingested frames / wall seconds.
+  runtime::Histogram output_latency_ms;
+
+  StreamStats aggregate() const;
+};
+
+class FfsVaInstance {
+ public:
+  explicit FfsVaInstance(FfsVaConfig config);
+  ~FfsVaInstance();
+
+  FfsVaInstance(const FfsVaInstance&) = delete;
+  FfsVaInstance& operator=(const FfsVaInstance&) = delete;
+
+  /// Register a stream before run(). The models must target the same class
+  /// the stream's events are defined over.
+  void add_stream(std::unique_ptr<video::FrameSource> source,
+                  detect::StreamModels models);
+
+  /// Optional sink invoked (from the reference-model thread) for every
+  /// surviving frame. When unset, outputs are collected in outputs().
+  void set_output_sink(std::function<void(const OutputEvent&)> sink);
+
+  /// Process every stream to completion.
+  /// online=true paces each stream's ingest at config.online_fps and drops
+  /// frames when the SDD queue stays full (overload); online=false runs
+  /// flat out (offline analysis of stored video).
+  InstanceStats run(bool online);
+
+  /// Collected outputs (when no sink is set).
+  const std::vector<OutputEvent>& outputs() const { return outputs_; }
+
+  const FfsVaConfig& config() const { return config_; }
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+
+ private:
+  struct Stream;
+
+  void prefetch_loop(Stream& s, bool online);
+  void sdd_loop(Stream& s);
+  void snm_loop(Stream& s);
+  void tyolo_loop();
+  void reference_loop();
+
+  FfsVaConfig config_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::function<void(const OutputEvent&)> sink_;
+  std::vector<OutputEvent> outputs_;
+  std::mutex outputs_mu_;
+
+  // Device tokens: models mapped to one GPU exclude each other in time.
+  std::mutex gpu0_;  ///< SNMs + T-YOLO (Section 3.1.2).
+  std::mutex gpu1_;  ///< Reference model.
+
+  struct TYoloShared;
+  std::unique_ptr<TYoloShared> tyolo_shared_;
+};
+
+/// The paper's baseline: every frame of every stream goes straight to the
+/// full-feature reference model (YOLOv2), using both GPU tokens.
+struct BaselineStats {
+  double wall_sec = 0.0;
+  double throughput_fps = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t dropped = 0;
+  runtime::Histogram latency_ms;
+};
+
+BaselineStats run_yolo_baseline(
+    std::vector<std::unique_ptr<video::FrameSource>> sources,
+    const std::vector<detect::StreamModels>& models, bool online,
+    double online_fps = 30.0);
+
+}  // namespace ffsva::core

@@ -1,0 +1,201 @@
+// Pipeline scheduling policies as pure logic, shared verbatim by the
+// threaded engine (src/core/pipeline.*) and the discrete-event simulator
+// (src/sim). Keeping them engine-agnostic is what makes the simulated
+// performance figures an evaluation of the *production* policy code.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace ffsva::core {
+
+/// Dynamic-batch decision (Section 4.3.2). Given the number of frames
+/// currently waiting in the SNM queue, how many should the next inference
+/// batch take — and is it allowed to run yet?
+struct BatchDecision {
+  int take = 0;      ///< Frames to pop for this batch.
+  bool wait = false; ///< True: not enough frames yet, keep waiting.
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(BatchPolicy policy, int batch_size, int queue_threshold)
+      : policy_(policy), batch_size_(std::max(1, batch_size)),
+        queue_threshold_(std::max(1, queue_threshold)) {}
+
+  /// `available`: frames waiting; `stream_ended`: no more frames will come
+  /// (drain whatever is left instead of waiting forever).
+  BatchDecision next_batch(int available, bool stream_ended) const {
+    BatchDecision d;
+    if (available <= 0) {
+      d.wait = !stream_ended;
+      return d;
+    }
+    switch (policy_) {
+      case BatchPolicy::kStatic:
+        // Wait for a full batch (Figure 9: throughput keeps growing with
+        // BatchSize, latency grows with it too).
+        if (available < batch_size_ && !stream_ended) {
+          d.wait = true;
+        } else {
+          d.take = std::min(available, batch_size_);
+        }
+        break;
+      case BatchPolicy::kFeedback: {
+        // Feedback-queue alone: the queue can never hold more than its
+        // threshold, so a batch larger than the threshold waits for the
+        // queue-full level instead ("when the batch size is greater than
+        // the queue depth threshold, video frames have to wait").
+        const int target = std::min(batch_size_, queue_threshold_);
+        if (available < target && !stream_ended) {
+          d.wait = true;
+        } else {
+          d.take = std::min(available, target);
+        }
+        break;
+      }
+      case BatchPolicy::kDynamic:
+        // Take whatever is there, up to BatchSize; never wait for more.
+        d.take = std::min(available, batch_size_);
+        break;
+    }
+    return d;
+  }
+
+  BatchPolicy policy() const { return policy_; }
+  int batch_size() const { return batch_size_; }
+
+ private:
+  BatchPolicy policy_;
+  int batch_size_;
+  int queue_threshold_;
+};
+
+/// Feedback-queue throttle (Section 4.3.1): a stage must pause pushing when
+/// its downstream queue is at or above the threshold. With bounded queues
+/// this emerges naturally from a blocking push; the explicit predicate is
+/// used by the simulator and by stages that would rather keep *filtering*
+/// (the bypass: SDD can keep discarding background frames while the SNM
+/// queue is full, because only passing frames need the downstream slot).
+class FeedbackController {
+ public:
+  explicit FeedbackController(const FfsVaConfig& config) : config_(config) {}
+
+  bool sdd_may_push(int snm_queue_depth) const {
+    return snm_queue_depth < effective(config_.snm_queue_depth);
+  }
+  bool snm_may_push(int tyolo_queue_depth) const {
+    return tyolo_queue_depth < effective(config_.tyolo_queue_depth);
+  }
+  bool tyolo_may_push(int ref_queue_depth) const {
+    return ref_queue_depth < effective(config_.ref_queue_depth);
+  }
+
+ private:
+  int effective(int threshold) const { return config_.capacity(threshold); }
+  FfsVaConfig config_;
+};
+
+/// Round-robin T-YOLO service order with a per-stream extraction cap
+/// (Sections 3.2.3 and 4.3.1): "T-YOLO needs to traverse each T-YOLO queue
+/// of all streams one by one and extract at most num_tyolo video frames
+/// from the queue for detection, skipping the stream if its queue is empty."
+class TYoloScheduler {
+ public:
+  explicit TYoloScheduler(int num_tyolo) : num_tyolo_(std::max(1, num_tyolo)) {}
+
+  struct Pick {
+    int stream = -1;
+    int take = 0;
+  };
+
+  /// `queue_depths[i]`: frames waiting for stream i. Returns the next
+  /// non-empty stream after the previously served one, and how many frames
+  /// to take from it. stream = -1 when every queue is empty.
+  Pick next(const std::vector<int>& queue_depths) {
+    const int n = static_cast<int>(queue_depths.size());
+    for (int step = 1; step <= n; ++step) {
+      const int s = (cursor_ + step) % n;
+      if (queue_depths[static_cast<std::size_t>(s)] > 0) {
+        cursor_ = s;
+        return Pick{s, std::min(queue_depths[static_cast<std::size_t>(s)], num_tyolo_)};
+      }
+    }
+    return Pick{};
+  }
+
+  int num_tyolo() const { return num_tyolo_; }
+
+ private:
+  int cursor_ = -1;
+  int num_tyolo_;
+};
+
+/// Admission / re-forwarding controller (Section 4.3.1): track T-YOLO's
+/// service rate over a sliding window; a sustained rate under
+/// admit_tyolo_fps means spare capacity (admit another stream), while any
+/// queue crossing its threshold persistently means overload (re-forward a
+/// stream to another instance).
+class AdmissionController {
+ public:
+  AdmissionController(double admit_fps, double window_sec)
+      : admit_fps_(admit_fps), window_sec_(window_sec) {}
+
+  /// Report `frames` served by T-YOLO at time `now_sec`.
+  void on_tyolo_served(double now_sec, int frames) {
+    if (observed_since_ < 0.0) observed_since_ = now_sec;
+    samples_.push_back({now_sec, frames});
+    trim(now_sec);
+  }
+
+  /// Spare capacity if the windowed T-YOLO rate has stayed below the
+  /// threshold for the whole window ("when the execution speed of T-YOLO is
+  /// lower than a certain level for a period of time", Section 4.3.1).
+  bool has_spare_capacity(double now_sec) {
+    if (observed_since_ < 0.0) return true;  // nothing running at all
+    if (now_sec - observed_since_ < window_sec_ * 0.95) return false;
+    return windowed_fps(now_sec) < admit_fps_;
+  }
+
+  /// Frames served per second over the last window (or since observation
+  /// started, whichever is shorter).
+  double windowed_fps(double now_sec) {
+    trim(now_sec);
+    std::int64_t total = 0;
+    for (const auto& s : samples_) total += s.frames;
+    double span = window_sec_;
+    if (observed_since_ >= 0.0) span = std::min(span, now_sec - observed_since_);
+    return static_cast<double>(total) / std::max(1e-9, span);
+  }
+
+  /// Overload signal: a queue has been at/over its threshold this tick.
+  void on_queue_over_threshold(double now_sec) { last_overload_ = now_sec; }
+
+  bool overloaded(double now_sec) const {
+    return last_overload_ >= 0.0 && now_sec - last_overload_ < 1.0;
+  }
+
+ private:
+  struct Sample {
+    double t = 0.0;
+    int frames = 0;
+  };
+  void trim(double now_sec) {
+    while (!samples_.empty() && samples_.front().t < now_sec - window_sec_) {
+      samples_.pop_front();
+    }
+  }
+
+  double admit_fps_;
+  double window_sec_;
+  std::deque<Sample> samples_;
+  double observed_since_ = -1.0;
+  double last_overload_ = -1.0;
+};
+
+}  // namespace ffsva::core

@@ -1,0 +1,91 @@
+#include "core/trace.hpp"
+
+namespace ffsva::core {
+
+CascadeThresholds thresholds_of(const detect::StreamModels& models,
+                                int number_of_objects) {
+  CascadeThresholds t;
+  t.sdd_delta = models.sdd->config().delta_diff;
+  t.t_pre = models.snm->t_pre();
+  t.number_of_objects = number_of_objects;
+  return t;
+}
+
+namespace {
+FrameRecord record_one(const video::Frame& f, const detect::StreamModels& models) {
+  FrameRecord r;
+  r.index = f.index;
+  r.gt_target = f.gt.any_target(models.target);
+  r.gt_count = f.gt.count_target(models.target);
+  r.sdd_distance = models.sdd->distance(f.image);
+  r.snm_score = models.snm->predict(f.image);
+  r.tyolo_count = models.tyolo->detect(f.image).count_target(
+      models.target, models.tyolo->config().confidence_threshold);
+  r.ref_count = models.reference->detect(f.image).count_target(
+      models.target, models.reference->config().confidence_threshold);
+  r.ref_positive = r.ref_count >= 1;
+  return r;
+}
+}  // namespace
+
+std::vector<FrameRecord> record_trace(const video::SceneSimulator& sim,
+                                      const detect::StreamModels& models,
+                                      std::int64_t begin, std::int64_t end) {
+  std::vector<FrameRecord> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::int64_t i = begin; i < end; ++i) {
+    out.push_back(record_one(sim.render(i), models));
+  }
+  return out;
+}
+
+std::vector<FrameRecord> record_trace(const std::vector<video::Frame>& frames,
+                                      const detect::StreamModels& models) {
+  std::vector<FrameRecord> out;
+  out.reserve(frames.size());
+  for (const auto& f : frames) out.push_back(record_one(f, models));
+  return out;
+}
+
+TraceStats evaluate_trace(const std::vector<FrameRecord>& records,
+                          const CascadeThresholds& thresholds) {
+  TraceStats s;
+  s.total = static_cast<std::int64_t>(records.size());
+  for (const auto& r : records) {
+    const FilteredAt at = apply_cascade(r, thresholds);
+    if (at != FilteredAt::kSdd) ++s.sdd_pass;
+    if (at != FilteredAt::kSdd && at != FilteredAt::kSnm) ++s.snm_pass;
+    if (at == FilteredAt::kNone) ++s.output;
+    if (r.ref_positive) {
+      ++s.ref_positive;
+      if (at != FilteredAt::kNone) ++s.false_negative;
+    }
+  }
+  if (s.total > 0) {
+    s.error_rate = static_cast<double>(s.false_negative) / static_cast<double>(s.total);
+    s.output_rate = static_cast<double>(s.output) / static_cast<double>(s.total);
+  }
+  return s;
+}
+
+std::vector<bool> false_negative_mask(const std::vector<FrameRecord>& records,
+                                      const CascadeThresholds& thresholds) {
+  std::vector<bool> mask;
+  mask.reserve(records.size());
+  for (const auto& r : records) {
+    mask.push_back(r.ref_positive && apply_cascade(r, thresholds) != FilteredAt::kNone);
+  }
+  return mask;
+}
+
+std::vector<bool> pass_mask(const std::vector<FrameRecord>& records,
+                            const CascadeThresholds& thresholds) {
+  std::vector<bool> mask;
+  mask.reserve(records.size());
+  for (const auto& r : records) {
+    mask.push_back(apply_cascade(r, thresholds) == FilteredAt::kNone);
+  }
+  return mask;
+}
+
+}  // namespace ffsva::core

@@ -1,0 +1,84 @@
+// Frame traces: per-frame measurements of every filter in the cascade.
+//
+// The sensitivity experiments (Figures 7-8, Table 2) sweep *thresholds* —
+// FilterDegree, NumberofObjects, delta_diff — over a fixed set of frames.
+// Recording the raw per-frame quantities once (SDD distance, SNM score,
+// T-YOLO count, reference count) makes every sweep point a pure threshold
+// evaluation, so a 5000-frame sweep costs one pass of real inference
+// instead of one per sweep point. The recorded quantities are exactly what
+// the real pipeline computes; apply_cascade() reproduces its gating logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/specialize.hpp"
+#include "video/scene.hpp"
+
+namespace ffsva::core {
+
+struct FrameRecord {
+  std::int64_t index = 0;
+  bool gt_target = false;      ///< Ground truth: any target visible.
+  int gt_count = 0;            ///< Ground truth target count.
+  double sdd_distance = 0.0;   ///< SDD distance to the reference background.
+  double snm_score = 0.0;      ///< SNM predicted probability c.
+  int tyolo_count = 0;         ///< T-YOLO target count.
+  int ref_count = 0;           ///< Reference-model target count.
+  bool ref_positive = false;   ///< ref_count >= 1 (the accuracy oracle).
+};
+
+/// Thresholds actually applied by the cascade at one operating point.
+struct CascadeThresholds {
+  double sdd_delta = 0.0;
+  double t_pre = 0.0;
+  int number_of_objects = 1;
+};
+
+enum class FilteredAt : std::uint8_t { kNone = 0, kSdd = 1, kSnm = 2, kTyolo = 3 };
+
+/// Which stage (if any) filters this frame at the given thresholds.
+inline FilteredAt apply_cascade(const FrameRecord& r, const CascadeThresholds& t) {
+  if (!(r.sdd_distance > t.sdd_delta)) return FilteredAt::kSdd;
+  if (!(r.snm_score >= t.t_pre)) return FilteredAt::kSnm;
+  if (r.tyolo_count < t.number_of_objects) return FilteredAt::kTyolo;
+  return FilteredAt::kNone;
+}
+
+/// Thresholds the given models are currently configured with.
+CascadeThresholds thresholds_of(const detect::StreamModels& models,
+                                int number_of_objects);
+
+/// Run every filter on frames [begin, end) of the simulator.
+std::vector<FrameRecord> record_trace(const video::SceneSimulator& sim,
+                                      const detect::StreamModels& models,
+                                      std::int64_t begin, std::int64_t end);
+
+/// Same, over already-rendered frames.
+std::vector<FrameRecord> record_trace(const std::vector<video::Frame>& frames,
+                                      const detect::StreamModels& models);
+
+/// Aggregate cascade behaviour at one operating point.
+struct TraceStats {
+  std::int64_t total = 0;
+  std::int64_t sdd_pass = 0;    ///< Frames surviving SDD.
+  std::int64_t snm_pass = 0;    ///< Frames surviving SDD+SNM.
+  std::int64_t output = 0;      ///< Frames surviving the whole cascade.
+  std::int64_t ref_positive = 0;
+  std::int64_t false_negative = 0;  ///< ref-positive but filtered.
+  double error_rate = 0.0;          ///< false_negative / total (Sec. 3.3).
+  double output_rate = 0.0;         ///< output / total.
+};
+
+TraceStats evaluate_trace(const std::vector<FrameRecord>& records,
+                          const CascadeThresholds& thresholds);
+
+/// Per-frame false-negative mask at one operating point (for run analysis).
+std::vector<bool> false_negative_mask(const std::vector<FrameRecord>& records,
+                                      const CascadeThresholds& thresholds);
+
+/// Per-frame pass mask.
+std::vector<bool> pass_mask(const std::vector<FrameRecord>& records,
+                            const CascadeThresholds& thresholds);
+
+}  // namespace ffsva::core

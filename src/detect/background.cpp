@@ -1,0 +1,36 @@
+#include "detect/background.hpp"
+
+#include <algorithm>
+
+namespace ffsva::detect {
+
+void BackgroundEstimator::add(const image::Image& frame) {
+  ++offers_;
+  if (static_cast<int>(samples_.size()) < max_samples_) {
+    samples_.push_back(frame);
+    return;
+  }
+  // Replace with stride so samples stay spread over the whole window:
+  // keep roughly every (offers/max_samples)-th frame.
+  const std::size_t stride = std::max<std::size_t>(1, offers_ / samples_.size());
+  if (offers_ % stride == 0) {
+    samples_[(offers_ / stride) % samples_.size()] = frame;
+  }
+}
+
+image::Image BackgroundEstimator::estimate() const {
+  if (samples_.empty()) return {};
+  const auto& first = samples_.front();
+  image::Image out(first.width(), first.height(), first.channels());
+  const std::size_t n = first.size_bytes();
+  std::vector<std::uint8_t> vals(samples_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < samples_.size(); ++s) vals[s] = samples_[s].data()[i];
+    auto mid = vals.begin() + static_cast<std::ptrdiff_t>(vals.size() / 2);
+    std::nth_element(vals.begin(), mid, vals.end());
+    out.data()[i] = *mid;
+  }
+  return out;
+}
+
+}  // namespace ffsva::detect

@@ -1,0 +1,38 @@
+// Background estimation for a fixed-viewpoint stream.
+//
+// The SDD's reference image is "usually computed as the average of dozens of
+// background frames" (Section 3.2.1). A plain mean is corrupted by whatever
+// moves through the calibration window, so we use the standard robust
+// alternative: a per-pixel temporal median over frames sampled across the
+// window. Transient objects occupy a minority of samples per pixel and drop
+// out of the median.
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace ffsva::detect {
+
+class BackgroundEstimator {
+ public:
+  /// `max_samples`: number of frames kept for the median (memory bound).
+  explicit BackgroundEstimator(int max_samples = 25) : max_samples_(max_samples) {}
+
+  /// Offer a frame; frames after the first must share its shape. Keeps every
+  /// k-th offer once the buffer is full (reservoir-free striding).
+  void add(const image::Image& frame);
+
+  /// Per-pixel median of the collected samples. Empty if none collected.
+  image::Image estimate() const;
+
+  int sample_count() const { return static_cast<int>(samples_.size()); }
+  bool ready() const { return !samples_.empty(); }
+
+ private:
+  int max_samples_;
+  std::size_t offers_ = 0;
+  std::vector<image::Image> samples_;
+};
+
+}  // namespace ffsva::detect

@@ -1,0 +1,62 @@
+// Calibrated execution-cost models for the four pipeline models.
+//
+// The paper reports, on dual Xeon E5-2683v3 + 2x GTX1080:
+//
+//   SDD     ~100K FPS at 100x100 (CPU), resize 40 us   -> ~20K FPS effective
+//   SNM     ~5K FPS at 50x50 (GPU), resize 150 us      -> ~2K FPS effective
+//   T-YOLO  ~220 FPS at 416x416 (GPU), resize 400 us   -> ~200 FPS effective
+//   YOLOv2  ~56-67 FPS (GPU); one GTX-class GPU sustains two 30-FPS streams
+//   SNM model ~200 KB, T-YOLO ~1.2 GB (switch overhead motivates sharing)
+//
+// (Sections 3.2, 4.1 and the Figure 5 caption.) The discrete-event
+// simulator charges these costs; the pipeline logic it exercises is the
+// production code. A batch of n frames on a GPU model costs
+//
+//     switch (if the executing model changed) + setup + n * per_frame
+//
+// which yields the static-batch throughput growth and the dynamic-batch
+// latency flatness of Figures 9-10.
+#pragma once
+
+namespace ffsva::detect {
+
+struct ModelCost {
+  double switch_ms = 0.0;       ///< Charged when the device's loaded model changes.
+  double setup_us = 0.0;        ///< Per-batch dispatch overhead.
+  double per_frame_us = 0.0;    ///< Marginal per-frame inference time.
+  double resize_us = 0.0;       ///< CPU-side resize before this model.
+
+  double batch_us(int n) const { return setup_us + per_frame_us * n; }
+};
+
+namespace calibrated {
+
+/// SDD on a CPU core: 100K FPS kernel + 40 us resize (~20K FPS end-to-end).
+inline ModelCost sdd() { return {0.0, 0.0, 10.0, 40.0}; }
+
+/// SNM on GPU0: 200 us/frame, 150 us resize; ~2 ms weight upload when the
+/// device switches between different streams' SNMs (~200 KB each) — the
+/// cost dynamic batching amortizes.
+inline ModelCost snm() { return {2.0, 100.0, 200.0, 150.0}; }
+
+/// T-YOLO on GPU0, shared by all streams: 220 FPS, 400 us resize. Its
+/// 1.2 GB of weights are loaded *once* and stay resident — that residency
+/// is one of the two stated reasons for sharing one T-YOLO across streams
+/// (Section 3.2.3; re-loading 1.2 GB per stream would cost ~85 ms each
+/// time). The recurring switch cost here is only the context/activation
+/// cost of alternating with SNM executions on the same GPU.
+inline ModelCost tyolo() { return {2.5, 300.0, 4545.0, 400.0}; }
+
+/// Full YOLOv2 on GPU1 (~56 FPS effective in the paper's pipeline).
+inline ModelCost yolov2() { return {120.0, 500.0, 15500.0, 400.0}; }
+
+/// Stored-video decode cost per frame on a CPU core. This is what caps the
+/// offline single-stream throughput near the paper's 404 FPS.
+inline double decode_us_per_frame() { return 2200.0; }
+
+/// Live-capture ingest cost per frame (negligible next to decode).
+inline double capture_us_per_frame() { return 120.0; }
+
+}  // namespace calibrated
+
+}  // namespace ffsva::detect

@@ -1,0 +1,58 @@
+// Detection results shared by all detectors in the cascade.
+#pragma once
+
+#include <vector>
+
+#include "image/geometry.hpp"
+#include "video/frame.hpp"
+
+namespace ffsva::detect {
+
+struct Detection {
+  video::ObjectClass cls = video::ObjectClass::kCar;
+  image::Box box;
+  double confidence = 0.0;
+  /// Estimated object count inside this box. A segmentation-based detector
+  /// cannot always separate touching objects (a crowd is one blob); it can
+  /// still estimate how many instances the blob carries from its mass —
+  /// the analogue of several YOLO grid cells firing across one wide object.
+  int instances = 1;
+  /// Foreground mass of the underlying blob (detector-resolution pixels).
+  int pixels = 0;
+};
+
+struct DetectionResult {
+  std::vector<Detection> detections;
+
+  /// Number of objects of `cls` detected with confidence >= min_conf
+  /// (T-YOLO uses min_conf = 0.2, paper Section 3.2.3).
+  int count(video::ObjectClass cls, double min_conf = 0.2) const {
+    int n = 0;
+    for (const auto& d : detections) {
+      if (d.cls == cls && d.confidence >= min_conf) n += d.instances;
+    }
+    return n;
+  }
+
+  bool any(video::ObjectClass cls, double min_conf = 0.2) const {
+    return count(cls, min_conf) > 0;
+  }
+
+  /// Target-group count, mirroring GroundTruth::count_target: a "car"
+  /// target counts the whole vehicle group (car + bus) so that car/bus
+  /// boundary disagreements between detectors of different fidelity do not
+  /// masquerade as missed objects.
+  int count_target(video::ObjectClass target, double min_conf = 0.2) const {
+    int n = count(target, min_conf);
+    if (target == video::ObjectClass::kCar) {
+      n += count(video::ObjectClass::kBus, min_conf);
+    }
+    return n;
+  }
+
+  bool any_target(video::ObjectClass target, double min_conf = 0.2) const {
+    return count_target(target, min_conf) > 0;
+  }
+};
+
+}  // namespace ffsva::detect

@@ -1,0 +1,238 @@
+#include "detect/multi_snm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "image/ops.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+namespace ffsva::detect {
+
+namespace {
+int conv_out(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/// Multi-label BCE-with-logits over [N, C] logits; grad scaled by 1/(N*C).
+double multilabel_bce(const nn::Tensor& logits,
+                      const std::vector<std::vector<float>>& targets,
+                      nn::Tensor& grad) {
+  const int n = logits.n(), c = logits.c();
+  grad = nn::Tensor::zeros_like(logits);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < c; ++k) {
+      const double z = logits.at(i, k, 0, 0);
+      const double y = targets[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+      const double log1pez =
+          z > 0 ? z + std::log1p(std::exp(-z)) : std::log1p(std::exp(z));
+      loss += log1pez - y * z;
+      grad.at(i, k, 0, 0) = static_cast<float>((nn::sigmoid(z) - y) / (n * c));
+    }
+  }
+  return loss / (n * c);
+}
+}  // namespace
+
+MultiSnmFilter::MultiSnmFilter(MultiSnmConfig config,
+                               std::vector<video::ObjectClass> targets,
+                               const image::Image& background, std::uint64_t seed)
+    : config_(config), targets_(std::move(targets)),
+      background_small_(image::resize_bilinear(background, config.input_size,
+                                               config.input_size)) {
+  if (targets_.empty()) {
+    throw std::invalid_argument("MultiSnmFilter: need at least one target class");
+  }
+  runtime::Xoshiro256 rng(seed);
+  const int s1 = conv_out(config_.input_size, 3, 2, 1);
+  const int s2 = conv_out(s1, 3, 2, 1);
+  const int fc_in = config_.conv2_filters * s2 * s2;
+  net_ = std::make_unique<nn::Sequential>();
+  net_->add(std::make_unique<nn::Conv2d>(1, config_.conv1_filters, 3, 2, 1, rng))
+      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::Conv2d>(config_.conv1_filters, config_.conv2_filters,
+                                        3, 2, 1, rng))
+      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::Linear>(fc_in, num_targets(), rng));
+  c_low_.assign(targets_.size(), 0.3);
+  c_high_.assign(targets_.size(), 0.7);
+}
+
+nn::Tensor MultiSnmFilter::preprocess_batch(
+    const std::vector<const image::Image*>& frames) const {
+  const int s = config_.input_size;
+  const int channels = background_small_.channels();
+  nn::Tensor x(static_cast<int>(frames.size()), 1, s, s);
+  for (std::size_t n = 0; n < frames.size(); ++n) {
+    const image::Image small = image::resize_bilinear(*frames[n], s, s);
+    for (int y = 0; y < s; ++y) {
+      for (int xpx = 0; xpx < s; ++xpx) {
+        int d = 0;
+        for (int c = 0; c < channels; ++c) {
+          d = std::max(d, std::abs(static_cast<int>(small.at(xpx, y, c)) -
+                                   static_cast<int>(background_small_.at(xpx, y, c))));
+        }
+        x.at(static_cast<int>(n), 0, y, xpx) = static_cast<float>(d) / 255.0f;
+      }
+    }
+  }
+  return x;
+}
+
+nn::Tensor MultiSnmFilter::augment(const nn::Tensor& base,
+                                   runtime::Xoshiro256& rng) const {
+  const int s = config_.input_size;
+  nn::Tensor out(base.n(), 1, s, s);
+  const double c = (s - 1) * 0.5;
+  for (int n = 0; n < base.n(); ++n) {
+    const int dx = static_cast<int>(rng.range(-config_.augment_shift,
+                                              config_.augment_shift));
+    const int dy = static_cast<int>(rng.range(-config_.augment_shift,
+                                              config_.augment_shift));
+    const bool flip = config_.augment_flip && rng.chance(0.5);
+    const double scale =
+        1.0 + rng.uniform(-config_.augment_scale, config_.augment_scale);
+    for (int y = 0; y < s; ++y) {
+      const int sy = static_cast<int>(std::lround((y - dy - c) / scale + c));
+      for (int x = 0; x < s; ++x) {
+        int sx = static_cast<int>(std::lround((x - dx - c) / scale + c));
+        if (flip) sx = s - 1 - sx;
+        out.at(n, 0, y, x) = (sx >= 0 && sx < s && sy >= 0 && sy < s)
+                                 ? base.at(n, 0, sy, sx)
+                                 : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> MultiSnmFilter::predict(const image::Image& frame) const {
+  std::vector<const image::Image*> one{&frame};
+  const nn::Tensor logits = net_->forward(preprocess_batch(one), false);
+  std::vector<double> out(targets_.size());
+  for (int k = 0; k < num_targets(); ++k) out[static_cast<std::size_t>(k)] =
+      nn::sigmoid(logits.at(0, k, 0, 0));
+  return out;
+}
+
+double MultiSnmFilter::t_pre(int k) const {
+  const auto i = static_cast<std::size_t>(k);
+  return (c_high_[i] - c_low_[i]) * config_.filter_degree + c_low_[i];
+}
+
+bool MultiSnmFilter::pass(const image::Image& frame) const {
+  const auto scores = predict(frame);
+  for (int k = 0; k < num_targets(); ++k) {
+    if (scores[static_cast<std::size_t>(k)] >= t_pre(k)) return true;
+  }
+  return false;
+}
+
+void MultiSnmFilter::set_filter_degree(double fd) {
+  config_.filter_degree = std::clamp(fd, 0.0, 1.0);
+}
+
+MultiSnmReport MultiSnmFilter::train(const std::vector<video::Frame>& frames,
+                                     const std::vector<std::vector<bool>>& labels,
+                                     double val_fraction) {
+  if (frames.size() != labels.size() || frames.empty()) {
+    throw std::invalid_argument("MultiSnmFilter::train: bad inputs");
+  }
+  for (const auto& l : labels) {
+    if (static_cast<int>(l.size()) != num_targets()) {
+      throw std::invalid_argument("MultiSnmFilter::train: label arity mismatch");
+    }
+  }
+  MultiSnmReport report;
+
+  runtime::Xoshiro256 rng(0x5151u + frames.size());
+  std::vector<std::size_t> order(frames.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  const auto val_count = static_cast<std::size_t>(val_fraction *
+                                                  static_cast<double>(order.size()));
+  const std::size_t train_count = order.size() - val_count;
+
+  nn::Sgd optimizer(net_->params(), {config_.lr, 0.9, 1e-4});
+  double lr = config_.lr;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t i = train_count; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (std::size_t start = 0; start < train_count;
+         start += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t end =
+          std::min(train_count, start + static_cast<std::size_t>(config_.batch_size));
+      std::vector<const image::Image*> imgs;
+      std::vector<std::vector<float>> ys;
+      for (std::size_t i = start; i < end; ++i) {
+        imgs.push_back(&frames[order[i]].image);
+        std::vector<float> y(static_cast<std::size_t>(num_targets()));
+        for (int k = 0; k < num_targets(); ++k) {
+          y[static_cast<std::size_t>(k)] =
+              labels[order[i]][static_cast<std::size_t>(k)] ? 1.0f : 0.0f;
+        }
+        ys.push_back(std::move(y));
+      }
+      const nn::Tensor x = augment(preprocess_batch(imgs), rng);
+      const nn::Tensor logits = net_->forward(x, true);
+      nn::Tensor grad;
+      epoch_loss += multilabel_bce(logits, ys, grad);
+      ++batches;
+      net_->backward(grad);
+      optimizer.step();
+    }
+    report.final_loss = batches ? epoch_loss / batches : 0.0;
+    lr *= config_.lr_decay;
+    optimizer.set_lr(lr);
+  }
+
+  // Per-class validation accuracy + threshold selection.
+  report.val_accuracy.assign(targets_.size(), 0.0);
+  std::vector<std::vector<double>> pos(targets_.size()), neg(targets_.size());
+  std::vector<int> correct(targets_.size(), 0);
+  int total = 0;
+  for (std::size_t i = train_count; i < order.size(); ++i) {
+    const auto scores = predict(frames[order[i]].image);
+    ++total;
+    for (int k = 0; k < num_targets(); ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      const bool truth = labels[order[i]][ks];
+      (truth ? pos[ks] : neg[ks]).push_back(scores[ks]);
+      if ((scores[ks] >= 0.5) == truth) ++correct[ks];
+    }
+  }
+  for (int k = 0; k < num_targets(); ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    report.val_accuracy[ks] = total ? static_cast<double>(correct[ks]) / total : 0.0;
+    if (!pos[ks].empty() && !neg[ks].empty()) {
+      std::sort(pos[ks].begin(), pos[ks].end());
+      std::sort(neg[ks].begin(), neg[ks].end());
+      const auto lo = static_cast<std::size_t>(config_.threshold_tail *
+                                               static_cast<double>(pos[ks].size()));
+      double c_low = pos[ks][std::min(lo, pos[ks].size() - 1)] * config_.c_low_relax;
+      const auto hi = static_cast<std::size_t>((1.0 - config_.threshold_tail) *
+                                               static_cast<double>(neg[ks].size()));
+      double c_high = neg[ks][std::min(hi, neg[ks].size() - 1)];
+      if (c_low > c_high) {
+        const double mid = 0.5 * (c_low + c_high);
+        c_low = std::max(0.02, mid - 0.1);
+        c_high = std::min(0.98, mid + 0.1);
+      }
+      c_low_[ks] = c_low;
+      c_high_[ks] = c_high;
+    }
+  }
+  report.c_low = c_low_;
+  report.c_high = c_high_;
+  return report;
+}
+
+}  // namespace ffsva::detect

@@ -1,0 +1,86 @@
+// Multi-target SNM (paper Section 5.5, "Single Target Object"):
+//
+//   "In this paper, we assume that there is only one user-interested
+//    target object for each video stream. If multiple target objects exist
+//    in a video stream, the structure of the specialized network model
+//    only needs to be changed to support the identification of all the
+//    target objects in the video."
+//
+// MultiSnmFilter is that changed structure: the same CONV-CONV-FC trunk
+// with one sigmoid head per target class (multi-label), trained with
+// per-class BCE on reference-model labels. A frame passes if ANY class the
+// user subscribed to clears its own t_pre.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "image/image.hpp"
+#include "nn/layers.hpp"
+#include "video/frame.hpp"
+
+namespace ffsva::detect {
+
+struct MultiSnmConfig {
+  int input_size = 50;
+  int conv1_filters = 8;
+  int conv2_filters = 16;
+  double filter_degree = 0.5;
+  double threshold_tail = 0.02;
+  double c_low_relax = 0.75;
+  int epochs = 10;
+  int batch_size = 16;
+  double lr = 0.02;
+  double lr_decay = 0.85;
+  int augment_shift = 4;
+  bool augment_flip = true;
+  double augment_scale = 0.30;
+};
+
+struct MultiSnmReport {
+  double final_loss = 0.0;
+  std::vector<double> val_accuracy;  ///< Per class.
+  std::vector<double> c_low;
+  std::vector<double> c_high;
+};
+
+class MultiSnmFilter {
+ public:
+  MultiSnmFilter(MultiSnmConfig config, std::vector<video::ObjectClass> targets,
+                 const image::Image& background, std::uint64_t seed);
+
+  int num_targets() const { return static_cast<int>(targets_.size()); }
+  const std::vector<video::ObjectClass>& targets() const { return targets_; }
+
+  /// Per-class probabilities, ordered as `targets()`.
+  std::vector<double> predict(const image::Image& frame) const;
+
+  /// Per-class t_pre (Section 4.2.1 formula applied per head).
+  double t_pre(int target_index) const;
+
+  /// A frame passes if any subscribed class clears its threshold.
+  bool pass(const image::Image& frame) const;
+
+  /// Train on frames with per-class labels: labels[i][k] is whether frame i
+  /// contains class k (from the reference model). Thresholds selected per
+  /// class on the held-out split.
+  MultiSnmReport train(const std::vector<video::Frame>& frames,
+                       const std::vector<std::vector<bool>>& labels,
+                       double val_fraction = 0.25);
+
+  void set_filter_degree(double fd);
+
+ private:
+  nn::Tensor preprocess_batch(const std::vector<const image::Image*>& frames) const;
+  nn::Tensor augment(const nn::Tensor& base, runtime::Xoshiro256& rng) const;
+
+  MultiSnmConfig config_;
+  std::vector<video::ObjectClass> targets_;
+  image::Image background_small_;
+  mutable std::unique_ptr<nn::Sequential> net_;
+  std::vector<double> c_low_;
+  std::vector<double> c_high_;
+};
+
+}  // namespace ffsva::detect

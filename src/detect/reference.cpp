@@ -1,0 +1,17 @@
+#include "detect/reference.hpp"
+
+namespace ffsva::detect {
+
+DetectionResult ReferenceDetector::detect(const image::Image& frame) const {
+  DetectionResult out;
+  const auto comps = foreground_components(frame, background_, config_.segmentation);
+  out.detections.reserve(comps.size());
+  for (const auto& c : comps) {
+    out.detections.push_back(classify_component(
+        c, frame.width(), frame.height(), config_.segmentation.min_pixels,
+        config_.classifier));
+  }
+  return out;
+}
+
+}  // namespace ffsva::detect

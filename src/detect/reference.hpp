@@ -1,0 +1,43 @@
+// Reference model — the stand-in for full-feature YOLOv2 (Section 3.1.1).
+//
+// Detects at the frame's native resolution with fine segmentation. In the
+// paper this is the expensive, high-accuracy back end whose output defines
+// correctness ("all the filtered frames by FFS-VA are completely detected by
+// the reference model YOLOv2", Section 5.3); we use it the same way — both
+// as the last pipeline stage and as the labeling oracle when specializing
+// SDD/SNM for a stream (Section 4.1).
+#pragma once
+
+#include "detect/detection.hpp"
+#include "detect/segmentation.hpp"
+#include "image/image.hpp"
+
+namespace ffsva::detect {
+
+struct ReferenceConfig {
+  SegmentationParams segmentation{/*blur_sigma=*/1.0, /*diff_threshold=*/24,
+                                  /*min_pixels=*/36, /*morph_open=*/true};
+  ClassifierParams classifier{.car_min_area = 110.0};
+  /// Detection-confidence threshold when the reference model's output is
+  /// used as truth (labeling and accuracy evaluation). YOLOv2's standard
+  /// operating threshold; low-confidence sliver detections below it do not
+  /// count as objects.
+  double confidence_threshold = 0.45;
+};
+
+class ReferenceDetector {
+ public:
+  ReferenceDetector(ReferenceConfig config, image::Image background)
+      : config_(config), background_(std::move(background)) {}
+
+  DetectionResult detect(const image::Image& frame) const;
+
+  const image::Image& background() const { return background_; }
+  const ReferenceConfig& config() const { return config_; }
+
+ private:
+  ReferenceConfig config_;
+  image::Image background_;
+};
+
+}  // namespace ffsva::detect

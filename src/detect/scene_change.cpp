@@ -1,0 +1,49 @@
+#include "detect/scene_change.hpp"
+
+namespace ffsva::detect {
+
+SceneChangeMonitor::SceneChangeMonitor(SceneChangeConfig config,
+                                       double background_level)
+    : config_(config), background_level_(background_level) {}
+
+double SceneChangeMonitor::floor() const {
+  return mono_min_.empty() ? 0.0 : mono_min_.front().value;
+}
+
+bool SceneChangeMonitor::observe(double sdd_distance) {
+  const std::int64_t index = frame_count_++;
+  // Monotonic min-queue update.
+  while (!mono_min_.empty() && mono_min_.back().value >= sdd_distance) {
+    mono_min_.pop_back();
+  }
+  mono_min_.push_back({index, sdd_distance});
+  while (!mono_min_.empty() &&
+         mono_min_.front().index <= index - config_.window_frames) {
+    mono_min_.pop_front();
+  }
+
+  // Only meaningful once the window has filled: before that, the "floor"
+  // may simply not have seen a background frame yet.
+  const bool window_full = frame_count_ >= config_.window_frames;
+  if (window_full && floor() > threshold()) {
+    ++elevated_;
+  } else {
+    elevated_ = 0;
+  }
+
+  if (!triggered_ && elevated_ >= config_.confirm_frames) {
+    triggered_ = true;
+    return true;
+  }
+  return false;
+}
+
+void SceneChangeMonitor::reset(double background_level) {
+  background_level_ = background_level;
+  frame_count_ = 0;
+  mono_min_.clear();
+  elevated_ = 0;
+  triggered_ = false;
+}
+
+}  // namespace ffsva::detect

@@ -1,0 +1,76 @@
+// Scene-change monitoring (paper Section 5.5, "Scene Switch"):
+//
+//   "when the scene changes dramatically or the function and position of
+//    the camera have changed, the previous specialized models will no
+//    longer work. If there are no saved models in the past that can match
+//    the current environment, a new network model needs to be trained
+//    according to the new scene."
+//
+// The monitor watches the SDD distance stream, which the pipeline computes
+// anyway. A *content* event (object passing) is a transient spike; a
+// *scene switch* (camera bumped, repointed, lens blocked) is a sustained
+// shift of the distance floor: the rolling minimum over the window never
+// returns to the calibrated background level. When that persists for
+// `confirm_frames`, the monitor fires and the owner should re-specialize
+// (or recall a saved model whose background matches the new scene).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace ffsva::detect {
+
+struct SceneChangeConfig {
+  /// Multiple of the calibrated background-distance level above which the
+  /// rolling floor indicates the old background no longer occurs.
+  double floor_factor = 4.0;
+  /// Absolute floor offset, so a near-zero calibration level still leaves
+  /// headroom for noise.
+  double floor_offset = 8.0;
+  /// Sliding window over which the minimum distance (the "floor") is taken.
+  /// Must exceed the longest plausible single scene, or a busy period
+  /// would look like a scene switch.
+  int window_frames = 600;
+  /// The floor must stay elevated this long before the monitor fires.
+  int confirm_frames = 300;
+};
+
+class SceneChangeMonitor {
+ public:
+  /// `background_level`: typical SDD distance of a background frame under
+  /// the current models (e.g. the calibrated delta_diff, or a measured
+  /// background-frame quantile).
+  SceneChangeMonitor(SceneChangeConfig config, double background_level);
+
+  /// Feed the SDD distance of the next frame; returns true exactly once
+  /// per detected scene switch (re-arms after reset()).
+  bool observe(double sdd_distance);
+
+  /// Current rolling floor (min distance in the window); 0 before any data.
+  double floor() const;
+
+  bool triggered() const { return triggered_; }
+  std::int64_t frames_elevated() const { return elevated_; }
+
+  /// After re-specialization, restart monitoring against the new level.
+  void reset(double background_level);
+
+ private:
+  double threshold() const {
+    return background_level_ * config_.floor_factor + config_.floor_offset;
+  }
+
+  struct Sample {
+    std::int64_t index;
+    double value;
+  };
+
+  SceneChangeConfig config_;
+  double background_level_;
+  std::int64_t frame_count_ = 0;
+  std::deque<Sample> mono_min_;  ///< Monotonic deque: front = window minimum.
+  std::int64_t elevated_ = 0;
+  bool triggered_ = false;
+};
+
+}  // namespace ffsva::detect

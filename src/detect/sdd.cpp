@@ -1,0 +1,133 @@
+#include "detect/sdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "image/ops.hpp"
+
+namespace ffsva::detect {
+
+const char* to_string(SddMetric m) {
+  switch (m) {
+    case SddMetric::kMse: return "MSE";
+    case SddMetric::kNrmse: return "NRMSE";
+    case SddMetric::kSad: return "SAD";
+  }
+  return "?";
+}
+
+SddFilter::SddFilter(SddConfig config, const image::Image& reference_background)
+    : config_(config),
+      // Keep color: a chromatic object (a red car on gray asphalt) can be
+      // luma-neutral and invisible to a grayscale difference.
+      reference_(
+          image::resize_bilinear(reference_background, config.width, config.height)) {
+  if (reference_.empty()) {
+    throw std::invalid_argument("SddFilter: empty reference background");
+  }
+}
+
+double SddFilter::distance(const image::Image& frame) const {
+  image::Image small = image::resize_bilinear(frame, config_.width, config_.height);
+  if (small.channels() != reference_.channels()) {
+    // Mixed gray/color inputs: fall back to luma on both sides.
+    small = image::to_gray(small);
+    const image::Image ref_gray = image::to_gray(reference_);
+    switch (config_.metric) {
+      case SddMetric::kMse: return image::mse(small, ref_gray);
+      case SddMetric::kNrmse: return image::nrmse(small, ref_gray);
+      case SddMetric::kSad: return image::sad(small, ref_gray);
+    }
+  }
+  if (!config_.gain_compensate) {
+    switch (config_.metric) {
+      case SddMetric::kMse: return image::mse(small, reference_);
+      case SddMetric::kNrmse: return image::nrmse(small, reference_);
+      case SddMetric::kSad: return image::sad(small, reference_);
+    }
+    return 0.0;
+  }
+  // Gain-compensated distance: remove the per-channel mean frame-vs-
+  // reference offset (global illumination / white balance) and measure
+  // what is left (local content change).
+  const std::uint8_t* a = small.data();
+  const std::uint8_t* b = reference_.data();
+  const std::size_t n = small.size_bytes();
+  const int channels = small.channels();
+  double mean[3] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    mean[i % static_cast<std::size_t>(channels)] +=
+        static_cast<double>(a[i]) - static_cast<double>(b[i]);
+  }
+  const double per_channel = static_cast<double>(n) / channels;
+  for (int c = 0; c < channels; ++c) mean[c] /= per_channel;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]) -
+                     mean[i % static_cast<std::size_t>(channels)];
+    acc += config_.metric == SddMetric::kSad ? std::abs(d) : d * d;
+  }
+  acc /= static_cast<double>(n);
+  switch (config_.metric) {
+    case SddMetric::kMse: return acc;
+    case SddMetric::kNrmse: return std::sqrt(acc) / 255.0;
+    case SddMetric::kSad: return acc;
+  }
+  return 0.0;
+}
+
+double SddFilter::calibrate(const std::vector<double>& distances,
+                            const std::vector<bool>& is_target) {
+  if (distances.size() != is_target.size() || distances.empty()) {
+    throw std::invalid_argument("SddFilter::calibrate: bad inputs");
+  }
+  std::vector<double> target_d;
+  std::vector<double> bg_d;
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    (is_target[i] ? target_d : bg_d).push_back(distances[i]);
+  }
+  if (target_d.empty()) {
+    // No targets in the calibration window: be conservative, pass almost
+    // everything above the noise floor of the observed distances.
+    std::vector<double> all = distances;
+    std::sort(all.begin(), all.end());
+    config_.delta_diff = all[all.size() / 2] * 1.5;
+    return config_.delta_diff;
+  }
+  std::sort(target_d.begin(), target_d.end());
+  // Largest threshold keeping FN rate within budget: the fn_budget-quantile
+  // of target distances (frames below the threshold would be missed).
+  const auto idx = static_cast<std::size_t>(config_.fn_budget *
+                                            static_cast<double>(target_d.size()));
+  const double quantile = target_d[std::min(idx, target_d.size() - 1)];
+  // Relaxed filtering: sit slightly below the selected threshold.
+  double delta = quantile * config_.relax_factor;
+  // ...and never above the background-anchored bound: beyond it we would be
+  // betting that no future target frame is weaker than the weakest one the
+  // calibration window happened to contain.
+  if (!bg_d.empty()) {
+    std::sort(bg_d.begin(), bg_d.end());
+    const auto bg_idx = static_cast<std::size_t>(config_.bg_quantile *
+                                                 static_cast<double>(bg_d.size() - 1));
+    const double bg_bound = bg_d[bg_idx] * config_.bg_margin;
+    delta = std::min(delta, std::max(bg_bound, 1e-9));
+  }
+  config_.delta_diff = delta;
+  return config_.delta_diff;
+}
+
+double SddFilter::calibrate_on(const std::vector<video::Frame>& frames,
+                               video::ObjectClass target) {
+  std::vector<double> d;
+  std::vector<bool> label;
+  d.reserve(frames.size());
+  label.reserve(frames.size());
+  for (const auto& f : frames) {
+    d.push_back(distance(f.image));
+    label.push_back(f.gt.any_target(target));
+  }
+  return calibrate(d, label);
+}
+
+}  // namespace ffsva::detect

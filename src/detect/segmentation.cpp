@@ -1,0 +1,80 @@
+#include "detect/segmentation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "image/ops.hpp"
+
+namespace ffsva::detect {
+
+image::Image motion_map(const image::Image& frame, const image::Image& background) {
+  if (!frame.same_shape(background)) {
+    throw std::invalid_argument("motion_map: frame/background shape mismatch");
+  }
+  image::Image out(frame.width(), frame.height(), 1);
+  const std::uint8_t* a = frame.data();
+  const std::uint8_t* b = background.data();
+  std::uint8_t* o = out.data();
+  const std::size_t n = static_cast<std::size_t>(frame.width()) * frame.height();
+  const int c = frame.channels();
+  for (std::size_t i = 0; i < n; ++i) {
+    int best = 0;
+    for (int ch = 0; ch < c; ++ch) {
+      best = std::max(best, std::abs(static_cast<int>(a[i * c + ch]) -
+                                     static_cast<int>(b[i * c + ch])));
+    }
+    o[i] = static_cast<std::uint8_t>(best);
+  }
+  return out;
+}
+
+std::vector<image::Component> foreground_components(const image::Image& frame,
+                                                    const image::Image& background,
+                                                    const SegmentationParams& params) {
+  image::Image diff = motion_map(frame, background);
+  if (params.blur_sigma > 0.0) diff = image::gaussian_blur(diff, params.blur_sigma);
+  image::Image mask = image::threshold(diff, params.diff_threshold);
+  if (params.morph_open) mask = image::dilate3x3(image::erode3x3(mask));
+  return image::connected_components(mask, params.min_pixels);
+}
+
+Detection classify_component(const image::Component& comp, int frame_w, int frame_h,
+                             int min_pixels, const ClassifierParams& params) {
+  (void)frame_h;
+  Detection d;
+  d.box = comp.box;
+  d.pixels = comp.pixel_count;
+  const double w = comp.box.width();
+  const double h = std::max(1, comp.box.height());
+  const double aspect = w / h;
+  const bool person_shape =
+      aspect <= 0.95 ||
+      (aspect <= params.person_max_aspect &&
+       (params.person_wide_min_area <= 0.0 ||
+        comp.pixel_count >= params.person_wide_min_area));
+  if (person_shape) {
+    d.cls = video::ObjectClass::kPerson;
+    if (params.person_split_area > 0.0) {
+      d.instances = std::clamp(
+          static_cast<int>(std::lround(comp.pixel_count / params.person_split_area)), 1,
+          params.max_instances_per_blob);
+    }
+  } else if (w >= params.bus_min_width_frac * frame_w) {
+    d.cls = video::ObjectClass::kBus;
+  } else {
+    d.cls = video::ObjectClass::kCar;
+  }
+  // Confidence saturates once the blob carries twice the minimum mass; a
+  // blob scraping the floor gets ~0.5.
+  d.confidence = std::clamp(
+      0.4 + 0.6 * static_cast<double>(comp.pixel_count) / (2.0 * min_pixels), 0.0, 1.0);
+  if (d.cls != video::ObjectClass::kPerson && params.car_min_area > 0.0 &&
+      comp.pixel_count < params.car_min_area) {
+    const double plaus = comp.pixel_count / params.car_min_area;
+    d.confidence *= plaus * plaus;
+  }
+  return d;
+}
+
+}  // namespace ffsva::detect

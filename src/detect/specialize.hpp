@@ -1,0 +1,57 @@
+// Stream specialization — the paper's Section 4.1 procedure:
+//
+//   "For each video stream, we first label its video frames by using
+//    YOLOv2. These labeled data are divided into two subsets as a training
+//    dataset and a test dataset. The former is used to train the SDD and
+//    the SNM for each video stream and the latter is used to select a set
+//    of suitable thresholds for delta_diff, c_low, and c_high."
+//
+// specialize_stream() takes a calibration window of frames from one camera
+// and produces the full per-stream model bundle: estimated background,
+// reference detector, calibrated SDD, trained SNM, and the (architecturally
+// shared) T-YOLO view of the stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/background.hpp"
+#include "detect/reference.hpp"
+#include "detect/sdd.hpp"
+#include "detect/snm.hpp"
+#include "detect/tyolo.hpp"
+#include "video/frame.hpp"
+
+namespace ffsva::detect {
+
+struct SpecializeConfig {
+  video::ObjectClass target = video::ObjectClass::kCar;
+  int background_samples = 25;
+  SddConfig sdd{};
+  SnmConfig snm{};
+  TYoloConfig tyolo{};
+  ReferenceConfig reference{};
+};
+
+/// Everything one stream's pipeline needs. Filters are shared_ptr because
+/// the threaded engine hands them to per-stage threads and the benchmark
+/// harnesses reuse them across sweep points.
+struct StreamModels {
+  video::ObjectClass target = video::ObjectClass::kCar;
+  image::Image background;
+  std::shared_ptr<const ReferenceDetector> reference;
+  std::shared_ptr<SddFilter> sdd;
+  std::shared_ptr<SnmFilter> snm;
+  std::shared_ptr<const TYoloDetector> tyolo;
+  SnmTrainReport snm_report;
+  double sdd_delta = 0.0;
+  double label_positive_rate = 0.0;  ///< Share of calibration frames labeled positive.
+};
+
+/// Build the per-stream models from a calibration window. Labels come from
+/// the reference model (not ground truth), exactly as in the paper.
+StreamModels specialize_stream(const std::vector<video::Frame>& calibration_frames,
+                               const SpecializeConfig& config, std::uint64_t seed);
+
+}  // namespace ffsva::detect

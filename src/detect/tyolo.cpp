@@ -1,0 +1,45 @@
+#include "detect/tyolo.hpp"
+
+#include <algorithm>
+
+#include "image/ops.hpp"
+
+namespace ffsva::detect {
+
+TYoloDetector::TYoloDetector(TYoloConfig config, const image::Image& background)
+    : config_(config),
+      background_small_(
+          image::resize_bilinear(background, config.input_size, config.input_size)),
+      scale_x_(static_cast<double>(background.width()) / config.input_size),
+      scale_y_(static_cast<double>(background.height()) / config.input_size) {}
+
+DetectionResult TYoloDetector::detect(const image::Image& frame) const {
+  DetectionResult out;
+  const image::Image small =
+      image::resize_bilinear(frame, config_.input_size, config_.input_size);
+  const auto comps = foreground_components(small, background_small_, config_.segmentation);
+
+  // Grid occupancy: at most boxes_per_cell detections per cell.
+  const int cell_px = std::max(1, config_.input_size / config_.grid);
+  std::vector<int> cell_load(static_cast<std::size_t>(config_.grid) * config_.grid, 0);
+
+  for (const auto& c : comps) {
+    const int gx = std::clamp(c.box.cx() / cell_px, 0, config_.grid - 1);
+    const int gy = std::clamp(c.box.cy() / cell_px, 0, config_.grid - 1);
+    int& load = cell_load[static_cast<std::size_t>(gy) * config_.grid + gx];
+    if (load >= config_.boxes_per_cell) continue;  // cell saturated
+    ++load;
+    Detection d = classify_component(c, config_.input_size, config_.input_size,
+                                     config_.segmentation.min_pixels,
+                                     config_.classifier);
+    // Map the box back to frame coordinates.
+    d.box = image::Box{static_cast<int>(d.box.x0 * scale_x_),
+                       static_cast<int>(d.box.y0 * scale_y_),
+                       static_cast<int>(d.box.x1 * scale_x_),
+                       static_cast<int>(d.box.y1 * scale_y_)};
+    if (d.confidence >= config_.confidence_threshold) out.detections.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace ffsva::detect

@@ -1,0 +1,34 @@
+// Rasterization primitives used by the synthetic scene simulator
+// (ffsva::video) to render backgrounds and target objects.
+#pragma once
+
+#include <cstdint>
+
+#include "image/geometry.hpp"
+#include "image/image.hpp"
+
+namespace ffsva::image {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+/// Fill an axis-aligned rectangle (clipped to the image).
+void fill_rect(Image& img, const Box& rect, Rgb color);
+
+/// Fill a solid ellipse centered at (cx, cy) with radii (rx, ry), clipped.
+void fill_ellipse(Image& img, int cx, int cy, int rx, int ry, Rgb color);
+
+/// Vertical gradient from `top` to `bottom` over the whole image.
+void fill_vertical_gradient(Image& img, Rgb top, Rgb bottom);
+
+/// Multiply every channel by `gain` (lighting drift), clamped.
+void apply_gain(Image& img, double gain);
+
+/// Add a horizontal band of a solid color rows [y0, y1) — e.g. a road.
+void fill_band(Image& img, int y0, int y1, Rgb color);
+
+/// Blend a rectangle at `alpha` in [0,1] over the existing content.
+void blend_rect(Image& img, const Box& rect, Rgb color, double alpha);
+
+}  // namespace ffsva::image

@@ -1,0 +1,63 @@
+// Axis-aligned boxes and the detection-geometry helpers (IoU, NMS) shared by
+// the T-YOLO filter, the reference detector, and the accuracy evaluator.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace ffsva::image {
+
+/// Axis-aligned box, half-open: [x0, x1) x [y0, y1).
+struct Box {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  int width() const { return std::max(0, x1 - x0); }
+  int height() const { return std::max(0, y1 - y0); }
+  long long area() const {
+    return static_cast<long long>(width()) * height();
+  }
+  bool empty() const { return width() == 0 || height() == 0; }
+
+  int cx() const { return (x0 + x1) / 2; }
+  int cy() const { return (y0 + y1) / 2; }
+
+  Box intersect(const Box& o) const {
+    return Box{std::max(x0, o.x0), std::max(y0, o.y0), std::min(x1, o.x1),
+               std::min(y1, o.y1)};
+  }
+
+  Box unite(const Box& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Box{std::min(x0, o.x0), std::min(y0, o.y0), std::max(x1, o.x1),
+               std::max(y1, o.y1)};
+  }
+
+  /// Clip to an image of the given size.
+  Box clip(int w, int h) const {
+    return Box{std::clamp(x0, 0, w), std::clamp(y0, 0, h), std::clamp(x1, 0, w),
+               std::clamp(y1, 0, h)};
+  }
+
+  bool contains(int x, int y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+
+  bool operator==(const Box&) const = default;
+};
+
+/// Intersection-over-union in [0, 1]. Empty boxes give 0.
+double iou(const Box& a, const Box& b);
+
+/// A box with a detection confidence (class handled by the caller).
+struct ScoredBox {
+  Box box;
+  double score = 0.0;
+};
+
+/// Greedy non-maximum suppression: keep highest-scoring boxes, drop any box
+/// whose IoU with an already-kept box exceeds `iou_threshold`.
+/// Result is sorted by descending score. Stable for equal scores.
+std::vector<ScoredBox> nms(std::vector<ScoredBox> boxes, double iou_threshold);
+
+}  // namespace ffsva::image

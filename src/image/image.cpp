@@ -1,0 +1,32 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ffsva::image {
+
+void Accumulator::add(const Image& img) {
+  if (n_ == 0) {
+    w_ = img.width();
+    h_ = img.height();
+    c_ = img.channels();
+    sum_.assign(img.size_bytes(), 0.0);
+  }
+  assert(img.width() == w_ && img.height() == h_ && img.channels() == c_);
+  const std::uint8_t* p = img.data();
+  for (std::size_t i = 0; i < sum_.size(); ++i) sum_[i] += p[i];
+  ++n_;
+}
+
+Image Accumulator::mean() const {
+  if (n_ == 0) return {};
+  Image out(w_, h_, c_);
+  std::uint8_t* p = out.data();
+  const double inv = 1.0 / n_;
+  for (std::size_t i = 0; i < sum_.size(); ++i) {
+    p[i] = static_cast<std::uint8_t>(std::clamp(sum_[i] * inv + 0.5, 0.0, 255.0));
+  }
+  return out;
+}
+
+}  // namespace ffsva::image

@@ -1,0 +1,233 @@
+#include "image/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ffsva::image {
+
+Image to_gray(const Image& src) {
+  if (src.channels() == 1) return src;
+  Image out(src.width(), src.height(), 1);
+  const std::uint8_t* in = src.data();
+  std::uint8_t* o = out.data();
+  const std::size_t n = static_cast<std::size_t>(src.width()) * src.height();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* p = in + i * 3;
+    // BT.601: 0.299 R + 0.587 G + 0.114 B, in 8.8 fixed point.
+    o[i] = static_cast<std::uint8_t>((77 * p[0] + 150 * p[1] + 29 * p[2]) >> 8);
+  }
+  return out;
+}
+
+Image resize_bilinear(const Image& src, int out_w, int out_h) {
+  if (src.empty() || out_w <= 0 || out_h <= 0) return {};
+  if (out_w == src.width() && out_h == src.height()) return src;
+  Image out(out_w, out_h, src.channels());
+  const double sx = static_cast<double>(src.width()) / out_w;
+  const double sy = static_cast<double>(src.height()) / out_h;
+  const int c = src.channels();
+  for (int y = 0; y < out_h; ++y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, src.height() - 1);
+    const int y1 = std::min(y0 + 1, src.height() - 1);
+    const double wy = std::clamp(fy - y0, 0.0, 1.0);
+    for (int x = 0; x < out_w; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, src.width() - 1);
+      const int x1 = std::min(x0 + 1, src.width() - 1);
+      const double wx = std::clamp(fx - x0, 0.0, 1.0);
+      for (int ch = 0; ch < c; ++ch) {
+        const double top = src.at(x0, y0, ch) * (1 - wx) + src.at(x1, y0, ch) * wx;
+        const double bot = src.at(x0, y1, ch) * (1 - wx) + src.at(x1, y1, ch) * wx;
+        out.at(x, y, ch) =
+            static_cast<std::uint8_t>(std::clamp(top * (1 - wy) + bot * wy + 0.5, 0.0, 255.0));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+void require_same_shape(const Image& a, const Image& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("image shape mismatch in distance metric");
+  }
+}
+}  // namespace
+
+double mse(const Image& a, const Image& b) {
+  require_same_shape(a, b);
+  if (a.empty()) return 0.0;
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  const std::size_t n = a.size_bytes();
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int d = static_cast<int>(pa[i]) - static_cast<int>(pb[i]);
+    acc += static_cast<std::uint64_t>(d * d);
+  }
+  return static_cast<double>(acc) / static_cast<double>(n);
+}
+
+double nrmse(const Image& a, const Image& b) { return std::sqrt(mse(a, b)) / 255.0; }
+
+double sad(const Image& a, const Image& b) {
+  require_same_shape(a, b);
+  if (a.empty()) return 0.0;
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  const std::size_t n = a.size_bytes();
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::uint64_t>(std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])));
+  }
+  return static_cast<double>(acc) / static_cast<double>(n);
+}
+
+Image abs_diff(const Image& a, const Image& b) {
+  require_same_shape(a, b);
+  Image out(a.width(), a.height(), a.channels());
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  std::uint8_t* po = out.data();
+  const std::size_t n = a.size_bytes();
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] = static_cast<std::uint8_t>(std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])));
+  }
+  return out;
+}
+
+Image gaussian_blur(const Image& src, double sigma) {
+  if (sigma <= 0.0 || src.empty()) return src;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> kernel(2 * radius + 1);
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    kernel[i + radius] = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    sum += kernel[i + radius];
+  }
+  for (auto& k : kernel) k /= sum;
+
+  const int w = src.width(), h = src.height(), c = src.channels();
+  // Horizontal pass into a float buffer, then vertical pass.
+  std::vector<double> tmp(static_cast<std::size_t>(w) * h * c, 0.0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          const int xx = std::clamp(x + k, 0, w - 1);
+          acc += kernel[k + radius] * src.at(xx, y, ch);
+        }
+        tmp[(static_cast<std::size_t>(y) * w + x) * c + ch] = acc;
+      }
+    }
+  }
+  Image out(w, h, c);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          const int yy = std::clamp(y + k, 0, h - 1);
+          acc += kernel[k + radius] * tmp[(static_cast<std::size_t>(yy) * w + x) * c + ch];
+        }
+        out.at(x, y, ch) = static_cast<std::uint8_t>(std::clamp(acc + 0.5, 0.0, 255.0));
+      }
+    }
+  }
+  return out;
+}
+
+Image threshold(const Image& src, std::uint8_t t) {
+  Image out(src.width(), src.height(), src.channels());
+  const std::uint8_t* pi = src.data();
+  std::uint8_t* po = out.data();
+  const std::size_t n = src.size_bytes();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pi[i] > t ? 255 : 0;
+  return out;
+}
+
+std::uint8_t otsu_threshold(const Image& gray) {
+  if (gray.channels() != 1 || gray.empty()) return 128;
+  std::uint64_t hist[256] = {};
+  const std::uint8_t* p = gray.data();
+  const std::size_t n = gray.size_bytes();
+  for (std::size_t i = 0; i < n; ++i) ++hist[p[i]];
+
+  double total_sum = 0.0;
+  for (int i = 0; i < 256; ++i) total_sum += static_cast<double>(i) * hist[i];
+
+  double best_var = -1.0;
+  int best_t = 128;
+  double w0 = 0.0, sum0 = 0.0;
+  for (int t = 0; t < 256; ++t) {
+    w0 += static_cast<double>(hist[t]);
+    if (w0 == 0.0) continue;
+    const double w1 = static_cast<double>(n) - w0;
+    if (w1 == 0.0) break;
+    sum0 += static_cast<double>(t) * hist[t];
+    const double mu0 = sum0 / w0;
+    const double mu1 = (total_sum - sum0) / w1;
+    const double between = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    if (between > best_var) {
+      best_var = between;
+      best_t = t;
+    }
+  }
+  return static_cast<std::uint8_t>(best_t);
+}
+
+namespace {
+Image morph3x3(const Image& binary, bool erode) {
+  Image out(binary.width(), binary.height(), binary.channels());
+  const int w = binary.width(), h = binary.height();
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      bool all = true, any = false;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int xx = std::clamp(x + dx, 0, w - 1);
+          const int yy = std::clamp(y + dy, 0, h - 1);
+          const bool v = binary.at(xx, yy) != 0;
+          all = all && v;
+          any = any || v;
+        }
+      }
+      out.at(x, y) = (erode ? all : any) ? 255 : 0;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Image erode3x3(const Image& binary) { return morph3x3(binary, /*erode=*/true); }
+Image dilate3x3(const Image& binary) { return morph3x3(binary, /*erode=*/false); }
+
+std::vector<std::uint64_t> integral_image(const Image& gray) {
+  const int w = gray.width(), h = gray.height();
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(w) * h, 0);
+  for (int y = 0; y < h; ++y) {
+    std::uint64_t row = 0;
+    for (int x = 0; x < w; ++x) {
+      row += gray.at(x, y);
+      out[static_cast<std::size_t>(y) * w + x] =
+          row + (y > 0 ? out[static_cast<std::size_t>(y - 1) * w + x] : 0);
+    }
+  }
+  return out;
+}
+
+std::uint64_t box_sum(const std::vector<std::uint64_t>& integral, int img_w,
+                      int x0, int y0, int x1, int y1) {
+  if (x1 <= x0 || y1 <= y0) return 0;
+  auto at = [&](int x, int y) -> std::uint64_t {
+    if (x < 0 || y < 0) return 0;
+    return integral[static_cast<std::size_t>(y) * img_w + x];
+  };
+  return at(x1 - 1, y1 - 1) - at(x0 - 1, y1 - 1) - at(x1 - 1, y0 - 1) + at(x0 - 1, y0 - 1);
+}
+
+}  // namespace ffsva::image

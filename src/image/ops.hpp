@@ -1,0 +1,53 @@
+// Core raster operations used by the filters and the scene simulator.
+//
+// The per-filter resize costs the paper reports (40us / 150us / 400us for
+// SDD / SNM / T-YOLO, Section 4.1) correspond to resize_bilinear here; the
+// SDD distance metrics of Section 3.2.1 are mse / nrmse / sad.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace ffsva::image {
+
+/// Luma conversion (BT.601 integer weights). 1-channel input is copied.
+Image to_gray(const Image& src);
+
+/// Bilinear resize to (out_w, out_h); channel count preserved.
+Image resize_bilinear(const Image& src, int out_w, int out_h);
+
+/// Mean squared error over all channels. Shapes must match.
+double mse(const Image& a, const Image& b);
+
+/// Normalized root mean square error: sqrt(MSE) / 255.
+double nrmse(const Image& a, const Image& b);
+
+/// Mean of absolute differences (SAD normalized by pixel count).
+double sad(const Image& a, const Image& b);
+
+/// |a - b| per pixel.
+Image abs_diff(const Image& a, const Image& b);
+
+/// Separable Gaussian blur; sigma <= 0 returns a copy.
+Image gaussian_blur(const Image& src, double sigma);
+
+/// Binary threshold: out = src > t ? 255 : 0 (per channel).
+Image threshold(const Image& src, std::uint8_t t);
+
+/// Otsu's automatic threshold for a grayscale image.
+std::uint8_t otsu_threshold(const Image& gray);
+
+/// 3x3 binary erosion / dilation (values treated as 0 / nonzero).
+Image erode3x3(const Image& binary);
+Image dilate3x3(const Image& binary);
+
+/// Summed-area table; out[y][x] = sum of gray pixels in [0,x] x [0,y].
+/// Gray input only.
+std::vector<std::uint64_t> integral_image(const Image& gray);
+
+/// Box sum over the half-open rect using a table from integral_image().
+std::uint64_t box_sum(const std::vector<std::uint64_t>& integral, int img_w,
+                      int x0, int y0, int x1, int y1);
+
+}  // namespace ffsva::image

@@ -1,0 +1,86 @@
+#include "nn/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ffsva::nn {
+
+namespace {
+/// A parameter is a "weight tensor" (prunable/quantizable) if it has more
+/// than one scalar per output unit — bias vectors are [out,1,1,1].
+bool is_weight_tensor(const Tensor& t) {
+  return t.c() * t.h() * t.w() > 1;
+}
+}  // namespace
+
+PruneReport prune_by_magnitude(Sequential& net, double sparsity) {
+  if (sparsity < 0.0 || sparsity > 1.0) {
+    throw std::invalid_argument("prune_by_magnitude: sparsity must be in [0,1]");
+  }
+  PruneReport report;
+  for (auto p : net.params()) {
+    Tensor& t = *p.value;
+    if (!is_weight_tensor(t)) continue;
+    report.total_weights += t.size();
+    if (sparsity == 0.0) continue;
+    // Per-tensor threshold at the requested magnitude quantile.
+    std::vector<float> mags(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) mags[i] = std::fabs(t[i]);
+    const auto k = static_cast<std::size_t>(sparsity * static_cast<double>(t.size()));
+    if (k == 0) continue;
+    auto nth = mags.begin() + static_cast<std::ptrdiff_t>(std::min(k, mags.size() - 1));
+    std::nth_element(mags.begin(), nth, mags.end());
+    const float threshold = *nth;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (std::fabs(t[i]) < threshold || (threshold == 0.0f && t[i] == 0.0f)) {
+        if (t[i] != 0.0f) ++report.zeroed;
+        t[i] = 0.0f;
+      }
+    }
+  }
+  return report;
+}
+
+QuantReport quantize_weights(Sequential& net, int bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("quantize_weights: bits must be in [2,16]");
+  }
+  QuantReport report;
+  report.bits = bits;
+  const double levels = static_cast<double>((1 << (bits - 1)) - 1);
+  for (auto p : net.params()) {
+    Tensor& t = *p.value;
+    if (!is_weight_tensor(t)) continue;
+    report.total_weights += t.size();
+    const double max_abs = t.abs_max();
+    if (max_abs == 0.0) continue;
+    const double scale = max_abs / levels;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const double q = std::round(static_cast<double>(t[i]) / scale);
+      const float deq = static_cast<float>(std::clamp(q, -levels, levels) * scale);
+      report.max_abs_error =
+          std::max(report.max_abs_error, std::abs(static_cast<double>(t[i]) - deq));
+      t[i] = deq;
+    }
+    report.model_bytes_quant += sizeof(float);  // the per-tensor scale
+  }
+  report.model_bytes_fp32 = static_cast<double>(report.total_weights) * sizeof(float);
+  report.model_bytes_quant +=
+      static_cast<double>(report.total_weights) * bits / 8.0;
+  return report;
+}
+
+double sparsity_of(Sequential& net) {
+  std::size_t total = 0, zeros = 0;
+  for (auto p : net.params()) {
+    Tensor& t = *p.value;
+    if (!is_weight_tensor(t)) continue;
+    total += t.size();
+    for (std::size_t i = 0; i < t.size(); ++i) zeros += t[i] == 0.0f;
+  }
+  return total ? static_cast<double>(zeros) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace ffsva::nn

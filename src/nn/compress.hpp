@@ -1,0 +1,54 @@
+// Model compression: magnitude pruning and uniform weight quantization.
+//
+// The paper's "Limitations and Remedies" (Section 5.5) proposes replacing
+// T-YOLO with a deeply-compressed high-precision model: "Deep compression
+// (e.g., pruning, sparsity constraint) can transform a larger but more
+// accurate NN model to a tiny model without compromising the accuracy of
+// the prediction, resulting in a 3x throughput improvement". This module
+// implements the two standard ingredients on our Sequential networks:
+//
+//  * prune_by_magnitude(): zero the smallest-|w| fraction of each
+//    parameter tensor (biases exempt) — the sparsity constraint;
+//  * quantize_weights(): k-bit symmetric uniform quantization per tensor
+//    (simulated: quantize + dequantize in place), which is what shrinks
+//    the SNM's ~200 KB upload that dynamic batching amortizes.
+//
+// bench_ablation_compression sweeps both against the trained SNM.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layers.hpp"
+
+namespace ffsva::nn {
+
+struct PruneReport {
+  std::size_t total_weights = 0;
+  std::size_t zeroed = 0;
+  double sparsity() const {
+    return total_weights ? static_cast<double>(zeroed) / total_weights : 0.0;
+  }
+};
+
+/// Zero the `sparsity` fraction of smallest-magnitude weights in each
+/// weight tensor (rank-1+ tensors; per-output bias vectors are left alone —
+/// they are tiny and pruning them moves decision thresholds).
+PruneReport prune_by_magnitude(Sequential& net, double sparsity);
+
+struct QuantReport {
+  int bits = 0;
+  std::size_t total_weights = 0;
+  double max_abs_error = 0.0;    ///< Largest |w - q(w)| across all tensors.
+  double model_bytes_fp32 = 0;   ///< Dense float32 footprint.
+  double model_bytes_quant = 0;  ///< bits-per-weight footprint (+ scales).
+};
+
+/// Symmetric uniform quantization of all weight tensors to `bits` bits
+/// (2..16), in place (quantize-dequantize). Returns the error/footprint
+/// accounting.
+QuantReport quantize_weights(Sequential& net, int bits);
+
+/// Fraction of exactly-zero scalars among the network's weights.
+double sparsity_of(Sequential& net);
+
+}  // namespace ffsva::nn

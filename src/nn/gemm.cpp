@@ -1,0 +1,73 @@
+#include "nn/gemm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ffsva::nn {
+
+void im2col(const Tensor& x, int n, int kernel, int stride, int pad,
+            int out_h, int out_w, std::vector<float>& columns) {
+  const int in_ch = x.c(), h = x.h(), w = x.w();
+  const std::size_t rows = static_cast<std::size_t>(in_ch) * kernel * kernel;
+  columns.assign(rows * static_cast<std::size_t>(out_h) * out_w, 0.0f);
+  std::size_t row = 0;
+  for (int c = 0; c < in_ch; ++c) {
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx, ++row) {
+        float* dst = columns.data() + row * static_cast<std::size_t>(out_h) * out_w;
+        for (int oy = 0; oy < out_h; ++oy) {
+          const int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= h) {
+            dst += out_w;
+            continue;
+          }
+          for (int ox = 0; ox < out_w; ++ox, ++dst) {
+            const int ix = ox * stride + kx - pad;
+            if (ix >= 0 && ix < w) *dst = x.at(n, c, iy, ix);
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, int m, int k, int n) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aip = a[static_cast<std::size_t>(i) * k + p];
+      if (aip == 0.0f) continue;  // pruned weights cost nothing
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+Tensor conv2d_im2col(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                     int stride, int pad) {
+  if (x.c() != weight.c()) {
+    throw std::invalid_argument("conv2d_im2col: channel mismatch");
+  }
+  const int kernel = weight.h();
+  const int out_ch = weight.n();
+  const int oh = (x.h() + 2 * pad - kernel) / stride + 1;
+  const int ow = (x.w() + 2 * pad - kernel) / stride + 1;
+  Tensor y(x.n(), out_ch, oh, ow);
+  const int k = weight.c() * kernel * kernel;
+  const int cols = oh * ow;
+  std::vector<float> columns;
+  for (int n = 0; n < x.n(); ++n) {
+    im2col(x, n, kernel, stride, pad, oh, ow, columns);
+    float* out = y.data() + static_cast<std::size_t>(n) * out_ch * cols;
+    gemm(weight.data(), columns.data(), out, out_ch, k, cols);
+    for (int oc = 0; oc < out_ch; ++oc) {
+      const float b = bias.at(oc, 0, 0, 0);
+      float* row = out + static_cast<std::size_t>(oc) * cols;
+      for (int j = 0; j < cols; ++j) row[j] += b;
+    }
+  }
+  return y;
+}
+
+}  // namespace ffsva::nn

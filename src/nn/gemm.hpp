@@ -1,0 +1,33 @@
+// im2col + GEMM convolution path.
+//
+// The forward pass of Conv2d can be computed either directly (simple,
+// gradient-checked — see layers.cpp) or by lowering to a matrix multiply:
+// unfold every receptive field into a column (im2col), multiply by the
+// [out_ch x in_ch*k*k] filter matrix, add bias. The GEMM form is how the
+// GPU frameworks the paper builds on execute convolutions, and it is the
+// faster CPU path for inference (contiguous inner loops); the pipeline's
+// SNM uses it for batched prediction.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ffsva::nn {
+
+/// Unfold sample `n` of x into columns: out is [in_ch*k*k, oh*ow],
+/// row-major. Zero padding outside the image.
+void im2col(const Tensor& x, int n, int kernel, int stride, int pad,
+            int out_h, int out_w, std::vector<float>& columns);
+
+/// Row-major C[MxN] = A[MxK] * B[KxN] (C overwritten). Plain ikj loop
+/// ordering: B rows stream through cache.
+void gemm(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// Full convolution via im2col+GEMM. weight: [out_ch, in_ch, k, k];
+/// bias: [out_ch,1,1,1]. Numerically identical (up to FP reassociation)
+/// to the direct path in Conv2d::forward.
+Tensor conv2d_im2col(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                     int stride, int pad);
+
+}  // namespace ffsva::nn

@@ -1,0 +1,154 @@
+// Neural-network layers with forward + backward passes.
+//
+// Each layer caches what it needs from the forward pass; backward() returns
+// the gradient w.r.t. the input and accumulates parameter gradients, which
+// the optimizer consumes and zeroes. All backward implementations are
+// validated against central-difference numerical gradients in the tests.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "runtime/rng.hpp"
+
+namespace ffsva::nn {
+
+/// A trainable parameter: value and accumulated gradient.
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::vector<Param> params() { return {}; }
+  virtual std::string name() const = 0;
+};
+
+/// 2-D convolution (im2col + GEMM), zero padding, square kernel.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
+         runtime::Xoshiro256& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+  std::string name() const override { return "conv2d"; }
+
+  int out_h(int in_h) const { return (in_h + 2 * pad_ - kernel_) / stride_ + 1; }
+  int out_w(int in_w) const { return (in_w + 2 * pad_ - kernel_) / stride_ + 1; }
+
+  /// Inference path selection: the im2col+GEMM lowering (nn/gemm.hpp) is
+  /// the default; the direct loop remains for verification and training
+  /// caches. Both produce identical results up to FP reassociation.
+  void set_use_im2col(bool on) { use_im2col_ = on; }
+  bool use_im2col() const { return use_im2col_; }
+
+  Tensor weight;  ///< [out_ch, in_ch, k, k]
+  Tensor bias;    ///< [out_ch, 1, 1, 1]
+  Tensor weight_grad;
+  Tensor bias_grad;
+
+ private:
+  int in_ch_, out_ch_, kernel_, stride_, pad_;
+  bool use_im2col_ = true;
+  Tensor cached_input_;
+};
+
+/// 2x2-or-larger max pooling with argmax routing on backward.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(int kernel, int stride);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "maxpool2d"; }
+
+ private:
+  int kernel_, stride_;
+  Tensor cached_input_;
+  std::vector<std::uint32_t> argmax_;
+  std::array<int, 4> out_shape_{0, 0, 0, 0};
+};
+
+/// Fully connected layer; flattens C*H*W of its input.
+class Linear final : public Layer {
+ public:
+  Linear(int in_features, int out_features, runtime::Xoshiro256& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+  std::string name() const override { return "linear"; }
+
+  Tensor weight;  ///< [out, in, 1, 1]
+  Tensor bias;    ///< [out, 1, 1, 1]
+  Tensor weight_grad;
+  Tensor bias_grad;
+
+ private:
+  int in_features_, out_features_;
+  Tensor cached_input_;
+};
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Layer pipeline with parameter-level (de)serialization.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& x, bool train = false);
+  /// Backprop from dLoss/dOutput; returns dLoss/dInput.
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param> params();
+  void zero_grad();
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Total trainable scalar count.
+  std::size_t num_parameters();
+
+  /// Parameter-only serialization; the architecture must be rebuilt
+  /// identically before load (the SNM architecture is fixed per Sec. 3.2.2).
+  void save(std::ostream& os);
+  void load(std::istream& is);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace ffsva::nn

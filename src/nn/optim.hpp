@@ -1,0 +1,35 @@
+// SGD with momentum and weight decay — "the CNNs can automatically learn
+// the characteristics of the target objects from the training dataset and
+// update their weights by the stochastic gradient descent algorithm"
+// (paper Section 2.1).
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace ffsva::nn {
+
+class Sgd {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double momentum = 0.9;
+    double weight_decay = 1e-4;
+  };
+
+  Sgd(std::vector<Param> params, Options opts);
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  void set_lr(double lr) { opts_.lr = lr; }
+  double lr() const { return opts_.lr; }
+
+ private:
+  std::vector<Param> params_;
+  std::vector<Tensor> velocity_;
+  Options opts_;
+};
+
+}  // namespace ffsva::nn

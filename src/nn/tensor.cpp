@@ -1,0 +1,50 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ffsva::nn {
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::abs_max() const {
+  double m = 0.0;
+  for (float v : data_) m = std::max(m, static_cast<double>(std::fabs(v)));
+  return m;
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  const auto& s = t.shape();
+  os.write(reinterpret_cast<const char*>(s.data()), sizeof(int) * 4);
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+void read_tensor_values(std::istream& is, Tensor& t) {
+  std::array<int, 4> s{};
+  is.read(reinterpret_cast<char*>(s.data()), sizeof(int) * 4);
+  if (!is || s != t.shape()) {
+    throw std::runtime_error("tensor shape mismatch on load");
+  }
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("truncated tensor data on load");
+}
+
+}  // namespace ffsva::nn

@@ -1,0 +1,202 @@
+// Bounded multi-producer / multi-consumer queue with close semantics.
+//
+// This is the backbone of the FFS-VA pipeline: every pair of consecutive
+// stages (prefetch -> SDD -> SNM -> T-YOLO -> reference model) is decoupled
+// by one of these queues, which is what lets the stages run as an
+// asynchronous pipeline instead of in lock step (paper Section 3.1.2).
+//
+// Design notes:
+//  * Blocking push/pop with condition variables; try_/timed_ variants for
+//    the feedback-queue controller, which must observe depth without
+//    committing to a wait.
+//  * close() wakes all waiters; a closed queue drains remaining elements,
+//    then pop() returns std::nullopt. This gives pipelines a clean
+//    end-of-stream path with no sentinel values.
+//  * depth() is an instantaneous snapshot used by FeedbackController to
+//    decide whether an upstream stage must throttle. It is intentionally
+//    approximate under concurrency (the controller is a heuristic).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ffsva::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until space is available or the queue is closed.
+  /// Returns false (and drops the value) if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    ++total_pushed_;
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false if full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      ++total_pushed_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Push waiting at most `timeout`. Returns false on timeout or close.
+  template <typename Rep, typename Period>
+  bool push_for(T value, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (!not_full_.wait_for(lk, timeout,
+                            [&] { return items_.size() < capacity_ || closed_; })) {
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    ++total_pushed_;
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available; returns nullopt once the queue
+  /// is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    ++total_popped_;
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    ++total_popped_;
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Pop waiting at most `timeout`.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (!not_empty_.wait_for(lk, timeout, [&] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    ++total_popped_;
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Pop up to `max_count` elements at once (the dynamic-batch primitive:
+  /// "pop out a batch ... otherwise the frames are popped until the queue
+  /// is empty", paper Section 4.3.2). Blocks for the *first* element only.
+  /// Returns an empty vector once closed and drained.
+  std::vector<T> pop_batch(std::size_t max_count) {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    std::vector<T> out;
+    while (!items_.empty() && out.size() < max_count) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++total_popped_;
+    }
+    lk.unlock();
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// Blocks until at least `count` elements are present (or close), then
+  /// pops exactly min(count, size) elements. This is the *static* batch
+  /// primitive: wait for a full batch.
+  std::vector<T> pop_exact(std::size_t count) {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return items_.size() >= count || closed_; });
+    std::vector<T> out;
+    while (!items_.empty() && out.size() < count) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++total_popped_;
+    }
+    lk.unlock();
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// Close the queue: producers fail, consumers drain then see end-of-stream.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  /// Instantaneous queue depth (feedback-queue mechanism reads this).
+  std::size_t depth() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Lifetime counters; used by tests to prove no element is lost.
+  std::uint64_t total_pushed() const {
+    std::lock_guard lk(mu_);
+    return total_pushed_;
+  }
+  std::uint64_t total_popped() const {
+    std::lock_guard lk(mu_);
+    return total_popped_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::uint64_t total_pushed_ = 0;
+  std::uint64_t total_popped_ = 0;
+};
+
+}  // namespace ffsva::runtime

@@ -1,0 +1,38 @@
+#include "runtime/rate_limiter.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ffsva::runtime {
+
+RateLimiter::RateLimiter(double rate_per_sec, double burst)
+    : rate_(rate_per_sec > 0 ? rate_per_sec : 1.0),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_),
+      last_(Clock::now()) {}
+
+void RateLimiter::refill(Clock::time_point now) {
+  const std::chrono::duration<double> dt = now - last_;
+  last_ = now;
+  tokens_ = std::min(burst_, tokens_ + dt.count() * rate_);
+}
+
+void RateLimiter::acquire() {
+  refill(Clock::now());
+  if (tokens_ < 1.0) {
+    const double deficit = 1.0 - tokens_;
+    const auto wait = std::chrono::duration<double>(deficit / rate_);
+    std::this_thread::sleep_for(wait);
+    refill(Clock::now());
+  }
+  tokens_ -= 1.0;
+}
+
+bool RateLimiter::try_acquire() {
+  refill(Clock::now());
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace ffsva::runtime

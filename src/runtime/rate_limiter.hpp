@@ -1,0 +1,36 @@
+// Token-bucket rate limiter.
+//
+// The online-mode prefetch stage must emit frames at the camera rate
+// (30 FPS per stream, paper Section 5.1); the threaded engine paces ingest
+// with this limiter. A small burst allowance models the decoder handing
+// over a GOP at a time.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace ffsva::runtime {
+
+class RateLimiter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// rate_per_sec: sustained token refill rate; burst: bucket capacity.
+  RateLimiter(double rate_per_sec, double burst = 1.0);
+
+  /// Blocks (sleeps) until a token is available, then consumes it.
+  void acquire();
+
+  /// Consumes a token if available right now; returns false otherwise.
+  bool try_acquire();
+
+ private:
+  void refill(Clock::time_point now);
+
+  const double rate_;
+  const double burst_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace ffsva::runtime

@@ -1,0 +1,68 @@
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// Used on the hottest intra-stream edge (prefetch -> SDD), where exactly one
+// decoder thread feeds exactly one SDD thread. Follows the classic
+// Lamport ring with acquire/release indices; capacity is rounded up to a
+// power of two so the index mask is a single AND.
+//
+// Per C++ Core Guidelines CP.100 we keep the lock-free surface tiny and
+// conventional: two monotonically increasing counters, each written by one
+// thread only.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ffsva::runtime {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity)
+      : mask_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool try_push(T value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;  // empty
+    T v = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return v;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate size; exact when called from either endpoint thread.
+  std::size_t size_approx() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  const std::uint64_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace ffsva::runtime

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the threaded engine's measurements.
+#pragma once
+
+#include <chrono>
+
+namespace ffsva::runtime {
+
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_sec() * 1e3; }
+  double elapsed_us() const { return elapsed_sec() * 1e6; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace ffsva::runtime

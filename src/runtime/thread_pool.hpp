@@ -1,0 +1,52 @@
+// Fixed-size worker pool.
+//
+// FFS-VA runs the SDDs of all streams on the CPU (paper Section 3.1.2); the
+// threaded engine multiplexes them over this pool instead of spawning one
+// OS thread per stream when stream counts are large. Tasks are type-erased
+// std::function<void()>; submit() returns a future-like completion via
+// wait_idle() because pipeline stages track their own results through
+// queues, not return values.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ffsva::runtime {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished and the queue is empty.
+  void wait_idle();
+
+  /// Stop accepting tasks, finish queued work, join workers. Idempotent.
+  void shutdown();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace ffsva::runtime

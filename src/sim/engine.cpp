@@ -1,0 +1,66 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace ffsva::sim {
+
+void SimEngine::at(double t, Event fn) {
+  assert(t >= now_ - 1e-12);
+  if (t < now_) t = now_;
+  queue_.push(Entry{t, seq_++, std::move(fn)});
+}
+
+bool SimEngine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the entry must be copied out before
+  // pop. Move via const_cast is the standard idiom for move-only payloads.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = e.t;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void SimEngine::run(double until) {
+  while (!queue_.empty() && queue_.top().t <= until) {
+    step();
+  }
+}
+
+void KServerResource::submit(double duration_sec, std::function<void()> done) {
+  Job job{duration_sec, std::move(done)};
+  if (busy_ < servers_) {
+    start(std::move(job));
+  } else {
+    pending_.push_back(std::move(job));
+  }
+}
+
+void KServerResource::start(Job job) {
+  ++busy_;
+  busy_time_ += job.duration;
+  engine_.after(job.duration, [this, done = std::move(job.done)]() mutable {
+    --busy_;
+    if (!pending_.empty()) {
+      Job next = std::move(pending_.front());
+      pending_.pop_front();
+      start(std::move(next));
+    }
+    done();
+  });
+}
+
+void GpuDevice::submit(std::int64_t model_id, double switch_ms, double exec_us,
+                       std::function<void()> done) {
+  double total_sec = exec_us * 1e-6;
+  if (model_id != loaded_model_) {
+    total_sec += switch_ms * 1e-3;
+    switch_time_ += switch_ms * 1e-3;
+    ++switches_;
+    loaded_model_ = model_id;
+  }
+  server_.submit(total_sec, std::move(done));
+}
+
+}  // namespace ffsva::sim

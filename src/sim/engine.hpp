@@ -1,0 +1,269 @@
+// Discrete-event simulation engine.
+//
+// The performance evaluation of FFS-VA (Figures 3, 4, 6, 9, 10 and the
+// offline headline) is a queueing phenomenon: throughput and latency follow
+// from service rates, batching, queue thresholds and scheduling policy. This
+// engine executes the production policy objects (core/policies.hpp) under
+// virtual time against devices whose service costs are calibrated to the
+// paper's measured filter speeds (detect/cost_model.hpp) — the substitution
+// for the 2-GPU testbed this reproduction does not have.
+//
+// Determinism: events at equal times run in schedule order (a sequence
+// number breaks ties), so simulations are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace ffsva::sim {
+
+class SimEngine {
+ public:
+  using Event = std::function<void()>;
+
+  /// Schedule `fn` at absolute virtual time `t` (seconds). t >= now().
+  void at(double t, Event fn);
+  /// Schedule `fn` after `dt` seconds of virtual time.
+  void after(double dt, Event fn) { at(now_ + dt, std::move(fn)); }
+
+  double now() const { return now_; }
+
+  /// Run one event; false if none pending.
+  bool step();
+
+  /// Run until the queue is empty or virtual time exceeds `until`.
+  void run(double until = std::numeric_limits<double>::infinity());
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    double t;
+    std::uint64_t seq;
+    Event fn;
+    bool operator>(const Entry& o) const {
+      return t > o.t || (t == o.t && seq > o.seq);
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+/// FIFO resource with k identical servers (e.g. a pool of CPU cores).
+/// submit() enqueues a job of the given duration; `done` runs when the job
+/// completes. Jobs start in submission order.
+class KServerResource {
+ public:
+  KServerResource(SimEngine& engine, int servers, std::string name = {})
+      : engine_(engine), servers_(servers < 1 ? 1 : servers), name_(std::move(name)) {}
+
+  void submit(double duration_sec, std::function<void()> done);
+
+  int busy() const { return busy_; }
+  double busy_time() const { return busy_time_; }
+  /// Utilization over [0, now] given the server count.
+  double utilization() const {
+    const double t = engine_.now();
+    return t > 0 ? busy_time_ / (t * servers_) : 0.0;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    double duration;
+    std::function<void()> done;
+  };
+  void start(Job job);
+
+  SimEngine& engine_;
+  int servers_;
+  std::string name_;
+  int busy_ = 0;
+  double busy_time_ = 0.0;
+  std::deque<Job> pending_;
+};
+
+/// A GPU: a single FIFO server that additionally charges a model-switch
+/// cost whenever the job's model id differs from the last one executed —
+/// the effect dynamic batching amortizes (Section 4.3.2) and one of the two
+/// reasons T-YOLO is shared (Section 3.2.3).
+class GpuDevice {
+ public:
+  GpuDevice(SimEngine& engine, std::string name = {})
+      : server_(engine, 1, std::move(name)) {}
+
+  /// `model_id`: identity of the weights this job needs loaded;
+  /// `switch_ms`: upload cost charged if the device must switch to it.
+  void submit(std::int64_t model_id, double switch_ms, double exec_us,
+              std::function<void()> done);
+
+  double switch_time() const { return switch_time_; }
+  std::int64_t switches() const { return switches_; }
+  double utilization() const { return server_.utilization(); }
+  double busy_time() const { return server_.busy_time(); }
+
+ private:
+  KServerResource server_;
+  std::int64_t loaded_model_ = -1;
+  std::int64_t switches_ = 0;
+  double switch_time_ = 0.0;
+};
+
+/// Bounded FIFO queue living in virtual time, with asynchronous push/pop.
+/// This mirrors runtime::BoundedQueue's blocking semantics: a push_wait on
+/// a full queue parks the producer (feedback-queue throttling), a pop_wait
+/// on an empty queue parks the consumer, wait_depth parks a batch consumer
+/// until enough frames accumulated (static / feedback batching).
+template <typename T>
+class SimQueue {
+ public:
+  explicit SimQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  std::size_t depth() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const { return closed_; }
+
+  bool try_push(T v) {
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(v));
+    on_push();
+    return true;
+  }
+
+  /// Parks the producer until space is available, then pushes and runs
+  /// `resume`. FIFO among parked producers.
+  void push_wait(T v, std::function<void()> resume) {
+    if (!closed_ && items_.size() < capacity_) {
+      items_.push_back(std::move(v));
+      on_push();
+      resume();
+      return;
+    }
+    producers_.push_back({std::move(v), std::move(resume)});
+  }
+
+  /// Parks the consumer until an item is available. `got(std::nullopt)`
+  /// when the queue is closed and drained.
+  void pop_wait(std::function<void(std::optional<T>)> got) {
+    if (!items_.empty()) {
+      T v = std::move(items_.front());
+      items_.pop_front();
+      admit_parked_producer();
+      got(std::move(v));
+      return;
+    }
+    if (closed_) {
+      got(std::nullopt);
+      return;
+    }
+    consumers_.push_back(std::move(got));
+  }
+
+  /// Parks until depth() >= n or the queue is closed, then runs `ready`
+  /// (with the actual available count). Used by batch consumers.
+  void wait_depth(std::size_t n, std::function<void(std::size_t)> ready) {
+    if (items_.size() >= n || closed_) {
+      ready(items_.size());
+      return;
+    }
+    depth_waiters_.push_back({n, std::move(ready)});
+  }
+
+  /// Pop up to n items immediately (no waiting).
+  std::vector<T> pop_some(std::size_t n) {
+    std::vector<T> out;
+    while (!items_.empty() && out.size() < n) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) admit_parked_producer();
+    return out;
+  }
+
+  void close() {
+    closed_ = true;
+    // Wake everyone; parked producers' items are dropped (stream teardown).
+    auto consumers = std::move(consumers_);
+    consumers_.clear();
+    for (auto& c : consumers) {
+      if (!items_.empty()) {
+        T v = std::move(items_.front());
+        items_.pop_front();
+        c(std::move(v));
+      } else {
+        c(std::nullopt);
+      }
+    }
+    auto waiters = std::move(depth_waiters_);
+    depth_waiters_.clear();
+    for (auto& w : waiters) w.ready(items_.size());
+  }
+
+  /// Hook invoked after every successful push (e.g. to wake a scheduler).
+  void set_push_hook(std::function<void()> hook) { push_hook_ = std::move(hook); }
+
+ private:
+  void on_push() {
+    // Serve a parked consumer first (an item never waits while a consumer
+    // is parked).
+    if (!consumers_.empty()) {
+      auto c = std::move(consumers_.front());
+      consumers_.pop_front();
+      T v = std::move(items_.front());
+      items_.pop_front();
+      admit_parked_producer();
+      c(std::move(v));
+    }
+    auto it = depth_waiters_.begin();
+    while (it != depth_waiters_.end()) {
+      if (items_.size() >= it->n) {
+        auto ready = std::move(it->ready);
+        const std::size_t avail = items_.size();
+        it = depth_waiters_.erase(it);
+        ready(avail);
+      } else {
+        ++it;
+      }
+    }
+    if (push_hook_) push_hook_();
+  }
+
+  void admit_parked_producer() {
+    if (!producers_.empty() && items_.size() < capacity_ && !closed_) {
+      auto p = std::move(producers_.front());
+      producers_.pop_front();
+      items_.push_back(std::move(p.value));
+      auto resume = std::move(p.resume);
+      on_push();
+      resume();
+    }
+  }
+
+  struct ParkedProducer {
+    T value;
+    std::function<void()> resume;
+  };
+  struct DepthWaiter {
+    std::size_t n;
+    std::function<void(std::size_t)> ready;
+  };
+
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<ParkedProducer> producers_;
+  std::deque<std::function<void(std::optional<T>)>> consumers_;
+  std::vector<DepthWaiter> depth_waiters_;
+  std::function<void()> push_hook_;
+};
+
+}  // namespace ffsva::sim

@@ -1,0 +1,127 @@
+#include "sim/outcome.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ffsva::sim {
+
+std::vector<core::FilteredAt> outcomes_from_trace(
+    const std::vector<core::FrameRecord>& records,
+    const core::CascadeThresholds& thresholds) {
+  std::vector<core::FilteredAt> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(core::apply_cascade(r, thresholds));
+  return out;
+}
+
+MarkovParams MarkovParams::for_tor(double tor, int number_of_objects) {
+  MarkovParams p;
+  p.tor = std::clamp(tor, 0.0, 1.0);
+  // Scene lengths in the evaluation workloads average ~100-160 frames.
+  p.mean_scene_len = 110.0;
+  // Conditional pass rates calibrated from recorded traces of the
+  // jackson (car) profile at several TORs (see EXPERIMENTS.md): background
+  // frames still pass SDD when distractor motion is present; SNM removes
+  // most of those; T-YOLO passes in-scene frames whose target count clears
+  // NumberofObjects and a residue of SNM false positives.
+  p.sdd_in = 0.99;
+  p.sdd_out = 0.35;
+  p.snm_in = 0.95;
+  p.snm_out = 0.12;
+  // T-YOLO passes ~72% of in-scene frames at N=1 (measured over real-filter
+  // traces of the jackson profile: partial and entering/leaving vehicles
+  // fall below its coarse resolving power). Raising NumberofObjects thins
+  // the pass rate roughly geometrically (Figure 8a: ~80% fewer output
+  // frames by N=3).
+  p.ty_in = 0.72 * std::pow(0.45, std::max(0, number_of_objects - 1));
+  p.ty_out = 0.10;
+  return p;
+}
+
+MarkovParams MarkovParams::from_trace(const std::vector<core::FrameRecord>& records,
+                                      const core::CascadeThresholds& thresholds) {
+  MarkovParams p;
+  if (records.empty()) return p;
+
+  // State and run statistics from ground truth.
+  std::int64_t in_frames = 0, runs = 0;
+  bool prev_in = false;
+  for (const auto& r : records) {
+    if (r.gt_target) {
+      ++in_frames;
+      if (!prev_in) ++runs;
+    }
+    prev_in = r.gt_target;
+  }
+  p.tor = static_cast<double>(in_frames) / static_cast<double>(records.size());
+  p.mean_scene_len =
+      runs > 0 ? static_cast<double>(in_frames) / static_cast<double>(runs) : 100.0;
+
+  // Conditional stage pass rates by state.
+  struct Cond {
+    std::int64_t sdd_n = 0, sdd_p = 0;
+    std::int64_t snm_n = 0, snm_p = 0;
+    std::int64_t ty_n = 0, ty_p = 0;
+  } in, out;
+  for (const auto& r : records) {
+    Cond& c = r.gt_target ? in : out;
+    ++c.sdd_n;
+    const bool sdd = r.sdd_distance > thresholds.sdd_delta;
+    c.sdd_p += sdd;
+    if (!sdd) continue;
+    ++c.snm_n;
+    const bool snm = r.snm_score >= thresholds.t_pre;
+    c.snm_p += snm;
+    if (!snm) continue;
+    ++c.ty_n;
+    c.ty_p += r.tyolo_count >= thresholds.number_of_objects;
+  }
+  auto rate = [](std::int64_t pass, std::int64_t n, double fallback) {
+    return n > 0 ? static_cast<double>(pass) / static_cast<double>(n) : fallback;
+  };
+  p.sdd_in = rate(in.sdd_p, in.sdd_n, p.sdd_in);
+  p.sdd_out = rate(out.sdd_p, out.sdd_n, p.sdd_out);
+  p.snm_in = rate(in.snm_p, in.snm_n, p.snm_in);
+  p.snm_out = rate(out.snm_p, out.snm_n, p.snm_out);
+  p.ty_in = rate(in.ty_p, in.ty_n, p.ty_in);
+  p.ty_out = rate(out.ty_p, out.ty_n, p.ty_out);
+  return p;
+}
+
+MarkovOutcomes::MarkovOutcomes(const MarkovParams& params, std::uint64_t seed)
+    : p_(params), rng_(seed) {
+  // Stationary in-scene probability tor with mean run length L:
+  //   leave = 1/L,  enter = leave * tor / (1 - tor).
+  const double L = std::max(1.0, p_.mean_scene_len);
+  p_leave_ = 1.0 / L;
+  if (p_.tor >= 1.0) {
+    p_enter_ = 1.0;
+    p_leave_ = 0.0;
+    in_scene_ = true;
+  } else if (p_.tor <= 0.0) {
+    p_enter_ = 0.0;
+    in_scene_ = false;
+  } else {
+    p_enter_ = p_leave_ * p_.tor / (1.0 - p_.tor);
+    // Start in the stationary distribution so short simulations are unbiased.
+    in_scene_ = rng_.chance(p_.tor);
+  }
+}
+
+core::FilteredAt MarkovOutcomes::next() {
+  // State transition first, then emission from the new state.
+  if (in_scene_) {
+    if (rng_.chance(p_leave_)) in_scene_ = false;
+  } else {
+    if (rng_.chance(p_enter_)) in_scene_ = true;
+  }
+  const double sdd = in_scene_ ? p_.sdd_in : p_.sdd_out;
+  const double snm = in_scene_ ? p_.snm_in : p_.snm_out;
+  const double ty = in_scene_ ? p_.ty_in : p_.ty_out;
+  if (!rng_.chance(sdd)) return core::FilteredAt::kSdd;
+  if (!rng_.chance(snm)) return core::FilteredAt::kSnm;
+  if (!rng_.chance(ty)) return core::FilteredAt::kTyolo;
+  return core::FilteredAt::kNone;
+}
+
+}  // namespace ffsva::sim

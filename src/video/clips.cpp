@@ -1,0 +1,80 @@
+#include "video/clips.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ffsva::video {
+
+std::vector<std::uint8_t> presence_mask(const SceneSimulator& sim) {
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(sim.total_frames()), 0);
+  for (const auto& iv : sim.intervals()) {
+    for (std::int64_t f = iv.begin; f < iv.end; ++f) {
+      mask[static_cast<std::size_t>(f)] = 1;
+    }
+  }
+  return mask;
+}
+
+double window_tor(const std::vector<std::uint8_t>& presence, std::int64_t begin,
+                  std::int64_t end) {
+  if (end <= begin) return 0.0;
+  std::int64_t hits = 0;
+  for (std::int64_t f = begin; f < end; ++f) {
+    hits += presence[static_cast<std::size_t>(f)];
+  }
+  return static_cast<double>(hits) / static_cast<double>(end - begin);
+}
+
+std::vector<Clip> find_clips(const SceneSimulator& sim,
+                             const std::vector<double>& requested_tors,
+                             std::int64_t clip_len, double tolerance) {
+  std::vector<Clip> out;
+  const std::int64_t total = sim.total_frames();
+  if (clip_len <= 0 || clip_len > total) return out;
+  const auto presence = presence_mask(sim);
+
+  // Prefix sums for O(1) window TOR.
+  std::vector<std::int64_t> prefix(static_cast<std::size_t>(total) + 1, 0);
+  for (std::int64_t f = 0; f < total; ++f) {
+    prefix[static_cast<std::size_t>(f) + 1] =
+        prefix[static_cast<std::size_t>(f)] + presence[static_cast<std::size_t>(f)];
+  }
+  auto tor_of = [&](std::int64_t b) {
+    return static_cast<double>(prefix[static_cast<std::size_t>(b + clip_len)] -
+                               prefix[static_cast<std::size_t>(b)]) /
+           static_cast<double>(clip_len);
+  };
+
+  std::vector<std::uint8_t> taken(static_cast<std::size_t>(total), 0);
+  auto overlaps_taken = [&](std::int64_t b) {
+    return taken[static_cast<std::size_t>(b)] ||
+           taken[static_cast<std::size_t>(b + clip_len - 1)];
+  };
+
+  for (double want : requested_tors) {
+    std::int64_t best = -1;
+    double best_err = tolerance + 1e-12;
+    // Stride by a fraction of the clip length: exhaustive enough, cheap.
+    const std::int64_t stride = std::max<std::int64_t>(1, clip_len / 16);
+    for (std::int64_t b = 0; b + clip_len <= total; b += stride) {
+      if (overlaps_taken(b)) continue;
+      const double err = std::abs(tor_of(b) - want);
+      if (err < best_err) {
+        best_err = err;
+        best = b;
+      }
+    }
+    if (best < 0) continue;
+    Clip c;
+    c.begin = best;
+    c.end = best + clip_len;
+    c.tor = tor_of(best);
+    out.push_back(c);
+    for (std::int64_t f = c.begin; f < c.end; ++f) {
+      taken[static_cast<std::size_t>(f)] = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace ffsva::video

@@ -1,0 +1,40 @@
+// Clip extraction: find spans of a stream with a desired TOR.
+//
+// The evaluation methodology repeatedly needs "a set of video clips with
+// different TOR values" extracted from a long recording ("we extract
+// typical non-overlapping video clips from each video file to simulate
+// multiple video streams", Section 5.1; "we extract a set of video clips
+// with different TOR values", Section 5.2). find_clips() scans a planned
+// scene timeline with a sliding window and returns non-overlapping clips
+// whose realized TOR is closest to each requested value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "video/scene.hpp"
+
+namespace ffsva::video {
+
+struct Clip {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  ///< half-open
+  double tor = 0.0;      ///< realized TOR of the span (from the plan)
+};
+
+/// Per-frame presence mask from the simulator's planned intervals
+/// (1 = at least one target on screen).
+std::vector<std::uint8_t> presence_mask(const SceneSimulator& sim);
+
+/// TOR of [begin, end) under a presence mask.
+double window_tor(const std::vector<std::uint8_t>& presence, std::int64_t begin,
+                  std::int64_t end);
+
+/// For each requested TOR (in order), find the length-`clip_len` window
+/// closest to it, skipping windows overlapping already-chosen clips.
+/// Windows whose |TOR - requested| exceeds `tolerance` are not returned.
+std::vector<Clip> find_clips(const SceneSimulator& sim,
+                             const std::vector<double>& requested_tors,
+                             std::int64_t clip_len, double tolerance = 0.05);
+
+}  // namespace ffsva::video

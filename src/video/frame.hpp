@@ -1,0 +1,71 @@
+// Frame: the unit of work flowing through the FFS-VA pipeline.
+//
+// Each frame carries its pixels plus provenance (stream id, index, pts).
+// Ground truth is attached by the synthetic scene simulator for *evaluation
+// only* — no filter reads it; the accuracy experiments compare filter output
+// against the reference model and against this ground truth exactly as the
+// paper compares FFS-VA's survivors against full YOLOv2 output (Section 5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/geometry.hpp"
+#include "image/image.hpp"
+
+namespace ffsva::video {
+
+enum class ObjectClass : std::uint8_t { kCar = 0, kPerson = 1, kBus = 2 };
+
+const char* to_string(ObjectClass cls);
+
+/// One simulated object instance as rendered into a frame.
+struct GtObject {
+  ObjectClass cls = ObjectClass::kCar;
+  image::Box full_box;            ///< May extend beyond the frame.
+  image::Box visible_box;         ///< Clipped to the frame.
+  double visible_fraction = 1.0;  ///< visible_box.area / full_box.area.
+  int object_id = 0;              ///< Stable across the object's lifetime.
+};
+
+/// Ground truth for one frame.
+struct GroundTruth {
+  std::vector<GtObject> objects;
+
+  /// Number of objects of `cls` with at least `min_visible` of their area
+  /// inside the frame.
+  int count(ObjectClass cls, double min_visible = 0.15) const {
+    int n = 0;
+    for (const auto& o : objects) {
+      if (o.cls == cls && o.visible_fraction >= min_visible) ++n;
+    }
+    return n;
+  }
+
+  bool any(ObjectClass cls, double min_visible = 0.15) const {
+    return count(cls, min_visible) > 0;
+  }
+
+  /// Target-group count: a "car" target counts all vehicles (car + bus),
+  /// matching what a traffic camera is deployed to watch; a "person" target
+  /// counts persons only.
+  int count_target(ObjectClass target, double min_visible = 0.15) const {
+    int n = count(target, min_visible);
+    if (target == ObjectClass::kCar) n += count(ObjectClass::kBus, min_visible);
+    return n;
+  }
+
+  bool any_target(ObjectClass target, double min_visible = 0.15) const {
+    return count_target(target, min_visible) > 0;
+  }
+};
+
+struct Frame {
+  image::Image image;
+  int stream_id = 0;
+  std::int64_t index = 0;
+  double pts_sec = 0.0;
+  GroundTruth gt;
+};
+
+}  // namespace ffsva::video

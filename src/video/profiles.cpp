@@ -1,0 +1,71 @@
+#include "video/profiles.hpp"
+
+namespace ffsva::video {
+
+SceneConfig jackson_profile() {
+  SceneConfig c;
+  c.width = 320;
+  c.height = 240;
+  c.fps = 30.0;
+  c.target = ObjectClass::kCar;
+  c.tor = 0.08;
+  c.mean_scene_len_frames = 110;
+  c.max_objects = 3;
+  c.multi_object_bias = 0.40;
+  c.lighting_amp = 0.04;
+  c.noise_amp = 2.0;
+  c.dynamic_texture = 0.0;
+  c.stopline_fraction = 0.15;
+  c.stall_frames = 80;
+  c.car_w = 54;
+  c.car_h = 23;
+  c.distractor_rate = 0.30;
+  return c;
+}
+
+SceneConfig coral_profile() {
+  SceneConfig c;
+  c.width = 384;
+  c.height = 216;
+  c.fps = 30.0;
+  c.target = ObjectClass::kPerson;
+  c.tor = 0.50;
+  c.mean_scene_len_frames = 160;
+  c.max_objects = 12;
+  c.multi_object_bias = 0.65;
+  c.lighting_amp = 0.02;
+  c.noise_amp = 2.0;
+  c.dynamic_texture = 0.45;
+  c.crowd_sigma = 15.0;
+  c.person_h = 20;
+  c.distractor_rate = 0.25;
+  return c;
+}
+
+SceneConfig with_tor(SceneConfig base, double tor) {
+  base.tor = tor;
+  return base;
+}
+
+double measure_tor(const SceneSimulator& sim, double min_visible) {
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < sim.total_frames(); ++i) {
+    if (sim.render(i).gt.any(sim.config().target, min_visible)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(sim.total_frames());
+}
+
+WorkloadRow describe(const std::string& name, const SceneConfig& config,
+                     std::uint64_t seed, std::int64_t frames) {
+  SceneSimulator sim(config, seed, frames);
+  WorkloadRow row;
+  row.name = name;
+  row.width = config.width;
+  row.height = config.height;
+  row.object = to_string(config.target);
+  row.fps = config.fps;
+  row.tor = measure_tor(sim);
+  return row;
+}
+
+}  // namespace ffsva::video

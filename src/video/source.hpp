@@ -1,0 +1,58 @@
+// Frame sources: where the prefetch stage of each stream pipeline pulls
+// frames from. Live sources render the synthetic scene on demand (online
+// mode: a camera); stored sources decode the delta-RLE bitstream (offline
+// mode: a recording), so the prefetch stage pays a real decode cost.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "video/codec.hpp"
+#include "video/scene.hpp"
+
+namespace ffsva::video {
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  /// Next frame in presentation order, or nullopt at end of stream.
+  virtual std::optional<Frame> next() = 0;
+  /// Total frames this source will yield (for progress/termination).
+  virtual std::int64_t total_frames() const = 0;
+};
+
+/// Renders frames from a shared scene simulator (a "camera").
+class LiveSource final : public FrameSource {
+ public:
+  LiveSource(std::shared_ptr<const SceneSimulator> sim, int stream_id)
+      : sim_(std::move(sim)), stream_id_(stream_id) {}
+
+  std::optional<Frame> next() override {
+    if (next_index_ >= sim_->total_frames()) return std::nullopt;
+    return sim_->render(next_index_++, stream_id_);
+  }
+
+  std::int64_t total_frames() const override { return sim_->total_frames(); }
+
+ private:
+  std::shared_ptr<const SceneSimulator> sim_;
+  int stream_id_;
+  std::int64_t next_index_ = 0;
+};
+
+/// Decodes frames from a stored video (a "recording").
+class StoredSource final : public FrameSource {
+ public:
+  StoredSource(std::shared_ptr<const StoredVideo> video, int stream_id)
+      : video_(std::move(video)), reader_(*video_, stream_id) {}
+
+  std::optional<Frame> next() override { return reader_.next(); }
+
+  std::int64_t total_frames() const override { return video_->frame_count(); }
+
+ private:
+  std::shared_ptr<const StoredVideo> video_;
+  VideoReader reader_;
+};
+
+}  // namespace ffsva::video

@@ -1,0 +1,67 @@
+// TOR schedules: how the target-object ratio evolves over a long capture.
+//
+// The paper's workloads span a whole day ("each video contains about 10
+// million video frames in the time span of one day") and its analysis
+// repeatedly leans on TOR varying with time of day, weather and traffic
+// ("the average blocked time in a day is less than 5%", "SDD filters out
+// few frames ... in the daytime", Section 5.2). A TorSchedule turns those
+// diurnal/bursty patterns into per-segment TOR values from which a long
+// simulated stream is assembled segment by segment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace ffsva::video {
+
+enum class TorPattern : std::uint8_t {
+  kConstant = 0,  ///< Flat TOR (the per-figure evaluation clips).
+  kDiurnal = 1,   ///< Sinusoidal day/night cycle (traffic cameras).
+  kBursty = 2,    ///< Quiet baseline with occasional surge segments.
+};
+
+struct TorScheduleConfig {
+  TorPattern pattern = TorPattern::kDiurnal;
+  double base_tor = 0.10;       ///< Mean TOR across the day.
+  double amplitude = 0.8;       ///< Relative swing of the diurnal cycle.
+  double period_sec = 86400.0;  ///< One day.
+  double phase_sec = 0.0;       ///< 0 = trough at t=0 (night).
+  // Bursty pattern: surge segments of `surge_tor` arriving at `surge_rate`
+  // per hour, each lasting `surge_len_sec`.
+  double surge_tor = 0.8;
+  double surge_rate_per_hour = 2.0;
+  double surge_len_sec = 300.0;
+};
+
+/// A contiguous span of stream time with one TOR value.
+struct TorSegment {
+  double begin_sec = 0.0;
+  double end_sec = 0.0;
+  double tor = 0.0;
+};
+
+class TorSchedule {
+ public:
+  TorSchedule(TorScheduleConfig config, std::uint64_t seed);
+
+  /// Instantaneous TOR at stream time t (clamped to [0, 1]).
+  double tor_at(double t_sec) const;
+
+  /// Slice [0, duration) into segments of at most `segment_sec`, each
+  /// carrying the mean TOR of its span — the unit a SceneSimulator is
+  /// instantiated per (segments keep simulator planning tractable).
+  std::vector<TorSegment> segments(double duration_sec, double segment_sec) const;
+
+  /// Average TOR over [0, duration).
+  double mean_tor(double duration_sec) const;
+
+  const TorScheduleConfig& config() const { return config_; }
+
+ private:
+  TorScheduleConfig config_;
+  std::vector<double> surge_starts_;  ///< Sorted surge onset times (bursty).
+};
+
+}  // namespace ffsva::video

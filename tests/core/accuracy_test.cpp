@@ -1,0 +1,107 @@
+#include "core/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::core {
+namespace {
+
+std::vector<bool> mask_from(const char* s) {
+  std::vector<bool> m;
+  for (const char* p = s; *p; ++p) m.push_back(*p == 'X');
+  return m;
+}
+
+TEST(ErrorRuns, EmptyAndClean) {
+  EXPECT_EQ(classify_error_runs({}).total(), 0);
+  EXPECT_EQ(classify_error_runs(mask_from("........")).total(), 0);
+}
+
+TEST(ErrorRuns, IsolatedSingles) {
+  const auto s = classify_error_runs(mask_from(".X..X...X."));
+  EXPECT_EQ(s.isolated_single, 3);
+  EXPECT_EQ(s.isolated_2_3, 0);
+  EXPECT_EQ(s.total(), 3);
+}
+
+TEST(ErrorRuns, ShortRuns) {
+  const auto s = classify_error_runs(mask_from("XX...XXX.."));
+  EXPECT_EQ(s.isolated_2_3, 5);  // 2 + 3 frames
+  EXPECT_EQ(s.isolated_single, 0);
+}
+
+TEST(ErrorRuns, MediumRuns) {
+  std::vector<bool> m(50, false);
+  for (int i = 10; i < 25; ++i) m[static_cast<std::size_t>(i)] = true;  // 15-run
+  const auto s = classify_error_runs(m);
+  EXPECT_EQ(s.continuous_under_30, 15);
+  EXPECT_EQ(s.continuous_30_plus, 0);
+}
+
+TEST(ErrorRuns, LongRunsAtThreshold) {
+  std::vector<bool> m(100, false);
+  for (int i = 0; i < 29; ++i) m[static_cast<std::size_t>(i)] = true;
+  for (int i = 50; i < 80; ++i) m[static_cast<std::size_t>(i)] = true;  // exactly 30
+  const auto s = classify_error_runs(m);
+  EXPECT_EQ(s.continuous_under_30, 29);
+  EXPECT_EQ(s.continuous_30_plus, 30);
+}
+
+TEST(ErrorRuns, RunTouchingBothEnds) {
+  const auto s = classify_error_runs(mask_from("XX......XX"));
+  EXPECT_EQ(s.isolated_2_3, 4);
+}
+
+TEST(ErrorRuns, TotalEqualsSetBits) {
+  const auto m = mask_from("X.XX..XXXXX....X");
+  const auto s = classify_error_runs(m);
+  int bits = 0;
+  for (bool b : m) bits += b;
+  EXPECT_EQ(s.total(), bits);
+}
+
+TEST(SceneAccuracy, AllCaught) {
+  std::vector<video::SceneInterval> ivs{{0, 10, 1}, {20, 30, 2}};
+  std::vector<bool> pass(40, false);
+  pass[5] = true;
+  pass[25] = true;
+  const auto acc = scene_level_accuracy(ivs, pass, 0);
+  EXPECT_EQ(acc.scenes, 2);
+  EXPECT_EQ(acc.caught, 2);
+  EXPECT_EQ(acc.lost, 0);
+  EXPECT_DOUBLE_EQ(acc.loss_rate, 0.0);
+}
+
+TEST(SceneAccuracy, LostScene) {
+  std::vector<video::SceneInterval> ivs{{0, 10, 1}, {20, 30, 1}};
+  std::vector<bool> pass(40, false);
+  pass[5] = true;  // only the first scene has a surviving frame
+  const auto acc = scene_level_accuracy(ivs, pass, 0);
+  EXPECT_EQ(acc.lost, 1);
+  EXPECT_DOUBLE_EQ(acc.loss_rate, 0.5);
+}
+
+TEST(SceneAccuracy, WindowClipping) {
+  std::vector<video::SceneInterval> ivs{{0, 10, 1}, {95, 120, 1}, {300, 310, 1}};
+  std::vector<bool> pass(100, false);  // window [50, 150)
+  pass[50] = true;                     // frame 100, inside the second scene
+  const auto acc = scene_level_accuracy(ivs, pass, 50);
+  EXPECT_EQ(acc.scenes, 1) << "only the overlapping scene counts";
+  EXPECT_EQ(acc.caught, 1);
+}
+
+TEST(SceneAccuracy, PassOutsideSceneDoesNotCount) {
+  std::vector<video::SceneInterval> ivs{{10, 20, 1}};
+  std::vector<bool> pass(40, false);
+  pass[5] = true;  // outside the interval
+  const auto acc = scene_level_accuracy(ivs, pass, 0);
+  EXPECT_EQ(acc.lost, 1);
+}
+
+TEST(FrameErrorRate, Basics) {
+  EXPECT_DOUBLE_EQ(frame_error_rate({}), 0.0);
+  EXPECT_DOUBLE_EQ(frame_error_rate(mask_from("X.X.")), 0.5);
+  EXPECT_DOUBLE_EQ(frame_error_rate(mask_from("....")), 0.0);
+}
+
+}  // namespace
+}  // namespace ffsva::core

@@ -1,0 +1,129 @@
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::core {
+namespace {
+
+FfsVaConfig cfg() {
+  FfsVaConfig c;
+  c.admit_tyolo_fps = 140.0;
+  c.admit_window_sec = 5.0;
+  return c;
+}
+
+/// Feed `fps` worth of service reports over [t0, t1] at 10 Hz.
+void feed(ClusterManager& cm, int id, double t0, double t1, double fps) {
+  for (double t = t0; t <= t1; t += 0.1) {
+    cm.report_tyolo_service(id, t, static_cast<int>(fps * 0.1));
+  }
+}
+
+TEST(ClusterManager, RejectsEmptyCluster) {
+  EXPECT_THROW(ClusterManager(0, cfg()), std::invalid_argument);
+}
+
+TEST(ClusterManager, StreamMembership) {
+  ClusterManager cm(2, cfg());
+  cm.attach_stream(7, 0);
+  cm.attach_stream(8, 1);
+  cm.attach_stream(9, 1);
+  EXPECT_EQ(cm.instance_of(7), 0);
+  EXPECT_EQ(cm.stream_count(1), 2);
+  cm.attach_stream(7, 1);  // move
+  EXPECT_EQ(cm.instance_of(7), 1);
+  EXPECT_EQ(cm.stream_count(0), 0);
+  cm.detach_stream(7);
+  EXPECT_EQ(cm.instance_of(7), -1);
+  EXPECT_EQ(cm.stream_count(1), 2);
+}
+
+TEST(ClusterManager, PlacementPrefersQuietLeastLoaded) {
+  ClusterManager cm(3, cfg());
+  // All instances quiet over a full window.
+  for (int i = 0; i < 3; ++i) feed(cm, i, 0.0, 6.0, 10.0);
+  cm.attach_stream(1, 0);
+  cm.attach_stream(2, 0);
+  cm.attach_stream(3, 1);
+  const auto placed = cm.place_new_stream(6.0);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, 2);  // fewest streams
+}
+
+TEST(ClusterManager, NoPlacementWithoutEvidence) {
+  ClusterManager cm(2, cfg());
+  feed(cm, 0, 0.0, 1.0, 10.0);  // only 1 s of history (< window)
+  feed(cm, 1, 0.0, 6.0, 200.0);  // busy
+  EXPECT_FALSE(cm.place_new_stream(1.0).has_value());
+}
+
+TEST(ClusterManager, BusyInstanceIsNotSpare) {
+  ClusterManager cm(1, cfg());
+  feed(cm, 0, 0.0, 6.0, 200.0);  // above admit_tyolo_fps
+  EXPECT_FALSE(cm.instance_has_spare(0, 6.0));
+  EXPECT_FALSE(cm.place_new_stream(6.0).has_value());
+}
+
+TEST(ClusterManager, ReforwardMovesFromOverloadedToSpare) {
+  ClusterManager cm(2, cfg());
+  cm.attach_stream(10, 0);
+  cm.attach_stream(11, 0);
+  feed(cm, 0, 0.0, 6.0, 200.0);
+  feed(cm, 1, 0.0, 6.0, 10.0);
+  cm.report_queue_over_threshold(0, 6.0);  // overload signal
+  const auto d = cm.next_reforward(6.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->from_instance, 0);
+  EXPECT_EQ(d->to_instance, 1);
+  EXPECT_EQ(cm.instance_of(d->stream_id), 1);
+  EXPECT_EQ(cm.stream_count(0), 1);
+  EXPECT_EQ(cm.stream_count(1), 1);
+}
+
+TEST(ClusterManager, NoReforwardWithoutOverload) {
+  ClusterManager cm(2, cfg());
+  cm.attach_stream(1, 0);
+  feed(cm, 0, 0.0, 6.0, 10.0);
+  feed(cm, 1, 0.0, 6.0, 10.0);
+  EXPECT_FALSE(cm.next_reforward(6.0).has_value());
+}
+
+TEST(ClusterManager, NoReforwardWithoutSpareTarget) {
+  ClusterManager cm(2, cfg());
+  cm.attach_stream(1, 0);
+  cm.attach_stream(2, 1);
+  feed(cm, 0, 0.0, 6.0, 200.0);
+  feed(cm, 1, 0.0, 6.0, 200.0);
+  cm.report_queue_over_threshold(0, 6.0);
+  EXPECT_FALSE(cm.next_reforward(6.0).has_value());
+}
+
+TEST(ClusterManager, OverloadSignalDecaysAndReforwardStops) {
+  ClusterManager cm(2, cfg());
+  cm.attach_stream(1, 0);
+  feed(cm, 0, 0.0, 6.0, 200.0);
+  feed(cm, 1, 0.0, 12.0, 10.0);
+  cm.report_queue_over_threshold(0, 6.0);
+  EXPECT_TRUE(cm.instance_overloaded(0, 6.5));
+  EXPECT_FALSE(cm.instance_overloaded(0, 8.0));  // decayed
+  EXPECT_FALSE(cm.next_reforward(8.0).has_value());
+}
+
+TEST(ClusterManager, RepeatedReforwardDrainsOverloadedInstance) {
+  ClusterManager cm(2, cfg());
+  for (int s = 0; s < 4; ++s) cm.attach_stream(s, 0);
+  feed(cm, 0, 0.0, 6.0, 200.0);
+  feed(cm, 1, 0.0, 6.0, 10.0);
+  cm.report_queue_over_threshold(0, 6.0);
+  int moves = 0;
+  while (cm.next_reforward(6.0 + 0.01 * moves).has_value()) {
+    ++moves;
+    if (moves > 10) break;
+  }
+  // Moves until the target no longer has fewer streams / source drains.
+  EXPECT_GT(moves, 0);
+  EXPECT_LE(cm.stream_count(0) - cm.stream_count(1), 1);
+}
+
+}  // namespace
+}  // namespace ffsva::core

@@ -1,0 +1,112 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::core {
+namespace {
+
+FrameRecord rec(double sdd, double snm, int ty, int ref) {
+  FrameRecord r;
+  r.sdd_distance = sdd;
+  r.snm_score = snm;
+  r.tyolo_count = ty;
+  r.ref_count = ref;
+  r.ref_positive = ref >= 1;
+  return r;
+}
+
+const CascadeThresholds kT{/*sdd_delta=*/10.0, /*t_pre=*/0.5, /*number_of_objects=*/1};
+
+TEST(ApplyCascade, StageGatingOrder) {
+  EXPECT_EQ(apply_cascade(rec(5, 0.9, 3, 1), kT), FilteredAt::kSdd);
+  EXPECT_EQ(apply_cascade(rec(50, 0.2, 3, 1), kT), FilteredAt::kSnm);
+  EXPECT_EQ(apply_cascade(rec(50, 0.9, 0, 1), kT), FilteredAt::kTyolo);
+  EXPECT_EQ(apply_cascade(rec(50, 0.9, 2, 1), kT), FilteredAt::kNone);
+}
+
+TEST(ApplyCascade, BoundaryConditions) {
+  // SDD passes strictly above delta; SNM passes at or above t_pre;
+  // T-YOLO passes at or above NumberofObjects.
+  EXPECT_EQ(apply_cascade(rec(10.0, 0.9, 1, 1), kT), FilteredAt::kSdd);
+  EXPECT_EQ(apply_cascade(rec(10.01, 0.5, 1, 1), kT), FilteredAt::kNone);
+  EXPECT_EQ(apply_cascade(rec(10.01, 0.4999, 1, 1), kT), FilteredAt::kSnm);
+  CascadeThresholds t2 = kT;
+  t2.number_of_objects = 2;
+  EXPECT_EQ(apply_cascade(rec(50, 0.9, 1, 1), t2), FilteredAt::kTyolo);
+  EXPECT_EQ(apply_cascade(rec(50, 0.9, 2, 1), t2), FilteredAt::kNone);
+}
+
+TEST(EvaluateTrace, CountsStagesAndErrors) {
+  std::vector<FrameRecord> records{
+      rec(5, 0.0, 0, 0),   // background, filtered by SDD, ref negative
+      rec(50, 0.2, 0, 0),  // motion, filtered by SNM, ref negative
+      rec(50, 0.9, 0, 1),  // target missed by T-YOLO -> false negative
+      rec(50, 0.9, 2, 1),  // survives
+      rec(5, 0.0, 0, 1),   // target missed by SDD -> false negative
+  };
+  const TraceStats s = evaluate_trace(records, kT);
+  EXPECT_EQ(s.total, 5);
+  EXPECT_EQ(s.sdd_pass, 3);
+  EXPECT_EQ(s.snm_pass, 2);
+  EXPECT_EQ(s.output, 1);
+  EXPECT_EQ(s.ref_positive, 3);
+  EXPECT_EQ(s.false_negative, 2);
+  EXPECT_DOUBLE_EQ(s.error_rate, 0.4);
+  EXPECT_DOUBLE_EQ(s.output_rate, 0.2);
+}
+
+TEST(EvaluateTrace, EmptyTrace) {
+  const TraceStats s = evaluate_trace({}, kT);
+  EXPECT_EQ(s.total, 0);
+  EXPECT_EQ(s.error_rate, 0.0);
+}
+
+TEST(Masks, ConsistentWithEvaluate) {
+  std::vector<FrameRecord> records{rec(50, 0.9, 1, 1), rec(5, 0, 0, 1),
+                                   rec(50, 0.9, 0, 0)};
+  const auto fn = false_negative_mask(records, kT);
+  const auto pass = pass_mask(records, kT);
+  ASSERT_EQ(fn.size(), 3u);
+  EXPECT_FALSE(fn[0]);
+  EXPECT_TRUE(fn[1]);
+  EXPECT_FALSE(fn[2]);  // filtered but ref-negative: not an error
+  EXPECT_TRUE(pass[0]);
+  EXPECT_FALSE(pass[1]);
+  EXPECT_FALSE(pass[2]);
+}
+
+TEST(Sweep, RaisingFilterDegreeMonotonicallyShrinksOutput) {
+  // The Figure-7 property as a pure threshold computation: larger t_pre can
+  // only filter more.
+  std::vector<FrameRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back(rec(50, i / 100.0, 1, i % 3 == 0 ? 1 : 0));
+  }
+  std::int64_t prev_output = 101;
+  for (double t_pre : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    CascadeThresholds t = kT;
+    t.t_pre = t_pre;
+    const auto s = evaluate_trace(records, t);
+    EXPECT_LE(s.output, prev_output);
+    prev_output = s.output;
+  }
+}
+
+TEST(Sweep, RaisingNumberOfObjectsMonotone) {
+  std::vector<FrameRecord> records;
+  for (int i = 0; i < 60; ++i) records.push_back(rec(50, 0.9, i % 5, 1));
+  std::int64_t prev_output = 61;
+  std::int64_t prev_fn = -1;
+  for (int n = 1; n <= 5; ++n) {
+    CascadeThresholds t = kT;
+    t.number_of_objects = n;
+    const auto s = evaluate_trace(records, t);
+    EXPECT_LE(s.output, prev_output);
+    EXPECT_GE(s.false_negative, prev_fn);
+    prev_output = s.output;
+    prev_fn = s.false_negative;
+  }
+}
+
+}  // namespace
+}  // namespace ffsva::core

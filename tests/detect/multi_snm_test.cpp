@@ -1,0 +1,148 @@
+#include "detect/multi_snm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/reference.hpp"
+#include "detect/background.hpp"
+#include "video/profiles.hpp"
+
+namespace ffsva::detect {
+namespace {
+
+/// One trained two-class filter on a mixed car+pedestrian street, shared
+/// across the tests in this file.
+struct TrainedMulti {
+  video::SceneConfig cfg;
+  std::unique_ptr<video::SceneSimulator> sim;
+  image::Image background;
+  std::unique_ptr<MultiSnmFilter> filter;
+  MultiSnmReport report;
+
+  TrainedMulti() {
+    cfg = video::jackson_profile();
+    cfg.width = 128;
+    cfg.height = 96;
+    cfg.tor = 0.35;
+    cfg.distractor_rate = 0.6;  // plenty of pedestrians too
+    sim = std::make_unique<video::SceneSimulator>(cfg, 71, 1400);
+
+    std::vector<video::Frame> calib;
+    for (int i = 0; i < 900; ++i) calib.push_back(sim->render(i));
+    BackgroundEstimator bg(25);
+    for (std::size_t i = 0; i < calib.size(); i += 36) bg.add(calib[i].image);
+    background = bg.estimate();
+
+    // Labels from ground truth (the reference model plays this role in
+    // production; GT keeps this unit test independent of its tuning).
+    std::vector<std::vector<bool>> labels;
+    for (const auto& f : calib) {
+      labels.push_back({f.gt.any_target(video::ObjectClass::kCar),
+                        f.gt.any(video::ObjectClass::kPerson)});
+    }
+    MultiSnmConfig mc;
+    mc.epochs = 10;
+    filter = std::make_unique<MultiSnmFilter>(
+        mc,
+        std::vector<video::ObjectClass>{video::ObjectClass::kCar,
+                                        video::ObjectClass::kPerson},
+        background, 71);
+    report = filter->train(calib, labels);
+  }
+};
+
+TrainedMulti& trained() {
+  static auto* t = new TrainedMulti();
+  return *t;
+}
+
+TEST(MultiSnm, RejectsEmptyTargets) {
+  EXPECT_THROW(MultiSnmFilter(MultiSnmConfig{}, {}, image::Image(8, 8, 3, 0), 1),
+               std::invalid_argument);
+}
+
+TEST(MultiSnm, PredictsOneProbabilityPerTarget) {
+  auto& t = trained();
+  const auto scores = t.filter->predict(t.sim->render(950).image);
+  ASSERT_EQ(scores.size(), 2u);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(MultiSnm, BothHeadsLearn) {
+  auto& t = trained();
+  ASSERT_EQ(t.report.val_accuracy.size(), 2u);
+  EXPECT_GT(t.report.val_accuracy[0], 0.85) << "car head";
+  // The pedestrian head sees a much weaker signal (small distractor
+  // figures); it must still beat chance clearly.
+  EXPECT_GT(t.report.val_accuracy[1], 0.70) << "person head";
+}
+
+TEST(MultiSnm, HeadsSeparateClassesOnFreshFrames) {
+  auto& t = trained();
+  double car_pos = 0, car_neg = 0;
+  int np = 0, nn = 0;
+  for (int i = 900; i < 1400; i += 3) {
+    const auto f = t.sim->render(i);
+    const auto s = t.filter->predict(f.image);
+    if (f.gt.any_target(video::ObjectClass::kCar)) {
+      car_pos += s[0];
+      ++np;
+    } else {
+      car_neg += s[0];
+      ++nn;
+    }
+  }
+  ASSERT_GT(np, 5);
+  ASSERT_GT(nn, 5);
+  EXPECT_GT(car_pos / np, car_neg / nn + 0.2);
+}
+
+TEST(MultiSnm, PassIsUnionOfHeads) {
+  auto& t = trained();
+  int pass_any = 0, pass_car_frames = 0;
+  for (int i = 900; i < 1200; i += 5) {
+    const auto f = t.sim->render(i);
+    const bool p = t.filter->pass(f.image);
+    pass_any += p;
+    const auto s = t.filter->predict(f.image);
+    const bool car_clears = s[0] >= t.filter->t_pre(0);
+    if (car_clears) {
+      EXPECT_TRUE(p) << "any head clearing its threshold must pass the frame";
+      ++pass_car_frames;
+    }
+  }
+  EXPECT_GE(pass_any, pass_car_frames);
+}
+
+TEST(MultiSnm, ThresholdsOrderedPerClass) {
+  auto& t = trained();
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_GE(t.report.c_high[k], t.report.c_low[k]);
+  }
+}
+
+TEST(MultiSnm, FilterDegreeMonotonePerHead) {
+  auto& t = trained();
+  const auto frame = t.sim->render(1000).image;
+  t.filter->set_filter_degree(0.0);
+  const double t0 = t.filter->t_pre(0);
+  t.filter->set_filter_degree(1.0);
+  const double t1 = t.filter->t_pre(0);
+  EXPECT_GE(t1, t0);
+  t.filter->set_filter_degree(0.5);
+  (void)frame;
+}
+
+TEST(MultiSnm, LabelArityMismatchThrows) {
+  MultiSnmFilter f(MultiSnmConfig{}, {video::ObjectClass::kCar},
+                   image::Image(32, 32, 3, 80), 3);
+  std::vector<video::Frame> frames(12);
+  for (auto& fr : frames) fr.image = image::Image(32, 32, 3, 80);
+  std::vector<std::vector<bool>> bad(12, std::vector<bool>{true, false});
+  EXPECT_THROW(f.train(frames, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ffsva::detect

@@ -1,0 +1,99 @@
+#include "detect/scene_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/rng.hpp"
+
+namespace ffsva::detect {
+namespace {
+
+SceneChangeConfig fast_config() {
+  SceneChangeConfig c;
+  c.window_frames = 100;
+  c.confirm_frames = 50;
+  c.floor_factor = 4.0;
+  c.floor_offset = 8.0;
+  return c;
+}
+
+TEST(SceneChange, QuietStreamNeverTriggers) {
+  SceneChangeMonitor mon(fast_config(), 5.0);
+  runtime::Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(mon.observe(rng.uniform(2.0, 8.0)));
+  }
+  EXPECT_FALSE(mon.triggered());
+}
+
+TEST(SceneChange, ContentSpikesDoNotTrigger) {
+  // Busy traffic: big transient distances, but background frames between
+  // scenes keep pulling the floor down.
+  SceneChangeMonitor mon(fast_config(), 5.0);
+  runtime::Xoshiro256 rng(2);
+  for (int i = 0; i < 3000; ++i) {
+    // 60-frame scenes with distance ~300, 20-frame gaps at ~4.
+    const bool in_scene = (i % 80) < 60;
+    EXPECT_FALSE(mon.observe(in_scene ? rng.uniform(200.0, 400.0)
+                                      : rng.uniform(2.0, 6.0)));
+  }
+}
+
+TEST(SceneChange, SustainedShiftTriggersOnce) {
+  SceneChangeMonitor mon(fast_config(), 5.0);
+  runtime::Xoshiro256 rng(3);
+  for (int i = 0; i < 300; ++i) mon.observe(rng.uniform(2.0, 6.0));
+  // Camera bumped: even the emptiest frames now measure ~120.
+  int fired_at = -1;
+  for (int i = 0; i < 1000; ++i) {
+    if (mon.observe(rng.uniform(120.0, 200.0)) && fired_at < 0) fired_at = i;
+  }
+  EXPECT_GE(fired_at, 0);
+  EXPECT_TRUE(mon.triggered());
+  // Fires after the window flushes the old floor + the confirmation span.
+  EXPECT_LE(fired_at, 100 + 50 + 5);
+  // Does not fire a second time.
+  for (int i = 0; i < 500; ++i) EXPECT_FALSE(mon.observe(150.0));
+}
+
+TEST(SceneChange, ResetRearmsAgainstNewLevel) {
+  SceneChangeMonitor mon(fast_config(), 5.0);
+  for (int i = 0; i < 400; ++i) mon.observe(150.0);
+  EXPECT_TRUE(mon.triggered());
+  // Re-specialized for the new viewpoint: 150 is the new normal.
+  mon.reset(150.0);
+  EXPECT_FALSE(mon.triggered());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(mon.observe(150.0));
+  // A second bump triggers again.
+  bool fired = false;
+  for (int i = 0; i < 400; ++i) fired = mon.observe(2000.0) || fired;
+  EXPECT_TRUE(fired);
+}
+
+TEST(SceneChange, FloorTracksWindowMinimum) {
+  SceneChangeConfig cfg = fast_config();
+  cfg.window_frames = 4;
+  SceneChangeMonitor mon(cfg, 5.0);
+  mon.observe(10.0);  // index 0
+  mon.observe(3.0);   // index 1
+  mon.observe(7.0);   // index 2
+  EXPECT_DOUBLE_EQ(mon.floor(), 3.0);
+  mon.observe(9.0);   // index 3: window [0..3]
+  mon.observe(8.0);   // index 4: window [1..4], 3.0 still inside
+  EXPECT_DOUBLE_EQ(mon.floor(), 3.0);
+  mon.observe(11.0);  // index 5: window [2..5], the 3.0 expired
+  EXPECT_DOUBLE_EQ(mon.floor(), 7.0);
+}
+
+TEST(SceneChange, NoTriggerBeforeWindowFills) {
+  SceneChangeMonitor mon(fast_config(), 5.0);
+  // Elevated from the very first frame, but the first `window+confirm`
+  // region must pass before firing.
+  int fired_at = -1;
+  for (int i = 0; i < 400 && fired_at < 0; ++i) {
+    if (mon.observe(500.0)) fired_at = i;
+  }
+  EXPECT_GE(fired_at, 100 + 50 - 2);
+}
+
+}  // namespace
+}  // namespace ffsva::detect

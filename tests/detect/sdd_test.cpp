@@ -1,0 +1,193 @@
+#include "detect/sdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/draw.hpp"
+#include "video/profiles.hpp"
+
+namespace ffsva::detect {
+namespace {
+
+image::Image flat(std::uint8_t v) { return image::Image(64, 64, 3, v); }
+
+TEST(SddFilter, EmptyReferenceThrows) {
+  EXPECT_THROW(SddFilter(SddConfig{}, image::Image{}), std::invalid_argument);
+}
+
+TEST(SddFilter, IdenticalFrameHasZeroDistance) {
+  const auto bg = flat(90);
+  SddFilter sdd(SddConfig{}, bg);
+  EXPECT_NEAR(sdd.distance(bg), 0.0, 1e-9);
+  EXPECT_FALSE(sdd.pass(bg));
+}
+
+TEST(SddFilter, ObjectRaisesDistance) {
+  const auto bg = flat(90);
+  auto frame = bg;
+  image::fill_rect(frame, image::Box{10, 10, 40, 30}, image::Rgb{230, 40, 40});
+  SddConfig cfg;
+  cfg.delta_diff = 5.0;
+  SddFilter sdd(cfg, bg);
+  EXPECT_GT(sdd.distance(frame), 5.0);
+  EXPECT_TRUE(sdd.pass(frame));
+}
+
+TEST(SddFilter, MetricsAgreeOnOrdering) {
+  const auto bg = flat(90);
+  auto small_change = bg;
+  image::fill_rect(small_change, image::Box{0, 0, 8, 8}, image::Rgb{140, 140, 140});
+  auto big_change = bg;
+  image::fill_rect(big_change, image::Box{0, 0, 40, 40}, image::Rgb{230, 230, 230});
+  for (SddMetric m : {SddMetric::kMse, SddMetric::kNrmse, SddMetric::kSad}) {
+    SddConfig cfg;
+    cfg.metric = m;
+    SddFilter sdd(cfg, bg);
+    EXPECT_LT(sdd.distance(small_change), sdd.distance(big_change))
+        << to_string(m);
+  }
+}
+
+TEST(SddFilter, NrmseIsNormalized) {
+  const auto bg = flat(0);
+  const auto white = flat(255);
+  SddConfig cfg;
+  cfg.metric = SddMetric::kNrmse;
+  cfg.gain_compensate = false;  // measure the raw global change
+  SddFilter sdd(cfg, bg);
+  EXPECT_NEAR(sdd.distance(white), 1.0, 1e-6);
+}
+
+TEST(SddFilter, GainCompensationIgnoresGlobalLighting) {
+  const auto bg = flat(100);
+  // A globally brightened frame is "the same scene under other light".
+  auto brighter = bg;
+  image::apply_gain(brighter, 1.2);
+  // The same brightening plus a real object.
+  auto with_object = brighter;
+  image::fill_rect(with_object, image::Box{10, 10, 34, 26}, image::Rgb{230, 40, 40});
+
+  SddConfig comp;  // gain_compensate = true by default
+  SddFilter sdd(comp, bg);
+  EXPECT_LT(sdd.distance(brighter), 2.0);
+  EXPECT_GT(sdd.distance(with_object), 20.0);
+
+  SddConfig raw;
+  raw.gain_compensate = false;
+  SddFilter sdd_raw(raw, bg);
+  // Without compensation the lighting alone already looks like change.
+  EXPECT_GT(sdd_raw.distance(brighter), 100.0);
+}
+
+TEST(SddFilter, ResizesInputToFeatureSize) {
+  // A frame of a different resolution than the reference still works: both
+  // are resized to the SDD feature size (100x100 by default).
+  const image::Image bg(64, 64, 3, 90);
+  const image::Image frame(128, 128, 3, 90);
+  SddFilter sdd(SddConfig{}, bg);
+  EXPECT_LT(sdd.distance(frame), 2.0);
+}
+
+TEST(SddCalibrate, SeparatesCleanDistances) {
+  SddFilter sdd(SddConfig{}, flat(90));
+  // Background distances ~5, target distances ~100.
+  std::vector<double> d;
+  std::vector<bool> label;
+  for (int i = 0; i < 100; ++i) {
+    d.push_back(5.0 + i * 0.01);
+    label.push_back(false);
+  }
+  for (int i = 0; i < 50; ++i) {
+    d.push_back(100.0 + i);
+    label.push_back(true);
+  }
+  const double delta = sdd.calibrate(d, label);
+  EXPECT_GT(delta, 6.0);
+  EXPECT_LT(delta, 100.0);
+  // All targets pass, all backgrounds are filtered, at the chosen delta.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d[i] > delta, label[i]);
+  }
+}
+
+TEST(SddCalibrate, RelaxFactorSitsBelowQuantile) {
+  SddConfig cfg;
+  cfg.fn_budget = 0.0;   // quantile = min target distance
+  cfg.relax_factor = 0.5;
+  cfg.bg_margin = 100.0;  // disable the background anchor for this check
+  SddFilter sdd(cfg, flat(90));
+  std::vector<double> d{1.0, 2.0, 50.0, 60.0, 70.0};
+  std::vector<bool> label{false, false, true, true, true};
+  const double delta = sdd.calibrate(d, label);
+  EXPECT_NEAR(delta, 25.0, 1e-9);  // 0.5 * min(50)
+}
+
+TEST(SddCalibrate, BackgroundAnchorBoundsDelta) {
+  // Targets so strong that the FN rule alone would pick a huge delta; the
+  // background anchor keeps it near the background-distance ceiling.
+  SddConfig cfg;
+  cfg.bg_quantile = 0.90;
+  cfg.bg_margin = 1.15;
+  SddFilter sdd(cfg, flat(90));
+  std::vector<double> d;
+  std::vector<bool> label;
+  for (int i = 0; i < 100; ++i) {
+    d.push_back(4.0 + 0.02 * i);  // background: 4.0 .. 6.0
+    label.push_back(false);
+  }
+  for (int i = 0; i < 50; ++i) {
+    d.push_back(200.0 + i);
+    label.push_back(true);
+  }
+  const double delta = sdd.calibrate(d, label);
+  EXPECT_LT(delta, 10.0);
+  EXPECT_GT(delta, 4.0);
+}
+
+TEST(SddCalibrate, NoTargetsFallsBackConservatively) {
+  SddFilter sdd(SddConfig{}, flat(90));
+  std::vector<double> d{1.0, 2.0, 3.0, 4.0};
+  std::vector<bool> label{false, false, false, false};
+  const double delta = sdd.calibrate(d, label);
+  EXPECT_GT(delta, 0.0);
+  EXPECT_LT(delta, 10.0);
+}
+
+TEST(SddCalibrate, BadInputsThrow) {
+  SddFilter sdd(SddConfig{}, flat(90));
+  EXPECT_THROW(sdd.calibrate({}, {}), std::invalid_argument);
+  EXPECT_THROW(sdd.calibrate({1.0}, {true, false}), std::invalid_argument);
+}
+
+TEST(SddCalibrateOn, RealSceneKeepsTargetFramesPassing) {
+  video::SceneConfig cfg = video::jackson_profile();
+  cfg.width = 96;
+  cfg.height = 72;
+  cfg.tor = 0.4;
+  video::SceneSimulator sim(cfg, 21, 800);
+  std::vector<video::Frame> frames;
+  for (int i = 0; i < 800; ++i) frames.push_back(sim.render(i));
+
+  SddFilter sdd(SddConfig{}, sim.background());
+  const double delta = sdd.calibrate_on(frames, cfg.target);
+  EXPECT_GT(delta, 0.0);
+
+  // On the calibration window itself the FN rate must respect the budget
+  // (with slack for the relax factor this should be ~0).
+  int fn = 0, targets = 0;
+  for (const auto& f : frames) {
+    if (!f.gt.any_target(cfg.target)) continue;
+    ++targets;
+    if (!sdd.pass(f.image)) ++fn;
+  }
+  ASSERT_GT(targets, 0);
+  EXPECT_LT(static_cast<double>(fn) / targets, 0.02);
+}
+
+TEST(SddFilter, ToStringCoversMetrics) {
+  EXPECT_STREQ(to_string(SddMetric::kMse), "MSE");
+  EXPECT_STREQ(to_string(SddMetric::kNrmse), "NRMSE");
+  EXPECT_STREQ(to_string(SddMetric::kSad), "SAD");
+}
+
+}  // namespace
+}  // namespace ffsva::detect

@@ -1,0 +1,135 @@
+#include "image/components.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::image {
+namespace {
+
+Image binary_from(const char* const* rows, int w, int h) {
+  Image img(w, h, 1, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (rows[y][x] == '#') img.at(x, y) = 255;
+    }
+  }
+  return img;
+}
+
+TEST(ConnectedComponents, EmptyImageHasNone) {
+  const Image img(8, 8, 1, 0);
+  EXPECT_TRUE(connected_components(img).empty());
+}
+
+TEST(ConnectedComponents, SingleBlobBoxAndCount) {
+  const char* rows[] = {
+      "........",
+      ".###....",
+      ".###....",
+      "........",
+  };
+  const Image img = binary_from(rows, 8, 4);
+  const auto comps = connected_components(img);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].pixel_count, 6);
+  EXPECT_EQ(comps[0].box, (Box{1, 1, 4, 3}));
+}
+
+TEST(ConnectedComponents, TwoSeparateBlobs) {
+  const char* rows[] = {
+      "##....##",
+      "##....##",
+  };
+  const auto comps = connected_components(binary_from(rows, 8, 2));
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].pixel_count, 4);
+  EXPECT_EQ(comps[1].pixel_count, 4);
+}
+
+TEST(ConnectedComponents, DiagonalIsNotConnected) {
+  // 4-connectivity: diagonal neighbors are separate components.
+  const char* rows[] = {
+      "#.",
+      ".#",
+  };
+  EXPECT_EQ(connected_components(binary_from(rows, 2, 2)).size(), 2u);
+}
+
+TEST(ConnectedComponents, LShapeIsOneComponent) {
+  const char* rows[] = {
+      "#..",
+      "#..",
+      "###",
+  };
+  const auto comps = connected_components(binary_from(rows, 3, 3));
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].pixel_count, 5);
+  EXPECT_EQ(comps[0].box, (Box{0, 0, 3, 3}));
+}
+
+TEST(ConnectedComponents, MinPixelsFiltersSmallBlobs) {
+  const char* rows[] = {
+      "#...####",
+      "....####",
+  };
+  const auto comps = connected_components(binary_from(rows, 8, 2), /*min_pixels=*/4);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].pixel_count, 8);
+}
+
+TEST(ConnectedComponents, SortedByDescendingSize) {
+  const char* rows[] = {
+      "#..####..##",
+  };
+  const auto comps = connected_components(binary_from(rows, 11, 1));
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_GE(comps[0].pixel_count, comps[1].pixel_count);
+  EXPECT_GE(comps[1].pixel_count, comps[2].pixel_count);
+}
+
+TEST(ConnectedComponents, LabelsCoverExactlyForeground) {
+  const char* rows[] = {
+      "##..",
+      "..##",
+  };
+  const Image img = binary_from(rows, 4, 2);
+  std::vector<int> labels;
+  const auto comps = connected_components_labeled(img, labels, 1);
+  ASSERT_EQ(comps.size(), 2u);
+  int labeled = 0;
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      const int l = labels[static_cast<std::size_t>(y) * 4 + x];
+      if (img.at(x, y) != 0) {
+        EXPECT_GT(l, 0);
+        ++labeled;
+      } else {
+        EXPECT_EQ(l, 0);
+      }
+    }
+  }
+  EXPECT_EQ(labeled, 4);
+}
+
+TEST(ConnectedComponents, FullForegroundIsOneComponent) {
+  const Image img(16, 16, 1, 255);
+  const auto comps = connected_components(img);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].pixel_count, 256);
+  EXPECT_EQ(comps[0].box, (Box{0, 0, 16, 16}));
+}
+
+TEST(ConnectedComponents, SnakePatternStaysConnected) {
+  // A long winding 1-px path exercises the BFS frontier.
+  Image img(21, 5, 1, 0);
+  for (int x = 0; x < 21; ++x) img.at(x, 0) = 255;
+  img.at(20, 1) = 255;
+  for (int x = 0; x < 21; ++x) img.at(x, 2) = 255;
+  img.at(0, 3) = 255;
+  for (int x = 0; x < 21; ++x) img.at(x, 4) = 255;
+  const auto comps = connected_components(img);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].pixel_count, 65);
+}
+
+}  // namespace
+}  // namespace ffsva::image

@@ -1,0 +1,97 @@
+#include "image/draw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::image {
+namespace {
+
+TEST(Draw, FillRectWritesColorInside) {
+  Image img(10, 10, 3, 0);
+  fill_rect(img, Box{2, 3, 5, 6}, Rgb{10, 20, 30});
+  EXPECT_EQ(img.at(2, 3, 0), 10);
+  EXPECT_EQ(img.at(4, 5, 1), 20);
+  EXPECT_EQ(img.at(4, 5, 2), 30);
+  EXPECT_EQ(img.at(5, 6, 0), 0);  // half-open: boundary untouched
+  EXPECT_EQ(img.at(1, 3, 0), 0);
+}
+
+TEST(Draw, FillRectClipsToImage) {
+  Image img(4, 4, 3, 0);
+  fill_rect(img, Box{-10, -10, 100, 100}, Rgb{255, 0, 0});
+  EXPECT_EQ(img.at(0, 0, 0), 255);
+  EXPECT_EQ(img.at(3, 3, 0), 255);
+}
+
+TEST(Draw, FillRectOnGrayUsesLuma) {
+  Image img(3, 3, 1, 0);
+  fill_rect(img, Box{0, 0, 3, 3}, Rgb{255, 255, 255});
+  EXPECT_GE(img.at(1, 1), 254);
+}
+
+TEST(Draw, EllipseStaysInsideBoundingBox) {
+  Image img(21, 21, 3, 0);
+  fill_ellipse(img, 10, 10, 5, 3, Rgb{100, 0, 0});
+  EXPECT_EQ(img.at(10, 10, 0), 100);  // center
+  EXPECT_EQ(img.at(15, 10, 0), 100);  // +rx on axis
+  EXPECT_EQ(img.at(10, 13, 0), 100);  // +ry on axis
+  EXPECT_EQ(img.at(16, 10, 0), 0);    // beyond rx
+  EXPECT_EQ(img.at(15, 13, 0), 0);    // corner outside the ellipse
+}
+
+TEST(Draw, EllipseDegenerateRadiiNoop) {
+  Image img(5, 5, 3, 0);
+  fill_ellipse(img, 2, 2, 0, 3, Rgb{9, 9, 9});
+  for (std::size_t i = 0; i < img.size_bytes(); ++i) EXPECT_EQ(img.data()[i], 0);
+}
+
+TEST(Draw, VerticalGradientEndpoints) {
+  Image img(4, 10, 3);
+  fill_vertical_gradient(img, Rgb{0, 0, 0}, Rgb{200, 100, 50});
+  EXPECT_EQ(img.at(0, 0, 0), 0);
+  EXPECT_EQ(img.at(0, 9, 0), 200);
+  EXPECT_EQ(img.at(0, 9, 1), 100);
+  // Monotone down the column.
+  for (int y = 1; y < 10; ++y) EXPECT_GE(img.at(2, y, 0), img.at(2, y - 1, 0));
+}
+
+TEST(Draw, ApplyGainScalesAndClamps) {
+  Image img(2, 1, 1);
+  img.at(0, 0) = 100;
+  img.at(1, 0) = 200;
+  apply_gain(img, 1.5);
+  EXPECT_EQ(img.at(0, 0), 150);
+  EXPECT_EQ(img.at(1, 0), 255);  // clamped
+}
+
+TEST(Draw, ApplyGainBelowOneDarkens) {
+  Image img(1, 1, 1);
+  img.at(0, 0) = 100;
+  apply_gain(img, 0.5);
+  EXPECT_EQ(img.at(0, 0), 50);
+}
+
+TEST(Draw, FillBandCoversRows) {
+  Image img(6, 8, 3, 0);
+  fill_band(img, 2, 4, Rgb{0, 50, 0});
+  EXPECT_EQ(img.at(3, 2, 1), 50);
+  EXPECT_EQ(img.at(3, 3, 1), 50);
+  EXPECT_EQ(img.at(3, 4, 1), 0);
+  EXPECT_EQ(img.at(3, 1, 1), 0);
+}
+
+TEST(Draw, BlendRectAlphaZeroAndOne) {
+  Image img(4, 4, 3, 100);
+  blend_rect(img, Box{0, 0, 4, 4}, Rgb{200, 200, 200}, 0.0);
+  EXPECT_EQ(img.at(1, 1, 0), 100);
+  blend_rect(img, Box{0, 0, 4, 4}, Rgb{200, 200, 200}, 1.0);
+  EXPECT_EQ(img.at(1, 1, 0), 200);
+}
+
+TEST(Draw, BlendRectHalfAlpha) {
+  Image img(2, 2, 3, 0);
+  blend_rect(img, Box{0, 0, 2, 2}, Rgb{100, 100, 100}, 0.5);
+  EXPECT_NEAR(img.at(0, 0, 0), 50, 1);
+}
+
+}  // namespace
+}  // namespace ffsva::image

@@ -1,0 +1,132 @@
+#include "image/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/rng.hpp"
+
+namespace ffsva::image {
+namespace {
+
+TEST(Box, BasicAccessors) {
+  const Box b{2, 3, 10, 8};
+  EXPECT_EQ(b.width(), 8);
+  EXPECT_EQ(b.height(), 5);
+  EXPECT_EQ(b.area(), 40);
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.cx(), 6);
+  EXPECT_EQ(b.cy(), 5);
+}
+
+TEST(Box, EmptyAndNegative) {
+  const Box b{5, 5, 5, 9};
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.area(), 0);
+  const Box inv{8, 2, 3, 6};  // x1 < x0
+  EXPECT_EQ(inv.width(), 0);
+  EXPECT_TRUE(inv.empty());
+}
+
+TEST(Box, IntersectAndUnite) {
+  const Box a{0, 0, 10, 10};
+  const Box b{5, 5, 15, 15};
+  const Box i = a.intersect(b);
+  EXPECT_EQ(i, (Box{5, 5, 10, 10}));
+  const Box u = a.unite(b);
+  EXPECT_EQ(u, (Box{0, 0, 15, 15}));
+}
+
+TEST(Box, UniteWithEmpty) {
+  const Box a{1, 1, 4, 4};
+  const Box empty{};
+  EXPECT_EQ(a.unite(empty), a);
+  EXPECT_EQ(empty.unite(a), a);
+}
+
+TEST(Box, ClipToImage) {
+  const Box b{-5, -5, 50, 8};
+  const Box c = b.clip(20, 10);
+  EXPECT_EQ(c, (Box{0, 0, 20, 8}));
+}
+
+TEST(Box, ContainsHalfOpen) {
+  const Box b{2, 2, 5, 5};
+  EXPECT_TRUE(b.contains(2, 2));
+  EXPECT_TRUE(b.contains(4, 4));
+  EXPECT_FALSE(b.contains(5, 5));
+  EXPECT_FALSE(b.contains(1, 3));
+}
+
+TEST(Iou, IdenticalBoxesIsOne) {
+  const Box b{3, 3, 9, 9};
+  EXPECT_DOUBLE_EQ(iou(b, b), 1.0);
+}
+
+TEST(Iou, DisjointBoxesIsZero) {
+  EXPECT_DOUBLE_EQ(iou(Box{0, 0, 5, 5}, Box{6, 6, 9, 9}), 0.0);
+}
+
+TEST(Iou, KnownOverlap) {
+  // 10x10 boxes overlapping in a 5x10 strip: inter 50, union 150.
+  EXPECT_NEAR(iou(Box{0, 0, 10, 10}, Box{5, 0, 15, 10}), 50.0 / 150.0, 1e-12);
+}
+
+TEST(Iou, PropertiesHoldOnRandomBoxes) {
+  runtime::Xoshiro256 rng(21);
+  auto random_box = [&] {
+    const int x0 = static_cast<int>(rng.below(50));
+    const int y0 = static_cast<int>(rng.below(50));
+    return Box{x0, y0, x0 + 1 + static_cast<int>(rng.below(30)),
+               y0 + 1 + static_cast<int>(rng.below(30))};
+  };
+  for (int i = 0; i < 200; ++i) {
+    const Box a = random_box(), b = random_box();
+    const double v = iou(a, b);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+    ASSERT_DOUBLE_EQ(v, iou(b, a));                 // symmetry
+    ASSERT_DOUBLE_EQ(iou(a, a), 1.0);               // reflexivity
+    if (a.intersect(b).empty()) ASSERT_EQ(v, 0.0);  // disjoint -> 0
+  }
+}
+
+TEST(Nms, KeepsNonOverlapping) {
+  std::vector<ScoredBox> boxes{{Box{0, 0, 10, 10}, 0.9},
+                               {Box{20, 20, 30, 30}, 0.8}};
+  const auto kept = nms(boxes, 0.5);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(Nms, SuppressesHeavyOverlapKeepingBestScore) {
+  std::vector<ScoredBox> boxes{{Box{0, 0, 10, 10}, 0.7},
+                               {Box{1, 1, 11, 11}, 0.9},
+                               {Box{2, 0, 12, 10}, 0.5}};
+  const auto kept = nms(boxes, 0.3);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].score, 0.9);
+}
+
+TEST(Nms, OutputSortedByScoreDescending) {
+  std::vector<ScoredBox> boxes{{Box{0, 0, 5, 5}, 0.2},
+                               {Box{10, 10, 15, 15}, 0.9},
+                               {Box{20, 20, 25, 25}, 0.5}};
+  const auto kept = nms(boxes, 0.5);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_GE(kept[0].score, kept[1].score);
+  EXPECT_GE(kept[1].score, kept[2].score);
+}
+
+TEST(Nms, ThresholdOneKeepsEverythingButDuplicates) {
+  // iou must EXCEED the threshold to suppress; at threshold 1.0 nothing
+  // can exceed it, so all boxes survive.
+  std::vector<ScoredBox> boxes{{Box{0, 0, 10, 10}, 0.9},
+                               {Box{0, 0, 10, 10}, 0.8}};
+  EXPECT_EQ(nms(boxes, 1.0).size(), 2u);
+  EXPECT_EQ(nms(boxes, 0.99).size(), 1u);
+}
+
+TEST(Nms, EmptyInput) {
+  EXPECT_TRUE(nms({}, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace ffsva::image

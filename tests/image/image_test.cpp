@@ -1,0 +1,85 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::image {
+namespace {
+
+TEST(Image, DefaultIsEmpty) {
+  Image img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.width(), 0);
+  EXPECT_EQ(img.size_bytes(), 0u);
+}
+
+TEST(Image, ConstructionAndFillValue) {
+  Image img(4, 3, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.channels(), 3);
+  EXPECT_EQ(img.size_bytes(), 36u);
+  EXPECT_EQ(img.at(0, 0, 0), 7);
+  EXPECT_EQ(img.at(3, 2, 2), 7);
+}
+
+TEST(Image, PixelReadWrite) {
+  Image img(5, 5, 1);
+  img.at(2, 3) = 200;
+  EXPECT_EQ(img.at(2, 3), 200);
+  EXPECT_EQ(img.at(3, 2), 0);
+}
+
+TEST(Image, InterleavedLayout) {
+  Image img(2, 1, 3);
+  img.at(0, 0, 0) = 1;
+  img.at(0, 0, 1) = 2;
+  img.at(0, 0, 2) = 3;
+  img.at(1, 0, 0) = 4;
+  EXPECT_EQ(img.data()[0], 1);
+  EXPECT_EQ(img.data()[1], 2);
+  EXPECT_EQ(img.data()[2], 3);
+  EXPECT_EQ(img.data()[3], 4);
+}
+
+TEST(Image, InBounds) {
+  Image img(3, 2, 1);
+  EXPECT_TRUE(img.in_bounds(0, 0));
+  EXPECT_TRUE(img.in_bounds(2, 1));
+  EXPECT_FALSE(img.in_bounds(3, 0));
+  EXPECT_FALSE(img.in_bounds(0, 2));
+  EXPECT_FALSE(img.in_bounds(-1, 0));
+}
+
+TEST(Image, EqualityAndShape) {
+  Image a(2, 2, 1), b(2, 2, 1), c(2, 2, 3);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+  EXPECT_EQ(a, b);
+  b.at(1, 1) = 9;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Accumulator, MeanOfConstantImages) {
+  Accumulator acc;
+  acc.add(Image(3, 3, 1, 10));
+  acc.add(Image(3, 3, 1, 20));
+  const Image mean = acc.mean();
+  EXPECT_EQ(mean.at(1, 1), 15);
+  EXPECT_EQ(acc.count(), 2);
+}
+
+TEST(Accumulator, EmptyMeanIsEmpty) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.mean().empty());
+}
+
+TEST(Accumulator, RoundsToNearest) {
+  Accumulator acc;
+  acc.add(Image(1, 1, 1, 1));
+  acc.add(Image(1, 1, 1, 2));
+  // (1+2)/2 = 1.5 -> rounds to 2
+  EXPECT_EQ(acc.mean().at(0, 0), 2);
+}
+
+}  // namespace
+}  // namespace ffsva::image

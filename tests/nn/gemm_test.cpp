@@ -1,0 +1,133 @@
+#include "nn/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hpp"
+
+namespace ffsva::nn {
+namespace {
+
+Tensor random_tensor(int n, int c, int h, int w, std::uint64_t seed) {
+  runtime::Xoshiro256 rng(seed);
+  Tensor t(n, c, h, w);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(Gemm, MatchesManualMultiply) {
+  // A: 2x3, B: 3x2.
+  const float a[] = {1, 2, 3, 4, 5, 6};
+  const float b[] = {7, 8, 9, 10, 11, 12};
+  float c[4];
+  gemm(a, b, c, 2, 3, 2);
+  EXPECT_FLOAT_EQ(c[0], 58.0f);   // 1*7+2*9+3*11
+  EXPECT_FLOAT_EQ(c[1], 64.0f);   // 1*8+2*10+3*12
+  EXPECT_FLOAT_EQ(c[2], 139.0f);  // 4*7+5*9+6*11
+  EXPECT_FLOAT_EQ(c[3], 154.0f);
+}
+
+TEST(Gemm, IdentityLeavesMatrixUnchanged) {
+  const float eye[] = {1, 0, 0, 1};
+  const float b[] = {3, 4, 5, 6};
+  float c[4];
+  gemm(eye, b, c, 2, 2, 2);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], b[i]);
+}
+
+TEST(Im2Col, UnfoldsKnownPattern) {
+  // 1x1x2x2 input, kernel 2, stride 1, pad 0 -> single column of 4.
+  Tensor x(1, 1, 2, 2);
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 0, 0, 1) = 2;
+  x.at(0, 0, 1, 0) = 3;
+  x.at(0, 0, 1, 1) = 4;
+  std::vector<float> cols;
+  im2col(x, 0, 2, 1, 0, 1, 1, cols);
+  ASSERT_EQ(cols.size(), 4u);
+  EXPECT_FLOAT_EQ(cols[0], 1);
+  EXPECT_FLOAT_EQ(cols[1], 2);
+  EXPECT_FLOAT_EQ(cols[2], 3);
+  EXPECT_FLOAT_EQ(cols[3], 4);
+}
+
+TEST(Im2Col, ZeroPaddingFillsBorders) {
+  Tensor x(1, 1, 1, 1);
+  x.at(0, 0, 0, 0) = 5;
+  // kernel 3, pad 1 -> 1x1 output, 9 rows; only the center is nonzero.
+  std::vector<float> cols;
+  im2col(x, 0, 3, 1, 1, 1, 1, cols);
+  ASSERT_EQ(cols.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(cols[static_cast<std::size_t>(i)], i == 4 ? 5.0f : 0.0f);
+  }
+}
+
+/// The central property: both convolution paths agree on random inputs
+/// across shapes, strides and paddings.
+class ConvEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int, int, int>> {};
+
+TEST_P(ConvEquivalenceTest, DirectMatchesIm2Col) {
+  const auto [batch, in_ch, out_ch, size, kernel, stride, pad] = GetParam();
+  runtime::Xoshiro256 rng(99);
+  Conv2d conv(in_ch, out_ch, kernel, stride, pad, rng);
+  const Tensor x = random_tensor(batch, in_ch, size, size, 7);
+
+  conv.set_use_im2col(false);
+  const Tensor direct = conv.forward(x, false);
+  conv.set_use_im2col(true);
+  const Tensor lowered = conv.forward(x, false);
+
+  ASSERT_TRUE(direct.same_shape(lowered));
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_NEAR(direct[i], lowered[i], 1e-4f) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvEquivalenceTest,
+    ::testing::Values(std::make_tuple(1, 1, 1, 5, 3, 1, 1),
+                      std::make_tuple(2, 3, 4, 8, 3, 1, 1),
+                      std::make_tuple(1, 1, 8, 50, 3, 2, 1),
+                      std::make_tuple(3, 8, 16, 25, 3, 2, 1),
+                      std::make_tuple(1, 2, 2, 7, 5, 1, 2),
+                      std::make_tuple(2, 4, 4, 9, 3, 3, 0),
+                      std::make_tuple(1, 1, 1, 4, 1, 1, 0)));
+
+TEST(ConvIm2Col, TrainingCachesInputForBackward) {
+  // With im2col forward, backward must still see the cached input.
+  runtime::Xoshiro256 rng(4);
+  Conv2d conv(1, 2, 3, 1, 1, rng);
+  const Tensor x = random_tensor(1, 1, 6, 6, 5);
+  const Tensor y = conv.forward(x, /*train=*/true);
+  Tensor g = Tensor::zeros_like(y);
+  g.fill(1.0f);
+  const Tensor gin = conv.backward(g);
+  EXPECT_TRUE(gin.same_shape(x));
+  EXPECT_GT(conv.weight_grad.abs_max(), 0.0);
+}
+
+TEST(ConvIm2Col, ChannelMismatchThrows) {
+  Tensor x(1, 2, 4, 4);
+  Tensor w(1, 3, 3, 3);
+  Tensor b(1, 1, 1, 1);
+  EXPECT_THROW(conv2d_im2col(x, w, b, 1, 1), std::invalid_argument);
+}
+
+TEST(Gemm, SkipsZeroWeights) {
+  // Behavioural check of the pruning fast path: result identical with
+  // zeros present.
+  const float a[] = {0, 2, 0, 4};
+  const float b[] = {1, 2, 3, 4};
+  float c[4];
+  gemm(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 6.0f);
+  EXPECT_FLOAT_EQ(c[1], 8.0f);
+  EXPECT_FLOAT_EQ(c[2], 12.0f);
+  EXPECT_FLOAT_EQ(c[3], 16.0f);
+}
+
+}  // namespace
+}  // namespace ffsva::nn

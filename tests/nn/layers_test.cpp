@@ -1,0 +1,188 @@
+// Forward-pass semantics of each layer against hand-computed values.
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ffsva::nn {
+namespace {
+
+runtime::Xoshiro256 rng(1234);
+
+TEST(Conv2d, OutputShape) {
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  Tensor x(2, 3, 50, 50);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.n(), 2);
+  EXPECT_EQ(y.c(), 8);
+  EXPECT_EQ(y.h(), 25);
+  EXPECT_EQ(y.w(), 25);
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.weight.fill(0.0f);
+  conv.weight.at(0, 0, 1, 1) = 1.0f;  // center tap
+  conv.bias.fill(0.0f);
+  Tensor x(1, 1, 4, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, BiasAddsUniformOffset) {
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.weight.fill(0.0f);
+  conv.bias.at(0, 0, 0, 0) = 2.5f;
+  Tensor x(1, 1, 3, 3);
+  const Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 2.5f);
+}
+
+TEST(Conv2d, SumKernelComputesLocalSums) {
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.weight.fill(1.0f);
+  conv.bias.fill(0.0f);
+  Tensor x(1, 1, 3, 3);
+  x.fill(1.0f);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 9.0f);  // full window
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);  // corner: zero padding
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 6.0f);  // edge
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  Conv2d conv(3, 4, 3, 1, 1, rng);
+  Tensor x(1, 2, 8, 8);
+  EXPECT_THROW(conv.forward(x, false), std::invalid_argument);
+}
+
+TEST(MaxPool2d, SelectsMaximum) {
+  MaxPool2d pool(2, 2);
+  Tensor x(1, 1, 2, 2);
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 0, 0, 1) = 5;
+  x.at(0, 0, 1, 0) = 3;
+  x.at(0, 0, 1, 1) = 2;
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.h(), 1);
+  EXPECT_EQ(y.w(), 1);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x(1, 1, 2, 2);
+  x.at(0, 0, 0, 1) = 9.0f;
+  pool.forward(x, true);
+  Tensor g(1, 1, 1, 1);
+  g.at(0, 0, 0, 0) = 4.0f;
+  const Tensor gin = pool.backward(g);
+  EXPECT_FLOAT_EQ(gin.at(0, 0, 0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(gin.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Linear, MatrixVectorSemantics) {
+  Linear fc(3, 2, rng);
+  fc.weight.fill(0.0f);
+  fc.weight.at(0, 0, 0, 0) = 1.0f;  // y0 = x0
+  fc.weight.at(1, 2, 0, 0) = 2.0f;  // y1 = 2*x2
+  fc.bias.at(0, 0, 0, 0) = 0.5f;
+  Tensor x(1, 3, 1, 1);
+  x.at(0, 0, 0, 0) = 3.0f;
+  x.at(0, 2, 0, 0) = 4.0f;
+  const Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 8.0f);
+}
+
+TEST(Linear, FlattensChw) {
+  Linear fc(12, 1, rng);
+  Tensor x(2, 3, 2, 2);
+  EXPECT_NO_THROW(fc.forward(x, false));
+  Tensor bad(2, 3, 2, 3);
+  EXPECT_THROW(fc.forward(bad, false), std::invalid_argument);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x(1, 1, 1, 3);
+  x[0] = -2;
+  x[1] = 0;
+  x[2] = 3;
+  const Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(Sigmoid, KnownValues) {
+  Sigmoid s;
+  Tensor x(1, 1, 1, 3);
+  x[0] = 0.0f;
+  x[1] = 100.0f;
+  x[2] = -100.0f;
+  const Tensor y = s.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6);
+}
+
+TEST(Sequential, ChainsLayersAndCountsParams) {
+  runtime::Xoshiro256 r(5);
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(1, 2, 3, 2, 1, r))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Linear>(2 * 4 * 4, 1, r));
+  Tensor x(1, 1, 8, 8);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.n(), 1);
+  EXPECT_EQ(y.c(), 1);
+  // conv: 2*1*3*3 + 2 = 20; linear: 32 + 1 = 33. Total 53.
+  EXPECT_EQ(net.num_parameters(), 53u);
+  EXPECT_EQ(net.num_layers(), 3u);
+}
+
+TEST(Sequential, SaveLoadRoundTrip) {
+  runtime::Xoshiro256 r1(5), r2(99);
+  auto build = [](runtime::Xoshiro256& r) {
+    auto net = std::make_unique<Sequential>();
+    net->add(std::make_unique<Conv2d>(1, 2, 3, 2, 1, r))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<Linear>(2 * 4 * 4, 1, r));
+    return net;
+  };
+  auto a = build(r1);
+  auto b = build(r2);
+  Tensor x(1, 1, 8, 8);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i % 7) * 0.1f;
+  std::stringstream ss;
+  a->save(ss);
+  b->load(ss);
+  const Tensor ya = a->forward(x);
+  const Tensor yb = b->forward(x);
+  EXPECT_FLOAT_EQ(ya.at(0, 0, 0, 0), yb.at(0, 0, 0, 0));
+}
+
+TEST(Sequential, ZeroGradClearsAccumulation) {
+  runtime::Xoshiro256 r(5);
+  Sequential net;
+  net.add(std::make_unique<Linear>(4, 2, r));
+  Tensor x(1, 4, 1, 1);
+  x.fill(1.0f);
+  net.forward(x, true);
+  Tensor g(1, 2, 1, 1);
+  g.fill(1.0f);
+  net.backward(g);
+  bool any_nonzero = false;
+  for (auto p : net.params()) {
+    if (p.grad->abs_max() > 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  net.zero_grad();
+  for (auto p : net.params()) EXPECT_EQ(p.grad->abs_max(), 0.0);
+}
+
+}  // namespace
+}  // namespace ffsva::nn

@@ -1,0 +1,99 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ffsva::nn {
+namespace {
+
+TEST(Sigmoid, Symmetry) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(2.0) + sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(BceWithLogits, PerfectPredictionsNearZeroLoss) {
+  Tensor logits(2, 1, 1, 1);
+  logits.at(0, 0, 0, 0) = 20.0f;   // strongly positive
+  logits.at(1, 0, 0, 0) = -20.0f;  // strongly negative
+  Tensor grad;
+  const double loss = bce_with_logits(logits, {1.0f, 0.0f}, grad);
+  EXPECT_LT(loss, 1e-6);
+  EXPECT_NEAR(grad.at(0, 0, 0, 0), 0.0, 1e-6);
+}
+
+TEST(BceWithLogits, ChanceLevelIsLog2) {
+  Tensor logits(2, 1, 1, 1);  // zeros -> p = 0.5
+  Tensor grad;
+  const double loss = bce_with_logits(logits, {1.0f, 0.0f}, grad);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-9);
+}
+
+TEST(BceWithLogits, GradientIsSigmoidMinusTargetOverN) {
+  Tensor logits(2, 1, 1, 1);
+  logits.at(0, 0, 0, 0) = 1.5f;
+  logits.at(1, 0, 0, 0) = -0.5f;
+  Tensor grad;
+  bce_with_logits(logits, {1.0f, 0.0f}, grad);
+  EXPECT_NEAR(grad.at(0, 0, 0, 0), (sigmoid(1.5) - 1.0) / 2, 1e-7);
+  EXPECT_NEAR(grad.at(1, 0, 0, 0), (sigmoid(-0.5) - 0.0) / 2, 1e-7);
+}
+
+TEST(BceWithLogits, NumericallyStableAtExtremes) {
+  Tensor logits(2, 1, 1, 1);
+  logits.at(0, 0, 0, 0) = 500.0f;
+  logits.at(1, 0, 0, 0) = -500.0f;
+  Tensor grad;
+  const double loss = bce_with_logits(logits, {0.0f, 1.0f}, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 500.0, 1.0);  // worst-case mislabels cost |z|
+}
+
+TEST(BceWithLogits, ShapeMismatchThrows) {
+  Tensor logits(2, 1, 1, 1);
+  Tensor grad;
+  EXPECT_THROW(bce_with_logits(logits, {1.0f}, grad), std::invalid_argument);
+  Tensor multi(2, 3, 1, 1);
+  EXPECT_THROW(bce_with_logits(multi, {1.0f, 0.0f}, grad), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits(1, 4, 1, 1);
+  Tensor grad;
+  const double loss = softmax_cross_entropy(logits, {2}, grad);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-9);
+  // Gradient: p - onehot, p = 1/4.
+  EXPECT_NEAR(grad.at(0, 0, 0, 0), 0.25, 1e-9);
+  EXPECT_NEAR(grad.at(0, 2, 0, 0), 0.25 - 1.0, 1e-9);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsLowLoss) {
+  Tensor logits(1, 3, 1, 1);
+  logits.at(0, 1, 0, 0) = 30.0f;
+  Tensor grad;
+  EXPECT_LT(softmax_cross_entropy(logits, {1}, grad), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientsSumToZeroPerSample) {
+  Tensor logits(2, 5, 1, 1);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits[i] = static_cast<float>(i) * 0.3f - 1.0f;
+  }
+  Tensor grad;
+  softmax_cross_entropy(logits, {0, 4}, grad);
+  for (int n = 0; n < 2; ++n) {
+    double sum = 0.0;
+    for (int c = 0; c < 5; ++c) sum += grad.at(n, c, 0, 0);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, BadLabelThrows) {
+  Tensor logits(1, 3, 1, 1);
+  Tensor grad;
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}, grad), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}, grad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ffsva::nn

@@ -1,0 +1,211 @@
+// BoundedQueue: the decoupling primitive between pipeline stages.
+#include "runtime/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace ffsva::runtime {
+namespace {
+
+TEST(BoundedQueue, PushPopSingleThread) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(BoundedQueue, TryPopEmptyReturnsNullopt) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, ZeroCapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(BoundedQueue, CloseWakesConsumersAndDrains) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));  // producers fail after close
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // end of stream
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingConsumer) {
+  BoundedQueue<int> q(2);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingProducer) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, PopForTimesOut) {
+  BoundedQueue<int> q(1);
+  const auto got = q.pop_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(BoundedQueue, PushForTimesOutWhenFull) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  EXPECT_FALSE(q.push_for(2, std::chrono::milliseconds(20)));
+  EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(BoundedQueue, PopBatchTakesUpToMax) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  const auto batch = q.pop_batch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], 0);
+  EXPECT_EQ(batch[2], 2);
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(BoundedQueue, PopBatchDrainsWhenFewerAvailable) {
+  BoundedQueue<int> q(8);
+  q.push(42);
+  const auto batch = q.pop_batch(10);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 42);
+}
+
+TEST(BoundedQueue, PopExactWaitsForFullCount) {
+  BoundedQueue<int> q(8);
+  std::vector<int> got;
+  std::thread consumer([&] { got = q.pop_exact(4); });
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.push(i);
+  }
+  consumer.join();
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueue, PopExactDrainsShortOnClose) {
+  BoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  const auto got = q.pop_exact(5);
+  closer.join();
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(BoundedQueue, FifoOrderPreserved) {
+  BoundedQueue<int> q(128);
+  for (int i = 0; i < 100; ++i) q.push(i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BoundedQueue, CountersTrackTraffic) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.pop();
+  EXPECT_EQ(q.total_pushed(), 2u);
+  EXPECT_EQ(q.total_popped(), 1u);
+}
+
+// Property: under concurrent producers and consumers, every pushed element
+// is popped exactly once (no loss, no duplication) — the invariant the
+// pipeline depends on for its "no frame lost" guarantee.
+class BoundedQueueConcurrencyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(BoundedQueueConcurrencyTest, NoLossNoDuplication) {
+  const auto [producers, consumers, capacity] = GetParam();
+  const int per_producer = 500;
+  BoundedQueue<int> q(capacity);
+  std::vector<std::thread> threads;
+  std::mutex seen_mu;
+  std::vector<int> seen;
+
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        ASSERT_TRUE(q.push(p * per_producer + i));
+      }
+    });
+  }
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        std::lock_guard lk(seen_mu);
+        seen.push_back(*v);
+      }
+    });
+  }
+  for (int p = 0; p < producers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t t = static_cast<std::size_t>(producers); t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(producers) * per_producer);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<int>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BoundedQueueConcurrencyTest,
+    ::testing::Values(std::make_tuple(1, 1, std::size_t{2}),
+                      std::make_tuple(1, 1, std::size_t{64}),
+                      std::make_tuple(2, 2, std::size_t{4}),
+                      std::make_tuple(4, 1, std::size_t{8}),
+                      std::make_tuple(1, 4, std::size_t{8}),
+                      std::make_tuple(4, 4, std::size_t{1})));
+
+// Per-consumer FIFO: a single consumer observes producer order.
+TEST(BoundedQueue, SingleProducerSingleConsumerOrder) {
+  BoundedQueue<int> q(3);
+  std::vector<int> got;
+  std::thread consumer([&] {
+    while (auto v = q.pop()) got.push_back(*v);
+  });
+  for (int i = 0; i < 200; ++i) q.push(i);
+  q.close();
+  consumer.join();
+  ASSERT_EQ(got.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace ffsva::runtime

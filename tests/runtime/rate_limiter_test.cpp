@@ -1,0 +1,48 @@
+#include "runtime/rate_limiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/stopwatch.hpp"
+
+namespace ffsva::runtime {
+namespace {
+
+TEST(RateLimiter, BurstAllowsImmediateAcquires) {
+  RateLimiter limiter(10.0, /*burst=*/5.0);
+  Stopwatch w;
+  for (int i = 0; i < 5; ++i) limiter.acquire();
+  EXPECT_LT(w.elapsed_ms(), 50.0);  // burst tokens, no sleeping
+}
+
+TEST(RateLimiter, SustainedRateIsEnforced) {
+  // 200 tokens/s, take 21 after the single burst token: needs >= ~0.1 s.
+  RateLimiter limiter(200.0, 1.0);
+  Stopwatch w;
+  for (int i = 0; i < 21; ++i) limiter.acquire();
+  const double elapsed = w.elapsed_sec();
+  EXPECT_GE(elapsed, 0.08);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(RateLimiter, TryAcquireFailsWhenEmpty) {
+  RateLimiter limiter(1.0, 1.0);
+  EXPECT_TRUE(limiter.try_acquire());
+  EXPECT_FALSE(limiter.try_acquire());  // bucket drained, refill is ~1/s
+}
+
+TEST(RateLimiter, TryAcquireRecoversAfterWait) {
+  RateLimiter limiter(1000.0, 1.0);
+  EXPECT_TRUE(limiter.try_acquire());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(limiter.try_acquire());
+}
+
+TEST(RateLimiter, DegenerateRateClamped) {
+  RateLimiter limiter(0.0, 0.0);  // clamps to 1 token/s, burst 1
+  EXPECT_TRUE(limiter.try_acquire());
+}
+
+}  // namespace
+}  // namespace ffsva::runtime

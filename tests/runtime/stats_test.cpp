@@ -1,0 +1,130 @@
+#include "runtime/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/rng.hpp"
+
+namespace ffsva::runtime {
+namespace {
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  s.add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // sample variance of {2,4,6}
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 100);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Histogram, EmptyQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  // Bucketed value within ~3% of the true value, clamped to [min, max].
+  EXPECT_NEAR(h.p50(), 42.0, 42.0 * 0.04);
+}
+
+TEST(Histogram, QuantileAccuracyOnUniform) {
+  Histogram h;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform(0.0, 1000.0));
+  EXPECT_NEAR(h.p50(), 500.0, 25.0);
+  EXPECT_NEAR(h.p90(), 900.0, 40.0);
+  EXPECT_NEAR(h.p99(), 990.0, 45.0);
+}
+
+TEST(Histogram, QuantilesMonotone) {
+  Histogram h;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) h.add(std::exp(rng.normal()));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(prev, h.max() + 1e-12);
+}
+
+TEST(Histogram, WideDynamicRange) {
+  Histogram h;
+  h.add(0.001);
+  h.add(1.0);
+  h.add(1e6);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.quantile(1.0), 1e6, 1e6 * 0.04);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  for (int i = 1; i <= 100; ++i) a.add(i);
+  for (int i = 101; i <= 200; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_NEAR(a.quantile(0.5), 100.0, 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+}
+
+TEST(Histogram, SummaryIsHumanReadable) {
+  Histogram h;
+  h.add(1.0);
+  const auto s = h.summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+}
+
+TEST(StageCounters, PassRate) {
+  StageCounters c;
+  EXPECT_EQ(c.pass_rate(), 0.0);
+  c.in = 10;
+  c.passed = 4;
+  EXPECT_DOUBLE_EQ(c.pass_rate(), 0.4);
+  EXPECT_EQ(c.filtered(), 6u);
+}
+
+}  // namespace
+}  // namespace ffsva::runtime

@@ -1,0 +1,46 @@
+#include "runtime/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ffsva::runtime {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const double ms = w.elapsed_ms();
+  EXPECT_GE(ms, 25.0);
+  EXPECT_LT(ms, 2000.0);  // generous: CI machines stall
+}
+
+TEST(Stopwatch, UnitsAreConsistent) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double sec = w.elapsed_sec();
+  const double ms = w.elapsed_ms();
+  const double us = w.elapsed_us();
+  EXPECT_NEAR(ms, sec * 1e3, sec * 1e3 * 0.5 + 1.0);
+  EXPECT_NEAR(us, sec * 1e6, sec * 1e6 * 0.5 + 1000.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.reset();
+  EXPECT_LT(w.elapsed_ms(), 15.0);
+}
+
+TEST(Stopwatch, MonotoneNonDecreasing) {
+  Stopwatch w;
+  double prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double now = w.elapsed_us();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace ffsva::runtime

@@ -1,0 +1,88 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace ffsva::runtime {
+namespace {
+
+TEST(ThreadPool, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.submit([&] { count.fetch_add(1); }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1);
+      });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // must not crash or hang
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
+  // With 4 workers, 4 tasks that wait on a shared barrier can only finish
+  // if they run concurrently.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      arrived.fetch_add(1);
+      while (arrived.load() < 4) std::this_thread::yield();
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(ThreadPool, WaitIdleThenMoreWork) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace ffsva::runtime

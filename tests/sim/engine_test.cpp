@@ -1,0 +1,139 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ffsva::sim {
+namespace {
+
+TEST(SimEngine, StartsAtZero) {
+  SimEngine eng;
+  EXPECT_EQ(eng.now(), 0.0);
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(SimEngine, EventsRunInTimeOrder) {
+  SimEngine eng;
+  std::vector<int> order;
+  eng.at(3.0, [&] { order.push_back(3); });
+  eng.at(1.0, [&] { order.push_back(1); });
+  eng.at(2.0, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 3.0);
+}
+
+TEST(SimEngine, TiesBreakBySubmissionOrder) {
+  SimEngine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.at(1.0, [&, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimEngine, AfterIsRelative) {
+  SimEngine eng;
+  double fired_at = -1;
+  eng.at(5.0, [&] {
+    eng.after(2.5, [&] { fired_at = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimEngine, RunUntilStopsEarly) {
+  SimEngine eng;
+  int fired = 0;
+  eng.at(1.0, [&] { ++fired; });
+  eng.at(10.0, [&] { ++fired; });
+  eng.run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.pending(), 1u);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngine, EventsCanScheduleRecursively) {
+  SimEngine eng;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) eng.after(0.1, tick);
+  };
+  eng.after(0.1, tick);
+  eng.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_NEAR(eng.now(), 10.0, 1e-9);
+  EXPECT_EQ(eng.events_executed(), 100u);
+}
+
+TEST(KServerResource, SingleServerSerializesJobs) {
+  SimEngine eng;
+  KServerResource server(eng, 1);
+  std::vector<double> done_times;
+  for (int i = 0; i < 3; ++i) {
+    server.submit(1.0, [&] { done_times.push_back(eng.now()); });
+  }
+  eng.run();
+  ASSERT_EQ(done_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(done_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(done_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(done_times[2], 3.0);
+}
+
+TEST(KServerResource, TwoServersRunConcurrently) {
+  SimEngine eng;
+  KServerResource server(eng, 2);
+  std::vector<double> done_times;
+  for (int i = 0; i < 4; ++i) {
+    server.submit(1.0, [&] { done_times.push_back(eng.now()); });
+  }
+  eng.run();
+  ASSERT_EQ(done_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(done_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(done_times[1], 1.0);
+  EXPECT_DOUBLE_EQ(done_times[2], 2.0);
+  EXPECT_DOUBLE_EQ(done_times[3], 2.0);
+}
+
+TEST(KServerResource, UtilizationAccounting) {
+  SimEngine eng;
+  KServerResource server(eng, 2);
+  server.submit(1.0, [] {});
+  server.submit(1.0, [] {});
+  eng.run();
+  // 2 seconds of busy time over 1 second * 2 servers = fully utilized.
+  EXPECT_NEAR(server.utilization(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(server.busy_time(), 2.0);
+}
+
+TEST(GpuDevice, ChargesSwitchOnModelChangeOnly) {
+  SimEngine eng;
+  GpuDevice gpu(eng, "gpu0");
+  std::vector<double> done;
+  gpu.submit(1, 10.0, 1000.0, [&] { done.push_back(eng.now()); });  // switch+1ms
+  gpu.submit(1, 10.0, 1000.0, [&] { done.push_back(eng.now()); });  // 1ms
+  gpu.submit(2, 10.0, 1000.0, [&] { done.push_back(eng.now()); });  // switch+1ms
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(done[0], 0.011, 1e-9);
+  EXPECT_NEAR(done[1], 0.012, 1e-9);
+  EXPECT_NEAR(done[2], 0.023, 1e-9);
+  EXPECT_EQ(gpu.switches(), 2);
+  EXPECT_NEAR(gpu.switch_time(), 0.020, 1e-12);
+}
+
+TEST(GpuDevice, AlternatingModelsThrash) {
+  SimEngine eng;
+  GpuDevice gpu(eng);
+  for (int i = 0; i < 10; ++i) {
+    gpu.submit(i % 2, 5.0, 100.0, [] {});
+  }
+  eng.run();
+  EXPECT_EQ(gpu.switches(), 10);  // every job switches
+}
+
+}  // namespace
+}  // namespace ffsva::sim

@@ -1,0 +1,129 @@
+#include "sim/outcome.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::sim {
+namespace {
+
+TEST(TraceOutcomes, ReplaysAndLoops) {
+  auto data = std::make_shared<std::vector<core::FilteredAt>>(
+      std::vector<core::FilteredAt>{core::FilteredAt::kNone, core::FilteredAt::kSdd,
+                                    core::FilteredAt::kSnm});
+  TraceOutcomes src(data, 0);
+  EXPECT_EQ(src.next(), core::FilteredAt::kNone);
+  EXPECT_EQ(src.next(), core::FilteredAt::kSdd);
+  EXPECT_EQ(src.next(), core::FilteredAt::kSnm);
+  EXPECT_EQ(src.next(), core::FilteredAt::kNone);  // wrapped
+}
+
+TEST(TraceOutcomes, OffsetShiftsPhase) {
+  auto data = std::make_shared<std::vector<core::FilteredAt>>(
+      std::vector<core::FilteredAt>{core::FilteredAt::kNone, core::FilteredAt::kSdd});
+  TraceOutcomes src(data, 1);
+  EXPECT_EQ(src.next(), core::FilteredAt::kSdd);
+  EXPECT_EQ(src.next(), core::FilteredAt::kNone);
+}
+
+TEST(TraceOutcomes, EmptyTraceIsAllFiltered) {
+  auto data = std::make_shared<std::vector<core::FilteredAt>>();
+  TraceOutcomes src(data, 5);
+  EXPECT_EQ(src.next(), core::FilteredAt::kSdd);
+}
+
+TEST(OutcomesFromTrace, AppliesThresholds) {
+  std::vector<core::FrameRecord> records(2);
+  records[0].sdd_distance = 100;
+  records[0].snm_score = 0.9;
+  records[0].tyolo_count = 1;
+  records[1].sdd_distance = 1;
+  const core::CascadeThresholds t{10.0, 0.5, 1};
+  const auto out = outcomes_from_trace(records, t);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], core::FilteredAt::kNone);
+  EXPECT_EQ(out[1], core::FilteredAt::kSdd);
+}
+
+TEST(MarkovOutcomes, DeterministicPerSeed) {
+  const auto p = MarkovParams::for_tor(0.3);
+  MarkovOutcomes a(p, 9), b(p, 9), c(p, 10);
+  int same = 0, diff = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto va = a.next();
+    if (va == b.next()) ++same;
+    if (va != c.next()) ++diff;
+  }
+  EXPECT_EQ(same, 200);
+  EXPECT_GT(diff, 0);
+}
+
+TEST(MarkovOutcomes, StationaryTorIsRespected) {
+  for (double tor : {0.1, 0.5, 0.9}) {
+    MarkovOutcomes src(MarkovParams::for_tor(tor), 123);
+    int in_scene = 0;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) {
+      src.next();
+      in_scene += src.in_scene() ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(in_scene) / n, tor, 0.05) << "tor " << tor;
+  }
+}
+
+TEST(MarkovOutcomes, SceneRunsHaveConfiguredMeanLength) {
+  MarkovParams p = MarkovParams::for_tor(0.3);
+  p.mean_scene_len = 50.0;
+  MarkovOutcomes src(p, 77);
+  std::vector<int> runs;
+  int cur = 0;
+  for (int i = 0; i < 200000; ++i) {
+    src.next();
+    if (src.in_scene()) {
+      ++cur;
+    } else if (cur > 0) {
+      runs.push_back(cur);
+      cur = 0;
+    }
+  }
+  ASSERT_GT(runs.size(), 100u);
+  double mean = 0;
+  for (int r : runs) mean += r;
+  mean /= static_cast<double>(runs.size());
+  EXPECT_NEAR(mean, 50.0, 8.0);
+}
+
+TEST(MarkovOutcomes, TorExtremesAreAbsorbing) {
+  MarkovOutcomes always(MarkovParams::for_tor(1.0), 5);
+  MarkovOutcomes never(MarkovParams::for_tor(0.0), 5);
+  for (int i = 0; i < 100; ++i) {
+    always.next();
+    EXPECT_TRUE(always.in_scene());
+    never.next();
+    EXPECT_FALSE(never.in_scene());
+  }
+}
+
+TEST(MarkovOutcomes, PassRatesFollowState) {
+  MarkovParams p = MarkovParams::for_tor(0.5);
+  p.sdd_in = 1.0;
+  p.sdd_out = 0.0;
+  p.snm_in = 1.0;
+  p.ty_in = 1.0;
+  MarkovOutcomes src(p, 31);
+  for (int i = 0; i < 2000; ++i) {
+    const auto o = src.next();
+    if (src.in_scene()) {
+      EXPECT_EQ(o, core::FilteredAt::kNone);
+    } else {
+      EXPECT_EQ(o, core::FilteredAt::kSdd);
+    }
+  }
+}
+
+TEST(MarkovParams, NumberOfObjectsThinsTyPass) {
+  const auto p1 = MarkovParams::for_tor(0.3, 1);
+  const auto p3 = MarkovParams::for_tor(0.3, 3);
+  EXPECT_GT(p1.ty_in, p3.ty_in);
+}
+
+}  // namespace
+}  // namespace ffsva::sim

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace ffsva::sim {
+namespace {
+
+TEST(SimQueue, TryPushRespectsCapacity) {
+  SimQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(SimQueue, PopWaitImmediateWhenAvailable) {
+  SimQueue<int> q(4);
+  q.try_push(7);
+  int got = 0;
+  q.pop_wait([&](std::optional<int> v) { got = v.value_or(-1); });
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(SimQueue, PopWaitParksUntilPush) {
+  SimQueue<int> q(4);
+  int got = -1;
+  q.pop_wait([&](std::optional<int> v) { got = v.value_or(-2); });
+  EXPECT_EQ(got, -1);  // parked
+  q.try_push(5);
+  EXPECT_EQ(got, 5);   // delivered directly, item never rests in the queue
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(SimQueue, PushWaitParksUntilSpace) {
+  SimQueue<int> q(1);
+  q.try_push(1);
+  bool resumed = false;
+  q.push_wait(2, [&] { resumed = true; });
+  EXPECT_FALSE(resumed);
+  EXPECT_EQ(q.depth(), 1u);
+  int got = 0;
+  q.pop_wait([&](std::optional<int> v) { got = *v; });
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(resumed);  // parked producer admitted
+  EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(SimQueue, FifoAmongParkedProducers) {
+  SimQueue<int> q(1);
+  q.try_push(0);
+  std::vector<int> resumed;
+  q.push_wait(1, [&] { resumed.push_back(1); });
+  q.push_wait(2, [&] { resumed.push_back(2); });
+  std::vector<int> popped;
+  for (int i = 0; i < 3; ++i) {
+    q.pop_wait([&](std::optional<int> v) { popped.push_back(*v); });
+  }
+  EXPECT_EQ(popped, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(resumed, (std::vector<int>{1, 2}));
+}
+
+TEST(SimQueue, WaitDepthFiresWhenReached) {
+  SimQueue<int> q(8);
+  std::size_t seen = 0;
+  bool fired = false;
+  q.wait_depth(3, [&](std::size_t n) {
+    fired = true;
+    seen = n;
+  });
+  q.try_push(1);
+  q.try_push(2);
+  EXPECT_FALSE(fired);
+  q.try_push(3);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(SimQueue, WaitDepthImmediateWhenAlreadyDeep) {
+  SimQueue<int> q(8);
+  q.try_push(1);
+  bool fired = false;
+  q.wait_depth(1, [&](std::size_t) { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimQueue, CloseWakesDepthWaitersAndConsumers) {
+  SimQueue<int> q(8);
+  q.try_push(1);
+  std::size_t leftover = 99;
+  q.wait_depth(5, [&](std::size_t n) { leftover = n; });
+  bool consumer_got_null = false;
+  q.close();
+  EXPECT_EQ(leftover, 1u);  // woken short on close
+  // Drain the remaining item, then end-of-stream.
+  int got = 0;
+  q.pop_wait([&](std::optional<int> v) { got = v.value_or(-1); });
+  EXPECT_EQ(got, 1);
+  q.pop_wait([&](std::optional<int> v) { consumer_got_null = !v.has_value(); });
+  EXPECT_TRUE(consumer_got_null);
+}
+
+TEST(SimQueue, CloseRejectsNewPushes) {
+  SimQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.try_push(1));
+}
+
+TEST(SimQueue, PopSomeTakesUpToN) {
+  SimQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.try_push(i);
+  const auto got = q.pop_some(3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[2], 2);
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pop_some(10).size(), 2u);
+  EXPECT_TRUE(q.pop_some(1).empty());
+}
+
+TEST(SimQueue, PopSomeAdmitsParkedProducers) {
+  SimQueue<int> q(2);
+  q.try_push(0);
+  q.try_push(1);
+  std::vector<int> resumed;
+  q.push_wait(2, [&] { resumed.push_back(2); });
+  q.push_wait(3, [&] { resumed.push_back(3); });
+  const auto got = q.pop_some(2);
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(resumed, (std::vector<int>{2, 3}));
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(SimQueue, PushHookFires) {
+  SimQueue<int> q(4);
+  int hooks = 0;
+  q.set_push_hook([&] { ++hooks; });
+  q.try_push(1);
+  q.try_push(2);
+  EXPECT_EQ(hooks, 2);
+}
+
+TEST(SimQueue, NoLossThroughMixedOperations) {
+  SimQueue<int> q(3);
+  std::vector<int> out;
+  int pushed = 0;
+  auto consume = [&] {
+    q.pop_wait([&](std::optional<int> v) {
+      if (v) out.push_back(*v);
+    });
+  };
+  for (int round = 0; round < 50; ++round) {
+    q.push_wait(pushed++, [] {});
+    if (round % 2 == 0) consume();
+    if (round % 7 == 0) {
+      for (int v : q.pop_some(2)) out.push_back(v);
+    }
+  }
+  while (q.depth() > 0) {
+    for (int v : q.pop_some(4)) out.push_back(v);
+  }
+  // Parked producers at the end still hold their items; flush them by
+  // popping (admission happens on pop).
+  // All delivered values are distinct and ordered.
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_EQ(out[i], out[i - 1] + 1);
+}
+
+}  // namespace
+}  // namespace ffsva::sim

@@ -1,0 +1,89 @@
+#include "video/clips.hpp"
+
+#include <gtest/gtest.h>
+
+#include "video/profiles.hpp"
+
+namespace ffsva::video {
+namespace {
+
+SceneSimulator make_sim(double tor, std::int64_t frames = 6000) {
+  SceneConfig cfg = jackson_profile();
+  cfg.width = 96;
+  cfg.height = 72;
+  cfg.tor = tor;
+  return SceneSimulator(cfg, 33, frames);
+}
+
+TEST(Clips, PresenceMaskMatchesIntervals) {
+  const auto sim = make_sim(0.3);
+  const auto mask = presence_mask(sim);
+  ASSERT_EQ(mask.size(), static_cast<std::size_t>(sim.total_frames()));
+  std::int64_t covered = 0;
+  for (auto m : mask) covered += m;
+  EXPECT_NEAR(static_cast<double>(covered) / static_cast<double>(mask.size()),
+              sim.planned_tor(), 1e-9);
+}
+
+TEST(Clips, WindowTorBasics) {
+  std::vector<std::uint8_t> presence{0, 0, 1, 1, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(window_tor(presence, 0, 8), 3.0 / 8);
+  EXPECT_DOUBLE_EQ(window_tor(presence, 2, 5), 1.0);
+  EXPECT_DOUBLE_EQ(window_tor(presence, 5, 8), 0.0);
+  EXPECT_DOUBLE_EQ(window_tor(presence, 4, 4), 0.0);
+}
+
+TEST(Clips, FindsRequestedTors) {
+  const auto sim = make_sim(0.3);
+  const auto clips = find_clips(sim, {0.1, 0.3, 0.5}, 600, /*tolerance=*/0.08);
+  EXPECT_GE(clips.size(), 2u);
+  for (const auto& c : clips) {
+    EXPECT_EQ(c.end - c.begin, 600);
+    // Realized TOR matches what find_clips claims.
+    const auto mask = presence_mask(sim);
+    EXPECT_NEAR(window_tor(mask, c.begin, c.end), c.tor, 1e-9);
+  }
+}
+
+TEST(Clips, ClipsDoNotOverlap) {
+  const auto sim = make_sim(0.4);
+  const auto clips = find_clips(sim, {0.2, 0.3, 0.4, 0.5}, 500, 0.15);
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    for (std::size_t j = i + 1; j < clips.size(); ++j) {
+      const bool disjoint =
+          clips[i].end <= clips[j].begin || clips[j].end <= clips[i].begin;
+      EXPECT_TRUE(disjoint) << "clips " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(Clips, UnreachableTorSkipped) {
+  const auto sim = make_sim(0.1);
+  // A 0.95-TOR window cannot exist in a 0.1-TOR stream.
+  const auto clips = find_clips(sim, {0.95}, 600, 0.05);
+  EXPECT_TRUE(clips.empty());
+}
+
+TEST(Clips, DegenerateLengths) {
+  const auto sim = make_sim(0.3, 1000);
+  EXPECT_TRUE(find_clips(sim, {0.3}, 0).empty());
+  EXPECT_TRUE(find_clips(sim, {0.3}, 2000).empty());  // longer than stream
+  const auto whole = find_clips(sim, {sim.planned_tor()}, 1000, 0.05);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0].begin, 0);
+}
+
+TEST(Clips, BestMatchIsChosenAmongCandidates) {
+  const auto sim = make_sim(0.35);
+  const auto clips = find_clips(sim, {0.2}, 400, 0.2);
+  ASSERT_EQ(clips.size(), 1u);
+  // No other window (on the search stride) should be strictly closer.
+  const auto mask = presence_mask(sim);
+  const double err = std::abs(clips[0].tor - 0.2);
+  for (std::int64_t b = 0; b + 400 <= sim.total_frames(); b += 25) {
+    EXPECT_GE(std::abs(window_tor(mask, b, b + 400) - 0.2) + 1e-12, err);
+  }
+}
+
+}  // namespace
+}  // namespace ffsva::video

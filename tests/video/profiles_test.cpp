@@ -1,0 +1,86 @@
+#include "video/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::video {
+namespace {
+
+TEST(Profiles, JacksonShape) {
+  const SceneConfig c = jackson_profile();
+  EXPECT_EQ(c.target, ObjectClass::kCar);
+  EXPECT_NEAR(c.tor, 0.08, 1e-9);
+  EXPECT_DOUBLE_EQ(c.fps, 30.0);
+  EXPECT_GT(c.stopline_fraction, 0.0);  // the Table-2 error mechanism
+  EXPECT_EQ(c.dynamic_texture, 0.0);    // street background is static
+}
+
+TEST(Profiles, CoralShape) {
+  const SceneConfig c = coral_profile();
+  EXPECT_EQ(c.target, ObjectClass::kPerson);
+  EXPECT_NEAR(c.tor, 0.50, 1e-9);
+  EXPECT_GT(c.dynamic_texture, 0.0);  // water shimmer
+  EXPECT_GE(c.max_objects, 8);        // crowds
+}
+
+TEST(Profiles, WithTorOverrides) {
+  const SceneConfig c = with_tor(jackson_profile(), 0.42);
+  EXPECT_NEAR(c.tor, 0.42, 1e-12);
+  EXPECT_EQ(c.target, ObjectClass::kCar);
+}
+
+TEST(Profiles, MeasuredTorMatchesPlanned) {
+  SceneConfig c = jackson_profile();
+  c.width = 128;
+  c.height = 96;
+  c.tor = 0.25;
+  SceneSimulator sim(c, 7, 2500);
+  const double measured = measure_tor(sim);
+  EXPECT_NEAR(measured, 0.25, 0.05);
+}
+
+TEST(Profiles, DescribeProducesTableRow) {
+  SceneConfig c = jackson_profile();
+  c.width = 128;
+  c.height = 96;
+  const WorkloadRow row = describe("jackson-synth", c, 7, 1200);
+  EXPECT_EQ(row.name, "jackson-synth");
+  EXPECT_EQ(row.width, 128);
+  EXPECT_EQ(row.object, std::string("car"));
+  EXPECT_DOUBLE_EQ(row.fps, 30.0);
+  EXPECT_GT(row.tor, 0.02);
+  EXPECT_LT(row.tor, 0.25);
+}
+
+TEST(Profiles, ToStringCoversClasses) {
+  EXPECT_STREQ(to_string(ObjectClass::kCar), "car");
+  EXPECT_STREQ(to_string(ObjectClass::kPerson), "person");
+  EXPECT_STREQ(to_string(ObjectClass::kBus), "bus");
+}
+
+TEST(GroundTruth, CountTargetGroupsVehicles) {
+  GroundTruth gt;
+  GtObject car;
+  car.cls = ObjectClass::kCar;
+  car.visible_fraction = 1.0;
+  GtObject bus = car;
+  bus.cls = ObjectClass::kBus;
+  GtObject person = car;
+  person.cls = ObjectClass::kPerson;
+  gt.objects = {car, bus, person};
+  EXPECT_EQ(gt.count_target(ObjectClass::kCar), 2);
+  EXPECT_EQ(gt.count_target(ObjectClass::kPerson), 1);
+  EXPECT_EQ(gt.count(ObjectClass::kCar), 1);
+}
+
+TEST(GroundTruth, MinVisibleFiltersSlivers) {
+  GroundTruth gt;
+  GtObject sliver;
+  sliver.cls = ObjectClass::kCar;
+  sliver.visible_fraction = 0.05;
+  gt.objects = {sliver};
+  EXPECT_FALSE(gt.any_target(ObjectClass::kCar, 0.15));
+  EXPECT_TRUE(gt.any_target(ObjectClass::kCar, 0.01));
+}
+
+}  // namespace
+}  // namespace ffsva::video

@@ -1,0 +1,268 @@
+#include "video/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include "video/profiles.hpp"
+
+namespace ffsva::video {
+namespace {
+
+SceneConfig small_car_config() {
+  SceneConfig c = jackson_profile();
+  c.width = 160;
+  c.height = 120;
+  return c;
+}
+
+TEST(SceneSimulator, DeterministicRendering) {
+  const SceneConfig cfg = small_car_config();
+  SceneSimulator a(cfg, 42, 500);
+  SceneSimulator b(cfg, 42, 500);
+  for (std::int64_t i : {0, 100, 250, 499}) {
+    EXPECT_EQ(a.render(i).image, b.render(i).image) << "frame " << i;
+  }
+}
+
+TEST(SceneSimulator, DifferentSeedsDiffer) {
+  const SceneConfig cfg = small_car_config();
+  SceneSimulator a(cfg, 1, 100);
+  SceneSimulator b(cfg, 2, 100);
+  EXPECT_FALSE(a.render(0).image == b.render(0).image);
+}
+
+TEST(SceneSimulator, RenderIsPureFunctionOfIndex) {
+  const SceneConfig cfg = small_car_config();
+  SceneSimulator sim(cfg, 7, 300);
+  const Frame f1 = sim.render(123);
+  sim.render(5);
+  sim.render(299);
+  const Frame f2 = sim.render(123);
+  EXPECT_EQ(f1.image, f2.image);
+  EXPECT_EQ(f1.gt.objects.size(), f2.gt.objects.size());
+}
+
+TEST(SceneSimulator, FrameMetadata) {
+  const SceneConfig cfg = small_car_config();
+  SceneSimulator sim(cfg, 7, 100);
+  const Frame f = sim.render(60, /*stream_id=*/9);
+  EXPECT_EQ(f.index, 60);
+  EXPECT_EQ(f.stream_id, 9);
+  EXPECT_NEAR(f.pts_sec, 2.0, 1e-9);
+  EXPECT_EQ(f.image.width(), cfg.width);
+  EXPECT_EQ(f.image.height(), cfg.height);
+  EXPECT_EQ(f.image.channels(), 3);
+}
+
+TEST(SceneSimulator, PlannedTorTracksRequested) {
+  for (double tor : {0.1, 0.3, 0.6}) {
+    SceneConfig cfg = small_car_config();
+    cfg.tor = tor;
+    SceneSimulator sim(cfg, 11, 6000);
+    EXPECT_NEAR(sim.planned_tor(), tor, 0.02) << "tor " << tor;
+  }
+}
+
+TEST(SceneSimulator, TorZeroHasNoIntervals) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 0.0;
+  SceneSimulator sim(cfg, 3, 1000);
+  EXPECT_TRUE(sim.intervals().empty());
+  EXPECT_EQ(sim.planned_tor(), 0.0);
+}
+
+TEST(SceneSimulator, TorOneCoversEverything) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 1.0;
+  SceneSimulator sim(cfg, 3, 1000);
+  EXPECT_NEAR(sim.planned_tor(), 1.0, 0.01);
+}
+
+TEST(SceneSimulator, IntervalsAreDisjointAndOrdered) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 0.4;
+  SceneSimulator sim(cfg, 13, 5000);
+  std::int64_t prev_end = 0;
+  for (const auto& iv : sim.intervals()) {
+    EXPECT_GE(iv.begin, prev_end);
+    EXPECT_GT(iv.end, iv.begin);
+    EXPECT_LE(iv.end, 5000);
+    EXPECT_GE(iv.num_objects, 1);
+    EXPECT_LE(iv.num_objects, cfg.max_objects);
+    prev_end = iv.end;
+  }
+}
+
+TEST(SceneSimulator, TargetsPresentInsideIntervals) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 0.3;
+  cfg.distractor_rate = 0.0;
+  SceneSimulator sim(cfg, 17, 2000);
+  ASSERT_FALSE(sim.intervals().empty());
+  int checked = 0;
+  for (const auto& iv : sim.intervals()) {
+    // Probe the middle of each interval: the spanning car must be visible.
+    const auto mid = (iv.begin + iv.end) / 2;
+    const Frame f = sim.render(mid);
+    EXPECT_TRUE(f.gt.any_target(ObjectClass::kCar))
+        << "interval [" << iv.begin << "," << iv.end << ") mid " << mid;
+    ++checked;
+  }
+  EXPECT_GT(checked, 2);
+}
+
+TEST(SceneSimulator, GapsMostlyFreeOfTargets) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 0.2;
+  cfg.distractor_rate = 0.0;
+  SceneSimulator sim(cfg, 19, 2000);
+  // Probe a frame well inside a gap.
+  std::int64_t prev_end = 0;
+  int gap_checks = 0;
+  for (const auto& iv : sim.intervals()) {
+    if (iv.begin - prev_end > 40) {
+      const Frame f = sim.render((prev_end + iv.begin) / 2);
+      EXPECT_FALSE(f.gt.any_target(ObjectClass::kCar));
+      ++gap_checks;
+    }
+    prev_end = iv.end;
+  }
+  EXPECT_GT(gap_checks, 0);
+}
+
+TEST(SceneSimulator, ObjectsMoveBetweenFrames) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 1.0;
+  cfg.stopline_fraction = 0.0;
+  cfg.noise_amp = 0.0;
+  cfg.lighting_amp = 0.0;
+  SceneSimulator sim(cfg, 23, 600);
+  const Frame a = sim.render(200);
+  const Frame b = sim.render(230);
+  ASSERT_FALSE(a.gt.objects.empty());
+  ASSERT_FALSE(b.gt.objects.empty());
+  // The spanning object should have advanced.
+  bool moved = false;
+  for (const auto& oa : a.gt.objects) {
+    for (const auto& ob : b.gt.objects) {
+      if (oa.object_id == ob.object_id &&
+          oa.visible_box.cx() != ob.visible_box.cx()) {
+        moved = true;
+      }
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(SceneSimulator, VisibleFractionIsSane) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 0.5;
+  SceneSimulator sim(cfg, 29, 1500);
+  for (std::int64_t i = 0; i < 1500; i += 37) {
+    for (const auto& o : sim.render(i).gt.objects) {
+      EXPECT_GT(o.visible_fraction, 0.0);
+      EXPECT_LE(o.visible_fraction, 1.0 + 1e-9);
+      EXPECT_FALSE(o.visible_box.empty());
+      EXPECT_GE(o.visible_box.x0, 0);
+      EXPECT_LE(o.visible_box.x1, cfg.width);
+    }
+  }
+}
+
+TEST(SceneSimulator, PersonSceneRendersCrowds) {
+  SceneConfig cfg = coral_profile();
+  cfg.width = 192;
+  cfg.height = 108;
+  cfg.tor = 1.0;
+  SceneSimulator sim(cfg, 31, 400);
+  int max_persons = 0;
+  for (std::int64_t i = 0; i < 400; i += 25) {
+    max_persons = std::max(max_persons, sim.render(i).gt.count(ObjectClass::kPerson));
+  }
+  EXPECT_GE(max_persons, 2) << "crowds should form at TOR 1.0";
+}
+
+TEST(SceneSimulator, StopLineStallKeepsCarPartiallyVisible) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 0.6;
+  cfg.stopline_fraction = 1.0;  // force stalls
+  cfg.stall_frames = 50;
+  cfg.mean_scene_len_frames = 150;
+  SceneSimulator sim(cfg, 37, 2000);
+  bool saw_partial_stall = false;
+  for (const auto& iv : sim.intervals()) {
+    if (iv.end - iv.begin < 90) continue;
+    // During the stall window (starts ~4 frames in), the spanning car is
+    // only partially visible, and stationary.
+    const Frame f1 = sim.render(iv.begin + 10);
+    const Frame f2 = sim.render(iv.begin + 30);
+    for (const auto& o1 : f1.gt.objects) {
+      if (o1.visible_fraction < 0.6) {
+        for (const auto& o2 : f2.gt.objects) {
+          if (o2.object_id == o1.object_id &&
+              o2.visible_box.cx() == o1.visible_box.cx()) {
+            saw_partial_stall = true;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_partial_stall);
+}
+
+TEST(SceneSimulator, BackgroundIsStaticWithoutDynamics) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 0.0;
+  cfg.noise_amp = 0.0;
+  cfg.lighting_amp = 0.0;
+  cfg.dynamic_texture = 0.0;
+  cfg.distractor_rate = 0.0;
+  SceneSimulator sim(cfg, 41, 100);
+  EXPECT_EQ(sim.render(3).image, sim.render(77).image);
+  EXPECT_EQ(sim.render(3).image, sim.background());
+}
+
+TEST(SceneSimulator, NoiseChangesEveryFrame) {
+  SceneConfig cfg = small_car_config();
+  cfg.tor = 0.0;
+  cfg.noise_amp = 3.0;
+  cfg.distractor_rate = 0.0;
+  SceneSimulator sim(cfg, 43, 100);
+  EXPECT_FALSE(sim.render(1).image == sim.render(2).image);
+}
+
+TEST(ObjectTrack, LinearPositionInterpolates) {
+  ObjectTrack t;
+  t.enter = 0;
+  t.exit = 100;
+  t.x_start = 0.0;
+  t.x_end = 100.0;
+  t.y = 50.0;
+  double cx, cy;
+  t.position(0, cx, cy);
+  EXPECT_NEAR(cx, 0.0, 1e-9);
+  t.position(50, cx, cy);
+  EXPECT_NEAR(cx, 50.0, 1e-9);
+  EXPECT_NEAR(cy, 50.0, 1e-9);
+}
+
+TEST(ObjectTrack, StallHoldsPosition) {
+  ObjectTrack t;
+  t.enter = 0;
+  t.exit = 100;
+  t.x_start = 0.0;
+  t.x_end = 100.0;
+  t.y = 10.0;
+  t.stall_start = 20;
+  t.stall_len = 30;
+  t.stall_x = 15.0;
+  double cx, cy;
+  t.position(25, cx, cy);
+  EXPECT_NEAR(cx, 15.0, 1e-9);
+  t.position(49, cx, cy);
+  EXPECT_NEAR(cx, 15.0, 1e-9);
+  t.position(99, cx, cy);
+  EXPECT_GT(cx, 90.0);
+}
+
+}  // namespace
+}  // namespace ffsva::video

@@ -1,0 +1,118 @@
+#include "video/tor_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffsva::video {
+namespace {
+
+TEST(TorSchedule, ConstantIsFlat) {
+  TorScheduleConfig cfg;
+  cfg.pattern = TorPattern::kConstant;
+  cfg.base_tor = 0.17;
+  TorSchedule sched(cfg, 1);
+  for (double t : {0.0, 1000.0, 50000.0}) {
+    EXPECT_DOUBLE_EQ(sched.tor_at(t), 0.17);
+  }
+  EXPECT_NEAR(sched.mean_tor(86400.0), 0.17, 1e-9);
+}
+
+TEST(TorSchedule, DiurnalTroughAtPhaseAndPeakOppositeIt) {
+  TorScheduleConfig cfg;
+  cfg.pattern = TorPattern::kDiurnal;
+  cfg.base_tor = 0.10;
+  cfg.amplitude = 0.8;
+  cfg.period_sec = 86400.0;
+  cfg.phase_sec = 0.0;
+  TorSchedule sched(cfg, 1);
+  const double night = sched.tor_at(0.0);
+  const double noon = sched.tor_at(43200.0);
+  EXPECT_NEAR(night, 0.10 * 0.2, 1e-9);
+  EXPECT_NEAR(noon, 0.10 * 1.8, 1e-9);
+  EXPECT_GT(noon, night);
+}
+
+TEST(TorSchedule, DiurnalMeanEqualsBase) {
+  TorScheduleConfig cfg;
+  cfg.pattern = TorPattern::kDiurnal;
+  cfg.base_tor = 0.12;
+  TorSchedule sched(cfg, 1);
+  EXPECT_NEAR(sched.mean_tor(86400.0), 0.12, 0.01);
+}
+
+TEST(TorSchedule, DiurnalClampedToUnitInterval) {
+  TorScheduleConfig cfg;
+  cfg.pattern = TorPattern::kDiurnal;
+  cfg.base_tor = 0.8;
+  cfg.amplitude = 1.0;  // would swing to 1.6 unclamped
+  TorSchedule sched(cfg, 1);
+  for (double t = 0; t < 86400.0; t += 3600.0) {
+    EXPECT_GE(sched.tor_at(t), 0.0);
+    EXPECT_LE(sched.tor_at(t), 1.0);
+  }
+}
+
+TEST(TorSchedule, BurstySurgesRaiseTorTemporarily) {
+  TorScheduleConfig cfg;
+  cfg.pattern = TorPattern::kBursty;
+  cfg.base_tor = 0.05;
+  cfg.surge_tor = 0.9;
+  cfg.surge_rate_per_hour = 6.0;
+  cfg.surge_len_sec = 120.0;
+  TorSchedule sched(cfg, 11);
+  int base_samples = 0, surge_samples = 0;
+  for (double t = 0; t < 86400.0; t += 10.0) {
+    const double tor = sched.tor_at(t);
+    if (tor > 0.5) {
+      ++surge_samples;
+    } else {
+      ++base_samples;
+      EXPECT_DOUBLE_EQ(tor, 0.05);
+    }
+  }
+  EXPECT_GT(surge_samples, 0);
+  EXPECT_GT(base_samples, surge_samples);  // surges are rare
+  // Expected surge share: 6/h * 120 s = 20% duty at most.
+  EXPECT_LT(static_cast<double>(surge_samples) / (surge_samples + base_samples), 0.4);
+}
+
+TEST(TorSchedule, BurstyDeterministicPerSeed) {
+  TorScheduleConfig cfg;
+  cfg.pattern = TorPattern::kBursty;
+  TorSchedule a(cfg, 5), b(cfg, 5), c(cfg, 6);
+  int diff = 0;
+  for (double t = 0; t < 40000.0; t += 100.0) {
+    EXPECT_DOUBLE_EQ(a.tor_at(t), b.tor_at(t));
+    diff += a.tor_at(t) != c.tor_at(t);
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(TorSchedule, SegmentsTileTheDuration) {
+  TorScheduleConfig cfg;
+  cfg.pattern = TorPattern::kDiurnal;
+  TorSchedule sched(cfg, 1);
+  const auto segs = sched.segments(1000.0, 90.0);
+  ASSERT_FALSE(segs.empty());
+  EXPECT_DOUBLE_EQ(segs.front().begin_sec, 0.0);
+  EXPECT_DOUBLE_EQ(segs.back().end_sec, 1000.0);
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(segs[i].begin_sec, segs[i - 1].end_sec);
+    EXPECT_GE(segs[i].tor, 0.0);
+    EXPECT_LE(segs[i].tor, 1.0);
+  }
+}
+
+TEST(TorSchedule, SegmentsFollowTheCycle) {
+  TorScheduleConfig cfg;
+  cfg.pattern = TorPattern::kDiurnal;
+  cfg.base_tor = 0.10;
+  cfg.amplitude = 0.9;
+  TorSchedule sched(cfg, 1);
+  const auto segs = sched.segments(86400.0, 3600.0);
+  ASSERT_EQ(segs.size(), 24u);
+  // Midday hours busier than midnight hours.
+  EXPECT_GT(segs[12].tor, segs[0].tor * 3);
+}
+
+}  // namespace
+}  // namespace ffsva::video
