@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_online_high_tor.dir/bench_fig4_online_high_tor.cpp.o"
+  "CMakeFiles/bench_fig4_online_high_tor.dir/bench_fig4_online_high_tor.cpp.o.d"
+  "bench_fig4_online_high_tor"
+  "bench_fig4_online_high_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_online_high_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_online_high_tor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_filterdegree.dir/bench_fig7_filterdegree.cpp.o"
+  "CMakeFiles/bench_fig7_filterdegree.dir/bench_fig7_filterdegree.cpp.o.d"
+  "bench_fig7_filterdegree"
+  "bench_fig7_filterdegree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_filterdegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_numberofobjects.dir/bench_fig8_numberofobjects.cpp.o"
+  "CMakeFiles/bench_fig8_numberofobjects.dir/bench_fig8_numberofobjects.cpp.o.d"
+  "bench_fig8_numberofobjects"
+  "bench_fig8_numberofobjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_numberofobjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_batch_low_tor.dir/bench_fig9_batch_low_tor.cpp.o"
+  "CMakeFiles/bench_fig9_batch_low_tor.dir/bench_fig9_batch_low_tor.cpp.o.d"
+  "bench_fig9_batch_low_tor"
+  "bench_fig9_batch_low_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_batch_low_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_offline.dir/bench_headline_offline.cpp.o"
+  "CMakeFiles/bench_headline_offline.dir/bench_headline_offline.cpp.o.d"
+  "bench_headline_offline"
+  "bench_headline_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_error_frames.dir/bench_table2_error_frames.cpp.o"
+  "CMakeFiles/bench_table2_error_frames.dir/bench_table2_error_frames.cpp.o.d"
+  "bench_table2_error_frames"
+  "bench_table2_error_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_error_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

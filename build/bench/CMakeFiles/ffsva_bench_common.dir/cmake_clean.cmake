@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffsva_bench_common.dir/common.cpp.o"
+  "CMakeFiles/ffsva_bench_common.dir/common.cpp.o.d"
+  "libffsva_bench_common.a"
+  "libffsva_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffsva_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/day_simulation.dir/day_simulation.cpp.o"
+  "CMakeFiles/day_simulation.dir/day_simulation.cpp.o.d"
+  "day_simulation"
+  "day_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/day_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_search.dir/offline_search.cpp.o"
+  "CMakeFiles/offline_search.dir/offline_search.cpp.o.d"
+  "offline_search"
+  "offline_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

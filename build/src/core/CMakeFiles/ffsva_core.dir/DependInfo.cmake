@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/ffsva_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/ffsva_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/ffsva_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/ffsva_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/ffsva_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ffsva_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/ffsva_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/ffsva_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/ffsva_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ffsva_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ffsva_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ffsva_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffsva_core.dir/accuracy.cpp.o"
+  "CMakeFiles/ffsva_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/ffsva_core.dir/cluster.cpp.o"
+  "CMakeFiles/ffsva_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/ffsva_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ffsva_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ffsva_core.dir/trace.cpp.o"
+  "CMakeFiles/ffsva_core.dir/trace.cpp.o.d"
+  "libffsva_core.a"
+  "libffsva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffsva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

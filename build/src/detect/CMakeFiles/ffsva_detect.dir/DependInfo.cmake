@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/background.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/background.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/background.cpp.o.d"
+  "/root/repo/src/detect/multi_snm.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/multi_snm.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/multi_snm.cpp.o.d"
+  "/root/repo/src/detect/reference.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/reference.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/reference.cpp.o.d"
+  "/root/repo/src/detect/scene_change.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/scene_change.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/scene_change.cpp.o.d"
+  "/root/repo/src/detect/sdd.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/sdd.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/sdd.cpp.o.d"
+  "/root/repo/src/detect/segmentation.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/segmentation.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/segmentation.cpp.o.d"
+  "/root/repo/src/detect/snm.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/snm.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/snm.cpp.o.d"
+  "/root/repo/src/detect/specialize.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/specialize.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/specialize.cpp.o.d"
+  "/root/repo/src/detect/tyolo.cpp" "src/detect/CMakeFiles/ffsva_detect.dir/tyolo.cpp.o" "gcc" "src/detect/CMakeFiles/ffsva_detect.dir/tyolo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/ffsva_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ffsva_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ffsva_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffsva_detect.dir/background.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/background.cpp.o.d"
+  "CMakeFiles/ffsva_detect.dir/multi_snm.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/multi_snm.cpp.o.d"
+  "CMakeFiles/ffsva_detect.dir/reference.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/reference.cpp.o.d"
+  "CMakeFiles/ffsva_detect.dir/scene_change.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/scene_change.cpp.o.d"
+  "CMakeFiles/ffsva_detect.dir/sdd.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/sdd.cpp.o.d"
+  "CMakeFiles/ffsva_detect.dir/segmentation.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/segmentation.cpp.o.d"
+  "CMakeFiles/ffsva_detect.dir/snm.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/snm.cpp.o.d"
+  "CMakeFiles/ffsva_detect.dir/specialize.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/specialize.cpp.o.d"
+  "CMakeFiles/ffsva_detect.dir/tyolo.cpp.o"
+  "CMakeFiles/ffsva_detect.dir/tyolo.cpp.o.d"
+  "libffsva_detect.a"
+  "libffsva_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffsva_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffsva_image.dir/components.cpp.o"
+  "CMakeFiles/ffsva_image.dir/components.cpp.o.d"
+  "CMakeFiles/ffsva_image.dir/draw.cpp.o"
+  "CMakeFiles/ffsva_image.dir/draw.cpp.o.d"
+  "CMakeFiles/ffsva_image.dir/image.cpp.o"
+  "CMakeFiles/ffsva_image.dir/image.cpp.o.d"
+  "CMakeFiles/ffsva_image.dir/ops.cpp.o"
+  "CMakeFiles/ffsva_image.dir/ops.cpp.o.d"
+  "libffsva_image.a"
+  "libffsva_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffsva_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/compress.cpp" "src/nn/CMakeFiles/ffsva_nn.dir/compress.cpp.o" "gcc" "src/nn/CMakeFiles/ffsva_nn.dir/compress.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/ffsva_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/ffsva_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/ffsva_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/ffsva_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/ffsva_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/ffsva_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/ffsva_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/ffsva_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/ffsva_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/ffsva_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

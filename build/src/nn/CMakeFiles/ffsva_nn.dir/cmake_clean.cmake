@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffsva_nn.dir/compress.cpp.o"
+  "CMakeFiles/ffsva_nn.dir/compress.cpp.o.d"
+  "CMakeFiles/ffsva_nn.dir/gemm.cpp.o"
+  "CMakeFiles/ffsva_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/ffsva_nn.dir/layers.cpp.o"
+  "CMakeFiles/ffsva_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ffsva_nn.dir/loss.cpp.o"
+  "CMakeFiles/ffsva_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ffsva_nn.dir/optim.cpp.o"
+  "CMakeFiles/ffsva_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/ffsva_nn.dir/tensor.cpp.o"
+  "CMakeFiles/ffsva_nn.dir/tensor.cpp.o.d"
+  "libffsva_nn.a"
+  "libffsva_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffsva_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffsva_runtime.dir/rate_limiter.cpp.o"
+  "CMakeFiles/ffsva_runtime.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/ffsva_runtime.dir/stats.cpp.o"
+  "CMakeFiles/ffsva_runtime.dir/stats.cpp.o.d"
+  "CMakeFiles/ffsva_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/ffsva_runtime.dir/thread_pool.cpp.o.d"
+  "libffsva_runtime.a"
+  "libffsva_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffsva_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

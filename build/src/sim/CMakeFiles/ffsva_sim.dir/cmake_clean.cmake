@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffsva_sim.dir/engine.cpp.o"
+  "CMakeFiles/ffsva_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ffsva_sim.dir/ffsva_sim.cpp.o"
+  "CMakeFiles/ffsva_sim.dir/ffsva_sim.cpp.o.d"
+  "CMakeFiles/ffsva_sim.dir/outcome.cpp.o"
+  "CMakeFiles/ffsva_sim.dir/outcome.cpp.o.d"
+  "libffsva_sim.a"
+  "libffsva_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffsva_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/clips.cpp" "src/video/CMakeFiles/ffsva_video.dir/clips.cpp.o" "gcc" "src/video/CMakeFiles/ffsva_video.dir/clips.cpp.o.d"
+  "/root/repo/src/video/codec.cpp" "src/video/CMakeFiles/ffsva_video.dir/codec.cpp.o" "gcc" "src/video/CMakeFiles/ffsva_video.dir/codec.cpp.o.d"
+  "/root/repo/src/video/profiles.cpp" "src/video/CMakeFiles/ffsva_video.dir/profiles.cpp.o" "gcc" "src/video/CMakeFiles/ffsva_video.dir/profiles.cpp.o.d"
+  "/root/repo/src/video/scene.cpp" "src/video/CMakeFiles/ffsva_video.dir/scene.cpp.o" "gcc" "src/video/CMakeFiles/ffsva_video.dir/scene.cpp.o.d"
+  "/root/repo/src/video/tor_schedule.cpp" "src/video/CMakeFiles/ffsva_video.dir/tor_schedule.cpp.o" "gcc" "src/video/CMakeFiles/ffsva_video.dir/tor_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/ffsva_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffsva_video.dir/clips.cpp.o"
+  "CMakeFiles/ffsva_video.dir/clips.cpp.o.d"
+  "CMakeFiles/ffsva_video.dir/codec.cpp.o"
+  "CMakeFiles/ffsva_video.dir/codec.cpp.o.d"
+  "CMakeFiles/ffsva_video.dir/profiles.cpp.o"
+  "CMakeFiles/ffsva_video.dir/profiles.cpp.o.d"
+  "CMakeFiles/ffsva_video.dir/scene.cpp.o"
+  "CMakeFiles/ffsva_video.dir/scene.cpp.o.d"
+  "CMakeFiles/ffsva_video.dir/tor_schedule.cpp.o"
+  "CMakeFiles/ffsva_video.dir/tor_schedule.cpp.o.d"
+  "libffsva_video.a"
+  "libffsva_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffsva_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

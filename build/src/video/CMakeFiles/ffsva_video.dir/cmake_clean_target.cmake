@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libffsva_video.a"
+)

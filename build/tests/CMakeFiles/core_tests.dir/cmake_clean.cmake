@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/accuracy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/accuracy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/backpressure_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/backpressure_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cluster_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cluster_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/policies_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/policies_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/trace_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/trace_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

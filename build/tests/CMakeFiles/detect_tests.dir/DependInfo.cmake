@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/detect/background_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/background_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/background_test.cpp.o.d"
+  "/root/repo/tests/detect/multi_snm_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/multi_snm_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/multi_snm_test.cpp.o.d"
+  "/root/repo/tests/detect/reference_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/reference_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/reference_test.cpp.o.d"
+  "/root/repo/tests/detect/scene_change_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/scene_change_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/scene_change_test.cpp.o.d"
+  "/root/repo/tests/detect/sdd_metric_sweep_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/sdd_metric_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/sdd_metric_sweep_test.cpp.o.d"
+  "/root/repo/tests/detect/sdd_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/sdd_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/sdd_test.cpp.o.d"
+  "/root/repo/tests/detect/segmentation_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/segmentation_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/segmentation_test.cpp.o.d"
+  "/root/repo/tests/detect/snm_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/snm_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/snm_test.cpp.o.d"
+  "/root/repo/tests/detect/specialize_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/specialize_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/specialize_test.cpp.o.d"
+  "/root/repo/tests/detect/tyolo_test.cpp" "tests/CMakeFiles/detect_tests.dir/detect/tyolo_test.cpp.o" "gcc" "tests/CMakeFiles/detect_tests.dir/detect/tyolo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ffsva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ffsva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ffsva_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ffsva_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ffsva_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ffsva_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_tests.dir/detect/background_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/background_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/multi_snm_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/multi_snm_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/reference_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/reference_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/scene_change_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/scene_change_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/sdd_metric_sweep_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/sdd_metric_sweep_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/sdd_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/sdd_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/segmentation_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/segmentation_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/snm_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/snm_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/specialize_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/specialize_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/tyolo_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/tyolo_test.cpp.o.d"
+  "detect_tests"
+  "detect_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/image/components_test.cpp" "tests/CMakeFiles/image_tests.dir/image/components_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image/components_test.cpp.o.d"
+  "/root/repo/tests/image/draw_test.cpp" "tests/CMakeFiles/image_tests.dir/image/draw_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image/draw_test.cpp.o.d"
+  "/root/repo/tests/image/geometry_test.cpp" "tests/CMakeFiles/image_tests.dir/image/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image/geometry_test.cpp.o.d"
+  "/root/repo/tests/image/image_test.cpp" "tests/CMakeFiles/image_tests.dir/image/image_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image/image_test.cpp.o.d"
+  "/root/repo/tests/image/ops_test.cpp" "tests/CMakeFiles/image_tests.dir/image/ops_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image/ops_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ffsva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ffsva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ffsva_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ffsva_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ffsva_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ffsva_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

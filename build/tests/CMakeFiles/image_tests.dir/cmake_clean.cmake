@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_tests.dir/image/components_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image/components_test.cpp.o.d"
+  "CMakeFiles/image_tests.dir/image/draw_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image/draw_test.cpp.o.d"
+  "CMakeFiles/image_tests.dir/image/geometry_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image/geometry_test.cpp.o.d"
+  "CMakeFiles/image_tests.dir/image/image_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image/image_test.cpp.o.d"
+  "CMakeFiles/image_tests.dir/image/ops_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image/ops_test.cpp.o.d"
+  "image_tests"
+  "image_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

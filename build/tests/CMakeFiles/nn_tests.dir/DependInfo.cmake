@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/compress_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/compress_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/compress_test.cpp.o.d"
+  "/root/repo/tests/nn/gemm_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/gemm_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/gemm_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o.d"
+  "/root/repo/tests/nn/training_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/training_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/training_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ffsva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ffsva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ffsva_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ffsva_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ffsva_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ffsva_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

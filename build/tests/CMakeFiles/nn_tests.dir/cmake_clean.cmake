@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/compress_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/compress_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/gemm_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/gemm_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/training_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/training_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/bounded_queue_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/bounded_queue_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/bounded_queue_test.cpp.o.d"
+  "/root/repo/tests/runtime/rate_limiter_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/rate_limiter_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/rate_limiter_test.cpp.o.d"
+  "/root/repo/tests/runtime/rng_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/rng_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/rng_test.cpp.o.d"
+  "/root/repo/tests/runtime/spsc_ring_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/spsc_ring_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/spsc_ring_test.cpp.o.d"
+  "/root/repo/tests/runtime/stats_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/stats_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/stats_test.cpp.o.d"
+  "/root/repo/tests/runtime/stopwatch_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/stopwatch_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/stopwatch_test.cpp.o.d"
+  "/root/repo/tests/runtime/thread_pool_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ffsva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ffsva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ffsva_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ffsva_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ffsva_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ffsva_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tests.dir/runtime/bounded_queue_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/bounded_queue_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/rate_limiter_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/rate_limiter_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/rng_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/rng_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/spsc_ring_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/spsc_ring_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/stats_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/stats_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/stopwatch_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/stopwatch_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/thread_pool_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/thread_pool_test.cpp.o.d"
+  "runtime_tests"
+  "runtime_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/baseline_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/baseline_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/conservation_sweep_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/conservation_sweep_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/ffsva_sim_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/ffsva_sim_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/outcome_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/outcome_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sim_queue_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/sim_queue_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

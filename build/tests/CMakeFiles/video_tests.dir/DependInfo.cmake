@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/video/clips_test.cpp" "tests/CMakeFiles/video_tests.dir/video/clips_test.cpp.o" "gcc" "tests/CMakeFiles/video_tests.dir/video/clips_test.cpp.o.d"
+  "/root/repo/tests/video/codec_test.cpp" "tests/CMakeFiles/video_tests.dir/video/codec_test.cpp.o" "gcc" "tests/CMakeFiles/video_tests.dir/video/codec_test.cpp.o.d"
+  "/root/repo/tests/video/profiles_test.cpp" "tests/CMakeFiles/video_tests.dir/video/profiles_test.cpp.o" "gcc" "tests/CMakeFiles/video_tests.dir/video/profiles_test.cpp.o.d"
+  "/root/repo/tests/video/scene_property_test.cpp" "tests/CMakeFiles/video_tests.dir/video/scene_property_test.cpp.o" "gcc" "tests/CMakeFiles/video_tests.dir/video/scene_property_test.cpp.o.d"
+  "/root/repo/tests/video/scene_test.cpp" "tests/CMakeFiles/video_tests.dir/video/scene_test.cpp.o" "gcc" "tests/CMakeFiles/video_tests.dir/video/scene_test.cpp.o.d"
+  "/root/repo/tests/video/source_test.cpp" "tests/CMakeFiles/video_tests.dir/video/source_test.cpp.o" "gcc" "tests/CMakeFiles/video_tests.dir/video/source_test.cpp.o.d"
+  "/root/repo/tests/video/tor_schedule_test.cpp" "tests/CMakeFiles/video_tests.dir/video/tor_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/video_tests.dir/video/tor_schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ffsva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ffsva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ffsva_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ffsva_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ffsva_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ffsva_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffsva_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_tests.dir/video/clips_test.cpp.o"
+  "CMakeFiles/video_tests.dir/video/clips_test.cpp.o.d"
+  "CMakeFiles/video_tests.dir/video/codec_test.cpp.o"
+  "CMakeFiles/video_tests.dir/video/codec_test.cpp.o.d"
+  "CMakeFiles/video_tests.dir/video/profiles_test.cpp.o"
+  "CMakeFiles/video_tests.dir/video/profiles_test.cpp.o.d"
+  "CMakeFiles/video_tests.dir/video/scene_property_test.cpp.o"
+  "CMakeFiles/video_tests.dir/video/scene_property_test.cpp.o.d"
+  "CMakeFiles/video_tests.dir/video/scene_test.cpp.o"
+  "CMakeFiles/video_tests.dir/video/scene_test.cpp.o.d"
+  "CMakeFiles/video_tests.dir/video/source_test.cpp.o"
+  "CMakeFiles/video_tests.dir/video/source_test.cpp.o.d"
+  "CMakeFiles/video_tests.dir/video/tor_schedule_test.cpp.o"
+  "CMakeFiles/video_tests.dir/video/tor_schedule_test.cpp.o.d"
+  "video_tests"
+  "video_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

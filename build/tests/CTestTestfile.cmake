@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(runtime_tests "/root/repo/build/tests/runtime_tests")
+set_tests_properties(runtime_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;ffsva_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(image_tests "/root/repo/build/tests/image_tests")
+set_tests_properties(image_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;ffsva_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(video_tests "/root/repo/build/tests/video_tests")
+set_tests_properties(video_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;27;ffsva_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_tests "/root/repo/build/tests/nn_tests")
+set_tests_properties(nn_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;36;ffsva_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(detect_tests "/root/repo/build/tests/detect_tests")
+set_tests_properties(detect_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;46;ffsva_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;59;ffsva_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_tests "/root/repo/build/tests/sim_tests")
+set_tests_properties(sim_tests PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;68;ffsva_add_test;/root/repo/tests/CMakeLists.txt;0;")
