@@ -1,6 +1,59 @@
 #include "common.hpp"
 
+#include <cstring>
+#include <fstream>
+
+#include "runtime/parallel_for.hpp"
+
 namespace ffsva::bench {
+
+JsonReport::JsonReport(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+  }
+}
+
+void JsonReport::add(const std::string& name, double fps, double p50_ms,
+                     double p99_ms) {
+  if (active()) rows_.push_back({name, fps, p50_ms, p99_ms});
+}
+
+namespace {
+void put_number(std::ofstream& out, const char* key, double v) {
+  out << '"' << key << "\": ";
+  if (v > 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out << buf;
+  } else {
+    out << "null";
+  }
+}
+}  // namespace
+
+JsonReport::~JsonReport() {
+  if (!active()) return;
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+    return;
+  }
+  const int threads = runtime::compute_parallelism();
+  out << "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    out << "  {\"name\": \"" << r.name << "\", ";
+    put_number(out, "fps", r.fps);
+    out << ", ";
+    put_number(out, "p50_ms", r.p50_ms);
+    out << ", ";
+    put_number(out, "p99_ms", r.p99_ms);
+    out << ", \"threads\": " << threads << "}" << (i + 1 < rows_.size() ? "," : "")
+        << "\n";
+  }
+  out << "]\n";
+  std::printf("wrote %zu series to %s\n", rows_.size(), path_.c_str());
+}
 
 CalibratedStream build_stream(video::SceneConfig base, double tor, std::uint64_t seed,
                               std::int64_t calib_frames, std::int64_t eval_frames,

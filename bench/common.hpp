@@ -46,4 +46,33 @@ sim::SimSetup sim_setup_from(const sim::MarkovParams& params,
                              bool online, std::int64_t frames_per_stream,
                              double duration_sec = 120.0);
 
+/// Machine-readable bench output, opted into with `--json <path>` on the
+/// bench command line. Rows added via add() are written as a JSON array of
+/// {name, fps, p50_ms, p99_ms, threads} objects when the report is
+/// destroyed (threads = runtime::compute_parallelism() at write time), so
+/// runs can be archived (BENCH_*.json) and diffed across commits. Without
+/// --json the report is inert and benches print their tables as before.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv);
+  ~JsonReport();
+
+  /// True when --json was given (rows are being collected).
+  bool active() const { return !path_.empty(); }
+
+  /// Record one measured series. fps <= 0 or negative percentiles are
+  /// written as JSON null.
+  void add(const std::string& name, double fps, double p50_ms, double p99_ms);
+
+ private:
+  std::string path_;
+  struct Row {
+    std::string name;
+    double fps;
+    double p50_ms;
+    double p99_ms;
+  };
+  std::vector<Row> rows_;
+};
+
 }  // namespace ffsva::bench

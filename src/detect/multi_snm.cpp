@@ -63,22 +63,9 @@ MultiSnmFilter::MultiSnmFilter(MultiSnmConfig config,
 
 nn::Tensor MultiSnmFilter::preprocess_batch(
     const std::vector<const image::Image*>& frames) const {
-  const int s = config_.input_size;
-  const int channels = background_small_.channels();
-  nn::Tensor x(static_cast<int>(frames.size()), 1, s, s);
-  for (std::size_t n = 0; n < frames.size(); ++n) {
-    const image::Image small = image::resize_bilinear(*frames[n], s, s);
-    for (int y = 0; y < s; ++y) {
-      for (int xpx = 0; xpx < s; ++xpx) {
-        int d = 0;
-        for (int c = 0; c < channels; ++c) {
-          d = std::max(d, std::abs(static_cast<int>(small.at(xpx, y, c)) -
-                                   static_cast<int>(background_small_.at(xpx, y, c))));
-        }
-        x.at(static_cast<int>(n), 0, y, xpx) = static_cast<float>(d) / 255.0f;
-      }
-    }
-  }
+  nn::Tensor x;
+  diff_preprocess_batch(frames, background_small_, config_.input_size,
+                        scratch_.pre_batch, x);
   return x;
 }
 
@@ -110,8 +97,10 @@ nn::Tensor MultiSnmFilter::augment(const nn::Tensor& base,
 }
 
 std::vector<double> MultiSnmFilter::predict(const image::Image& frame) const {
-  std::vector<const image::Image*> one{&frame};
-  const nn::Tensor logits = net_->forward(preprocess_batch(one), false);
+  const int s = config_.input_size;
+  scratch_.input.resize(1, 1, s, s);
+  diff_preprocess(frame, background_small_, s, scratch_.pre, scratch_.input, 0);
+  const nn::Tensor& logits = net_->forward_inference(scratch_.input, scratch_.net);
   std::vector<double> out(targets_.size());
   for (int k = 0; k < num_targets(); ++k) out[static_cast<std::size_t>(k)] =
       nn::sigmoid(logits.at(0, k, 0, 0));

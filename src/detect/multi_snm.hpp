@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "detect/preproc.hpp"
 #include "image/image.hpp"
 #include "nn/layers.hpp"
 #include "video/frame.hpp"
@@ -79,6 +80,9 @@ class MultiSnmFilter {
   std::vector<video::ObjectClass> targets_;
   image::Image background_small_;
   mutable std::unique_ptr<nn::Sequential> net_;
+  /// Warm buffers for the allocation-free predict path (one instance per
+  /// stream stage thread, never called concurrently).
+  mutable SnmScratch scratch_;
   std::vector<double> c_low_;
   std::vector<double> c_high_;
 };

@@ -1,0 +1,56 @@
+#include "detect/preproc.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "runtime/parallel_for.hpp"
+
+namespace ffsva::detect {
+
+void diff_preprocess(const image::Image& frame, const image::Image& bg_small,
+                     int input_size, PreprocScratch& ws, nn::Tensor& out, int n) {
+  const int s = input_size;
+  ws.plan.ensure(frame.width(), frame.height(), s, s);
+  resize_bilinear_into(frame, ws.plan, ws.resized);
+
+  // Max-over-channels |frame - background|, matching the detectors' motion
+  // map so chromatic-only objects (a luma-neutral red car) stay visible.
+  const int channels = bg_small.channels();
+  const int rc = ws.resized.channels();
+  const std::uint8_t* a = ws.resized.data();
+  const std::uint8_t* b = bg_small.data();
+  float* dst = out.data() + static_cast<std::size_t>(n) * s * s;
+  const std::size_t pixels = static_cast<std::size_t>(s) * s;
+  constexpr float kInv255 = 1.0f / 255.0f;
+  if (channels == 1 && rc == 1) {
+    for (std::size_t i = 0; i < pixels; ++i) {
+      dst[i] = static_cast<float>(std::abs(static_cast<int>(a[i]) -
+                                           static_cast<int>(b[i]))) * kInv255;
+    }
+  } else {
+    for (std::size_t i = 0; i < pixels; ++i) {
+      int d = 0;
+      for (int c = 0; c < channels; ++c) {
+        d = std::max(d, std::abs(static_cast<int>(a[i * rc + c]) -
+                                 static_cast<int>(b[i * channels + c])));
+      }
+      dst[i] = static_cast<float>(d) * kInv255;
+    }
+  }
+}
+
+void diff_preprocess_batch(const std::vector<const image::Image*>& frames,
+                           const image::Image& bg_small, int input_size,
+                           std::vector<PreprocScratch>& slots, nn::Tensor& out) {
+  const int batch = static_cast<int>(frames.size());
+  out.resize(batch, 1, input_size, input_size);
+  if (slots.size() < frames.size()) slots.resize(frames.size());
+  runtime::parallel_for(0, batch, /*grain=*/4, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      diff_preprocess(*frames[static_cast<std::size_t>(i)], bg_small, input_size,
+                      slots[static_cast<std::size_t>(i)], out, static_cast<int>(i));
+    }
+  });
+}
+
+}  // namespace ffsva::detect

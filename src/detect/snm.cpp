@@ -40,28 +40,16 @@ SnmFilter::SnmFilter(SnmConfig config, const image::Image& background, std::uint
 }
 
 nn::Tensor SnmFilter::preprocess(const image::Image& frame) const {
-  std::vector<const image::Image*> one{&frame};
-  return preprocess_batch(one);
+  nn::Tensor x(1, 1, config_.input_size, config_.input_size);
+  diff_preprocess(frame, background_small_, config_.input_size, scratch_.pre, x, 0);
+  return x;
 }
 
 nn::Tensor SnmFilter::preprocess_batch(
     const std::vector<const image::Image*>& frames) const {
-  const int s = config_.input_size;
-  const int channels = background_small_.channels();
-  nn::Tensor x(static_cast<int>(frames.size()), 1, s, s);
-  for (std::size_t n = 0; n < frames.size(); ++n) {
-    const image::Image small = image::resize_bilinear(*frames[n], s, s);
-    for (int y = 0; y < s; ++y) {
-      for (int xpx = 0; xpx < s; ++xpx) {
-        int d = 0;
-        for (int c = 0; c < channels; ++c) {
-          d = std::max(d, std::abs(static_cast<int>(small.at(xpx, y, c)) -
-                                   static_cast<int>(background_small_.at(xpx, y, c))));
-        }
-        x.at(static_cast<int>(n), 0, y, xpx) = static_cast<float>(d) / 255.0f;
-      }
-    }
-  }
+  nn::Tensor x;
+  diff_preprocess_batch(frames, background_small_, config_.input_size,
+                        scratch_.pre_batch, x);
   return x;
 }
 
@@ -106,7 +94,10 @@ nn::Tensor SnmFilter::preprocess_batch_augmented(
 }
 
 double SnmFilter::predict(const image::Image& frame) const {
-  const nn::Tensor logits = net_->forward(preprocess(frame), /*train=*/false);
+  const int s = config_.input_size;
+  scratch_.input.resize(1, 1, s, s);
+  diff_preprocess(frame, background_small_, s, scratch_.pre, scratch_.input, 0);
+  const nn::Tensor& logits = net_->forward_inference(scratch_.input, scratch_.net);
   return nn::sigmoid(logits.at(0, 0, 0, 0));
 }
 
@@ -114,7 +105,9 @@ std::vector<double> SnmFilter::predict_batch(
     const std::vector<const image::Image*>& frames) const {
   std::vector<double> out;
   if (frames.empty()) return out;
-  const nn::Tensor logits = net_->forward(preprocess_batch(frames), /*train=*/false);
+  diff_preprocess_batch(frames, background_small_, config_.input_size,
+                        scratch_.pre_batch, scratch_.input);
+  const nn::Tensor& logits = net_->forward_inference(scratch_.input, scratch_.net);
   out.reserve(frames.size());
   for (int i = 0; i < logits.n(); ++i) out.push_back(nn::sigmoid(logits.at(i, 0, 0, 0)));
   return out;

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "detect/preproc.hpp"
 #include "image/image.hpp"
 #include "nn/layers.hpp"
 #include "video/frame.hpp"
@@ -119,6 +120,9 @@ class SnmFilter {
   image::Image background_small_;           ///< Gray at input_size.
   mutable std::unique_ptr<nn::Sequential> net_;
   int fc_features_ = 0;
+  /// Warm buffers for the allocation-free predict path. Safe as a member
+  /// because one instance is never called concurrently (see predict()).
+  mutable SnmScratch scratch_;
 };
 
 }  // namespace ffsva::detect

@@ -15,8 +15,13 @@ TYoloDetector::TYoloDetector(TYoloConfig config, const image::Image& background)
 
 DetectionResult TYoloDetector::detect(const image::Image& frame) const {
   DetectionResult out;
-  const image::Image small =
-      image::resize_bilinear(frame, config_.input_size, config_.input_size);
+  // Plan-based resize into thread-local staging: a detector instance may be
+  // shared across threads, so the warm buffers live per thread, not per
+  // instance. Steady state (fixed frame geometry) resizes allocation-free.
+  static thread_local image::ResizePlan plan;
+  static thread_local image::Image small;
+  plan.ensure(frame.width(), frame.height(), config_.input_size, config_.input_size);
+  image::resize_bilinear_into(frame, plan, small);
   const auto comps = foreground_components(small, background_small_, config_.segmentation);
 
   // Grid occupancy: at most boxes_per_cell detections per cell.

@@ -47,6 +47,17 @@ class Image {
 
   void fill(std::uint8_t v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Reshape in place, reusing the existing allocation when capacity
+  /// allows (the resize-into hot paths depend on this being free for a
+  /// repeated geometry). Pixel contents are unspecified after a change.
+  void reset(int width, int height, int channels) {
+    assert(width >= 0 && height >= 0 && (channels == 1 || channels == 3));
+    w_ = width;
+    h_ = height;
+    c_ = channels;
+    data_.resize(static_cast<std::size_t>(width) * height * channels);
+  }
+
   bool same_shape(const Image& o) const {
     return w_ == o.w_ && h_ == o.h_ && c_ == o.c_;
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "image/image.hpp"
 
@@ -14,8 +15,31 @@ namespace ffsva::image {
 /// Luma conversion (BT.601 integer weights). 1-channel input is copied.
 Image to_gray(const Image& src);
 
+/// Precomputed bilinear resampling tables. The per-pixel source indices
+/// (clamped) and lerp weights (Q11 fixed point) depend only on the
+/// geometry, so every filter that resizes each frame to a fixed input
+/// size amortizes the floor/clamp/divide work to zero: ensure() rebuilds
+/// the tables only when the geometry actually changes, and
+/// resize_bilinear_into() then runs integer-only per pixel.
+struct ResizePlan {
+  int src_w = -1, src_h = -1, out_w = -1, out_h = -1;
+  std::vector<std::int32_t> x0, x1, wx;  ///< Per output column.
+  std::vector<std::int32_t> y0, y1, wy;  ///< Per output row.
+
+  static constexpr int kWeightBits = 11;  ///< Q11: weights in [0, 2048].
+
+  /// Rebuild the tables if the geometry changed; no-op (and
+  /// allocation-free) otherwise.
+  void ensure(int src_width, int src_height, int out_width, int out_height);
+};
+
 /// Bilinear resize to (out_w, out_h); channel count preserved.
 Image resize_bilinear(const Image& src, int out_w, int out_h);
+
+/// Bilinear resize into a caller-owned destination using prepared tables;
+/// dst is reshaped to the plan's output geometry and src must match the
+/// plan's source geometry. Allocation-free once dst is warm.
+void resize_bilinear_into(const Image& src, const ResizePlan& plan, Image& dst);
 
 /// Mean squared error over all channels. Shapes must match.
 double mse(const Image& a, const Image& b);

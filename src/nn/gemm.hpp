@@ -5,28 +5,70 @@
 // unfold every receptive field into a column (im2col), multiply by the
 // [out_ch x in_ch*k*k] filter matrix, add bias. The GEMM form is how the
 // GPU frameworks the paper builds on execute convolutions, and it is the
-// faster CPU path for inference (contiguous inner loops); the pipeline's
-// SNM uses it for batched prediction.
+// faster CPU path for inference; the pipeline's SNM uses it for batched
+// prediction.
+//
+// gemm() is a cache-blocked kernel in the BLIS mold: the operands are
+// copied into packed panels (A in MR-row slabs, B in NR-column slabs) so
+// the register micro-kernel streams contiguous memory, the K dimension is
+// blocked at KC so a B panel stays cache-resident, and row panels are
+// fanned out across runtime::parallel_for when the problem is large
+// enough to pay for the dispatch. Pruned models keep their fast path,
+// hoisted from the seed's per-multiply branch to pack time: k-steps whose
+// whole MR-row slice is zero (see nn/compress.hpp) are compacted out of
+// the packed A panel, and panels with any such step run a branch-free
+// indexed micro-kernel over the surviving steps — dense panels pay
+// nothing. Results are bitwise identical across thread counts (each
+// output row is accumulated in a fixed k-order by exactly one worker).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/tensor.hpp"
 
 namespace ffsva::nn {
 
+/// Reusable packing / staging buffers for gemm() and conv2d_im2col_into().
+/// Sized on demand; steady-state reuse performs no heap allocation once
+/// the shapes seen have stabilized.
+struct GemmScratch {
+  std::vector<float> columns;      ///< im2col staging (conv path).
+  std::vector<float> a_pack;       ///< packed (zero-step-compacted) A panels.
+  std::vector<std::int32_t> a_idx; ///< surviving k-step indices per A panel.
+  std::vector<float> b_pack;       ///< packed B column panels.
+  /// Per-sample sub-scratches for the batched conv path, which fans the
+  /// independent samples of a batch out across the compute pool (each lane
+  /// owns its own im2col/packing buffers).
+  std::vector<GemmScratch> lanes;
+};
+
 /// Unfold sample `n` of x into columns: out is [in_ch*k*k, oh*ow],
 /// row-major. Zero padding outside the image.
 void im2col(const Tensor& x, int n, int kernel, int stride, int pad,
             int out_h, int out_w, std::vector<float>& columns);
 
-/// Row-major C[MxN] = A[MxK] * B[KxN] (C overwritten). Plain ikj loop
-/// ordering: B rows stream through cache.
+/// Row-major C[MxN] = A[MxK] * B[KxN] (C overwritten). Blocked, packed,
+/// multi-threaded; ws supplies the packing buffers.
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          GemmScratch& ws);
+
+/// Convenience overload using a thread-local scratch.
 void gemm(const float* a, const float* b, float* c, int m, int k, int n);
 
-/// Full convolution via im2col+GEMM. weight: [out_ch, in_ch, k, k];
-/// bias: [out_ch,1,1,1]. Numerically identical (up to FP reassociation)
-/// to the direct path in Conv2d::forward.
+/// The seed scalar kernel (ikj loops, per-element zero skip). Kept as the
+/// reference implementation for cross-checking and the before/after
+/// baseline in bench_gemm_kernels.
+void gemm_naive(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// Full convolution via im2col+GEMM into a caller-owned output tensor.
+/// weight: [out_ch, in_ch, k, k]; bias: [out_ch,1,1,1]. y is reshaped to
+/// the output geometry; with a warm scratch the call does not allocate.
+/// Numerically identical (up to FP reassociation) to Conv2d::forward.
+void conv2d_im2col_into(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                        int stride, int pad, Tensor& y, GemmScratch& ws);
+
+/// Allocating wrapper around conv2d_im2col_into (thread-local scratch).
 Tensor conv2d_im2col(const Tensor& x, const Tensor& weight, const Tensor& bias,
                      int stride, int pad);
 

@@ -18,6 +18,10 @@ void he_init(Tensor& t, int fan_in, runtime::Xoshiro256& rng) {
 }
 }  // namespace
 
+void Layer::forward_into(const Tensor& x, Tensor& y, GemmScratch&) {
+  y = forward(x, /*train=*/false);
+}
+
 // ---------------------------------------------------------------- Conv2d --
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
@@ -96,6 +100,11 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+void Conv2d::forward_into(const Tensor& x, Tensor& y, GemmScratch& ws) {
+  if (x.c() != in_ch_) throw std::invalid_argument("Conv2d: channel mismatch");
+  conv2d_im2col_into(x, weight, bias, stride_, pad_, y, ws);
+}
+
 std::vector<Param> Conv2d::params() {
   return {{&weight, &weight_grad}, {&bias, &bias_grad}};
 }
@@ -139,6 +148,28 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   }
   out_shape_ = y.shape();
   return y;
+}
+
+void MaxPool2d::forward_into(const Tensor& x, Tensor& y, GemmScratch&) {
+  // Inference variant of forward(): no argmax bookkeeping, no input cache.
+  const int oh = (x.h() - kernel_) / stride_ + 1;
+  const int ow = (x.w() - kernel_) / stride_ + 1;
+  y.resize(x.n(), x.c(), oh, ow);
+  for (int n = 0; n < x.n(); ++n) {
+    for (int c = 0; c < x.c(); ++c) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              best = std::max(best, x.at(n, c, oy * stride_ + ky, ox * stride_ + kx));
+            }
+          }
+          y.at(n, c, oy, ox) = best;
+        }
+      }
+    }
+  }
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
@@ -200,6 +231,33 @@ Tensor Linear::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+void Linear::forward_into(const Tensor& x, Tensor& y, GemmScratch&) {
+  const int feat = x.c() * x.h() * x.w();
+  if (feat != in_features_) throw std::invalid_argument("Linear: feature mismatch");
+  y.resize(x.n(), out_features_, 1, 1);
+  const float* xd = x.data();
+  for (int n = 0; n < x.n(); ++n) {
+    const float* xin = xd + static_cast<std::size_t>(n) * feat;
+    for (int o = 0; o < out_features_; ++o) {
+      const float* wrow = weight.data() + static_cast<std::size_t>(o) * in_features_;
+      // Eight explicit partial sums: a single-accumulator FP reduction
+      // cannot be vectorized without reassociation, which -O3 alone does
+      // not grant. (Inference-only; forward() keeps the serial order the
+      // gradient checks expect.)
+      float part[8] = {};
+      const int tail = in_features_ & ~7;
+      for (int i = 0; i < tail; i += 8) {
+        for (int u = 0; u < 8; ++u) part[u] += wrow[i + u] * xin[i + u];
+      }
+      float acc = bias.at(o, 0, 0, 0);
+      for (int i = tail; i < in_features_; ++i) acc += wrow[i] * xin[i];
+      acc += ((part[0] + part[1]) + (part[2] + part[3])) +
+             ((part[4] + part[5]) + (part[6] + part[7]));
+      y.at(n, o, 0, 0) = acc;
+    }
+  }
+}
+
 std::vector<Param> Linear::params() {
   return {{&weight, &weight_grad}, {&bias, &bias_grad}};
 }
@@ -211,6 +269,13 @@ Tensor ReLU::forward(const Tensor& x, bool train) {
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::max(0.0f, y[i]);
   if (train) cached_input_ = x;
   return y;
+}
+
+void ReLU::forward_into(const Tensor& x, Tensor& y, GemmScratch&) {
+  y.resize(x.n(), x.c(), x.h(), x.w());
+  const float* in = x.data();
+  float* out = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::max(0.0f, in[i]);
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
@@ -230,6 +295,15 @@ Tensor Sigmoid::forward(const Tensor& x, bool train) {
   return y;
 }
 
+void Sigmoid::forward_into(const Tensor& x, Tensor& y, GemmScratch&) {
+  y.resize(x.n(), x.c(), x.h(), x.w());
+  const float* in = x.data();
+  float* out = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+  }
+}
+
 Tensor Sigmoid::backward(const Tensor& grad_out) {
   Tensor grad_in = grad_out;
   for (std::size_t i = 0; i < grad_in.size(); ++i) {
@@ -245,6 +319,22 @@ Tensor Sequential::forward(const Tensor& x, bool train) {
   Tensor cur = x;
   for (auto& l : layers_) cur = l->forward(cur, train);
   return cur;
+}
+
+const Tensor& Sequential::forward_inference(const Tensor& x, InferenceScratch& ws) {
+  if (layers_.empty()) {
+    ws.acts[0] = x;
+    return ws.acts[0];
+  }
+  const Tensor* cur = &x;
+  int slot = 0;
+  for (auto& l : layers_) {
+    Tensor& out = ws.acts[slot];
+    l->forward_into(*cur, out, ws.gemm);
+    cur = &out;
+    slot ^= 1;
+  }
+  return *cur;
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/gemm.hpp"
 #include "nn/tensor.hpp"
 #include "runtime/rng.hpp"
 
@@ -22,6 +23,16 @@ struct Param {
   Tensor* grad = nullptr;
 };
 
+/// Reusable buffers for Sequential::forward_inference(): GEMM packing /
+/// im2col staging plus the two ping-pong activation tensors the layer
+/// chain alternates between. After one warming forward per input shape,
+/// every buffer has reached its steady-state capacity and repeated
+/// inference performs zero heap allocations.
+struct InferenceScratch {
+  GemmScratch gemm;
+  Tensor acts[2];
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -30,6 +41,11 @@ class Layer {
   virtual Tensor backward(const Tensor& grad_out) = 0;
   virtual std::vector<Param> params() { return {}; }
   virtual std::string name() const = 0;
+
+  /// Inference-only forward into a caller-owned output (x and y must be
+  /// distinct). Allocation-free once y and ws are warm. The default
+  /// falls back to the allocating forward().
+  virtual void forward_into(const Tensor& x, Tensor& y, GemmScratch& ws);
 };
 
 /// 2-D convolution (im2col + GEMM), zero padding, square kernel.
@@ -40,6 +56,7 @@ class Conv2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, GemmScratch& ws) override;
   std::vector<Param> params() override;
   std::string name() const override { return "conv2d"; }
 
@@ -70,6 +87,7 @@ class MaxPool2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, GemmScratch& ws) override;
   std::string name() const override { return "maxpool2d"; }
 
  private:
@@ -86,6 +104,7 @@ class Linear final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, GemmScratch& ws) override;
   std::vector<Param> params() override;
   std::string name() const override { return "linear"; }
 
@@ -103,6 +122,7 @@ class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, GemmScratch& ws) override;
   std::string name() const override { return "relu"; }
 
  private:
@@ -113,6 +133,7 @@ class Sigmoid final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, GemmScratch& ws) override;
   std::string name() const override { return "sigmoid"; }
 
  private:
@@ -130,6 +151,11 @@ class Sequential {
   }
 
   Tensor forward(const Tensor& x, bool train = false);
+  /// Inference hot path: runs every layer's forward_into() through the
+  /// scratch's ping-pong activation buffers and returns a reference to
+  /// the last one. Zero heap allocations once ws is warm for the input
+  /// shape. The reference is invalidated by the next forward_inference.
+  const Tensor& forward_inference(const Tensor& x, InferenceScratch& ws);
   /// Backprop from dLoss/dOutput; returns dLoss/dInput.
   Tensor backward(const Tensor& grad_out);
 

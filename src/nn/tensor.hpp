@@ -54,6 +54,16 @@ class Tensor {
 
   void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Reshape in place, reusing the existing allocation when capacity
+  /// allows — repeated resizes to previously seen sizes are free, which is
+  /// what the zero-allocation inference path relies on. Element contents
+  /// are unspecified after a size change.
+  void resize(int n, int c, int h, int w) {
+    assert(n >= 0 && c >= 0 && h >= 0 && w >= 0);
+    shape_ = {n, c, h, w};
+    data_.resize(static_cast<std::size_t>(n) * c * h * w);
+  }
+
   /// In-place axpy: this += alpha * other. Shapes must match.
   void axpy(float alpha, const Tensor& other);
 

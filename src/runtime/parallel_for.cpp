@@ -1,0 +1,148 @@
+#include "runtime/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runtime/thread_pool.hpp"
+
+namespace ffsva::runtime {
+
+namespace {
+
+int parallelism_from_env() {
+  if (const char* env = std::getenv("FFSVA_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(std::min<long>(v, 256));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct ComputePool {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+  int parallelism = 0;  // 0 = not yet resolved
+
+  void ensure(int requested) {
+    std::lock_guard lk(mu);
+    const int want = requested > 0 ? requested
+                     : parallelism > 0 ? parallelism
+                                       : parallelism_from_env();
+    if (want == parallelism) return;
+    pool.reset();
+    // The caller is worker number `want`; the pool supplies the rest.
+    if (want > 1) pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(want - 1));
+    parallelism = want;
+  }
+};
+
+ComputePool& state() {
+  static auto* s = new ComputePool();  // leaked: outlives any static user
+  return *s;
+}
+
+}  // namespace
+
+ThreadPool* compute_pool() {
+  auto& s = state();
+  s.ensure(0);
+  return s.pool.get();
+}
+
+int compute_parallelism() {
+  auto& s = state();
+  s.ensure(0);
+  return s.parallelism;
+}
+
+void set_compute_parallelism(int n) { state().ensure(std::max(1, n)); }
+
+namespace {
+
+/// Shared state of one parallel loop. Heap-owned (shared_ptr) by the
+/// caller and every helper task: a helper may be scheduled only after the
+/// join returned (or never, if every chunk was drained first), so it must
+/// not touch the caller's stack. The join condition is "every *chunk*
+/// finished", which the participating caller can always drive to
+/// completion on its own — a queued helper that never runs claims no
+/// chunks, so nested loops cannot deadlock even when all workers are
+/// blocked in inner joins. `ctx` points into the caller's frame, but is
+/// only dereferenced for a claimed chunk, and the join outlives every
+/// claimed chunk by construction.
+struct LoopState {
+  LoopState(std::int64_t begin_, std::int64_t end_, std::int64_t grain_,
+            std::int64_t chunks_, detail::ChunkFn invoke_, void* ctx_)
+      : invoke(invoke_), ctx(ctx_), begin(begin_), end(end_), grain(grain_),
+        chunks(chunks_) {}
+
+  const detail::ChunkFn invoke;
+  void* const ctx;
+  const std::int64_t begin, end, grain, chunks;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> finished{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  void run_chunks() {
+    for (;;) {
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks) break;
+      // A claimed chunk must always be counted finished, even when it is
+      // skipped after a failure, or the join would wait forever.
+      if (!failed.load(std::memory_order_relaxed)) {
+        const std::int64_t b = begin + i * grain;
+        try {
+          invoke(ctx, b, std::min(end, b + grain));
+        } catch (...) {
+          std::lock_guard lk(mu);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (finished.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard lk(mu);  // Pairs with the join's predicate check.
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                       std::int64_t chunks, ChunkFn invoke, void* ctx) {
+  ThreadPool* pool = compute_pool();
+  if (pool == nullptr) {
+    invoke(ctx, begin, end);
+    return;
+  }
+
+  auto st = std::make_shared<LoopState>(begin, end, grain, chunks, invoke, ctx);
+  const int helpers = static_cast<int>(
+      std::min<std::int64_t>(static_cast<std::int64_t>(pool->size()), chunks - 1));
+  for (int t = 0; t < helpers; ++t) {
+    if (!pool->submit([st] { st->run_chunks(); })) break;
+  }
+  st->run_chunks();
+  if (st->finished.load(std::memory_order_acquire) != chunks) {
+    std::unique_lock lk(st->mu);
+    st->cv.wait(lk, [&] {
+      return st->finished.load(std::memory_order_acquire) == chunks;
+    });
+  }
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace detail
+
+}  // namespace ffsva::runtime

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/parallel_for.hpp"
 #include "runtime/rng.hpp"
 
 namespace ffsva::image {
@@ -67,6 +68,51 @@ TEST(Resize, UpscalePreservesMeanApproximately) {
   mean_in /= static_cast<double>(img.size_bytes());
   mean_out /= static_cast<double>(big.size_bytes());
   EXPECT_NEAR(mean_in, mean_out, 4.0);
+}
+
+TEST(ResizePlan, IntoMatchesAllocatingResize) {
+  const Image img = random_image(123, 77, 3, 6);
+  const Image want = resize_bilinear(img, 50, 50);
+  ResizePlan plan;
+  plan.ensure(img.width(), img.height(), 50, 50);
+  Image got;
+  resize_bilinear_into(img, plan, got);
+  EXPECT_EQ(want, got);
+}
+
+TEST(ResizePlan, EnsureRebuildsOnGeometryChange) {
+  ResizePlan plan;
+  plan.ensure(100, 50, 25, 10);
+  const auto first_x0 = plan.x0;
+  plan.ensure(100, 50, 25, 10);  // Same geometry: tables unchanged.
+  EXPECT_EQ(first_x0, plan.x0);
+  plan.ensure(64, 64, 16, 16);  // New geometry: tables rebuilt.
+  EXPECT_EQ(16u, plan.x0.size());
+  EXPECT_EQ(16u, plan.y0.size());
+
+  // The rebuilt plan still resizes correctly (no stale-table reuse).
+  const Image img = random_image(64, 64, 1, 7);
+  Image got;
+  resize_bilinear_into(img, plan, got);
+  EXPECT_EQ(resize_bilinear(img, 16, 16), got);
+}
+
+TEST(ResizePlan, IntoDeterministicAcrossThreadCounts) {
+  // Rows are fanned out across the compute pool in integer math: results
+  // must be bitwise identical at any parallelism.
+  const Image img = random_image(320, 240, 1, 8);
+  ResizePlan plan;
+  plan.ensure(img.width(), img.height(), 50, 50);
+
+  const int saved = runtime::compute_parallelism();
+  runtime::set_compute_parallelism(1);
+  Image serial;
+  resize_bilinear_into(img, plan, serial);
+  runtime::set_compute_parallelism(4);
+  Image parallel;
+  resize_bilinear_into(img, plan, parallel);
+  runtime::set_compute_parallelism(saved);
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(Distance, IdenticalImagesAreZero) {

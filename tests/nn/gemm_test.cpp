@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "nn/layers.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace ffsva::nn {
 namespace {
@@ -114,6 +117,129 @@ TEST(ConvIm2Col, ChannelMismatchThrows) {
   Tensor w(1, 3, 3, 3);
   Tensor b(1, 1, 1, 1);
   EXPECT_THROW(conv2d_im2col(x, w, b, 1, 1), std::invalid_argument);
+}
+
+/// Restores the compute parallelism a test overrides, so thread-count
+/// experiments don't leak into the rest of the binary.
+class ParallelismGuard {
+ public:
+  ParallelismGuard() : saved_(runtime::compute_parallelism()) {}
+  ~ParallelismGuard() { runtime::set_compute_parallelism(saved_); }
+
+ private:
+  int saved_;
+};
+
+std::vector<float> random_matrix(int rows, int cols, std::uint64_t seed) {
+  runtime::Xoshiro256 rng(seed);
+  std::vector<float> m(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+/// The blocked kernel must agree with the seed kernel at awkward shapes:
+/// degenerate dims, non-multiples of the register tile, and sizes that
+/// cross the KC/NC cache-block boundaries.
+TEST(GemmBlocked, MatchesNaiveAcrossShapes) {
+  const struct { int m, k, n; } shapes[] = {
+      {1, 1, 1},    {1, 300, 1},   {300, 1, 5},   {5, 3, 300},
+      {4, 16, 16},  {5, 17, 33},   {3, 40, 97},   {64, 64, 64},
+      {16, 72, 169}, {8, 9, 625},  {7, 300, 41},  {130, 260, 37},
+      {33, 257, 1030}};
+  GemmScratch ws;  // Shared across shapes: exercises buffer re-sizing too.
+  std::uint64_t seed = 1;
+  for (const auto& s : shapes) {
+    const auto a = random_matrix(s.m, s.k, seed++);
+    const auto b = random_matrix(s.k, s.n, seed++);
+    std::vector<float> want(static_cast<std::size_t>(s.m) * s.n);
+    std::vector<float> got(want.size());
+    gemm_naive(a.data(), b.data(), want.data(), s.m, s.k, s.n);
+    gemm(a.data(), b.data(), got.data(), s.m, s.k, s.n, ws);
+    const float tol = 1e-4f * static_cast<float>(s.k);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(want[i], got[i], tol)
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " element " << i;
+    }
+  }
+}
+
+TEST(GemmBlocked, CompactsPrunedKSteps) {
+  // Zero whole k-columns of A (all rows), the shape magnitude pruning
+  // produces: the packer compacts those steps and the indexed micro-kernel
+  // must still produce the dense answer.
+  const int m = 19, k = 83, n = 201;
+  auto a = random_matrix(m, k, 11);
+  const auto b = random_matrix(k, n, 12);
+  runtime::Xoshiro256 rng(13);
+  for (int kk = 0; kk < k; ++kk) {
+    if (rng.uniform(0.0, 1.0) >= 0.5) continue;
+    for (int i = 0; i < m; ++i) a[static_cast<std::size_t>(i) * k + kk] = 0.0f;
+  }
+  std::vector<float> want(static_cast<std::size_t>(m) * n), got(want.size());
+  gemm_naive(a.data(), b.data(), want.data(), m, k, n);
+  GemmScratch ws;
+  gemm(a.data(), b.data(), got.data(), m, k, n, ws);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(want[i], got[i], 1e-3f) << "element " << i;
+  }
+}
+
+TEST(GemmBlocked, BitwiseDeterministicAcrossThreadCounts) {
+  // Each output row is accumulated in one fixed k-order by exactly one
+  // worker, so the result must be bitwise identical for any parallelism —
+  // large enough here to clear the parallel-dispatch threshold.
+  const int m = 96, k = 128, n = 160;
+  const auto a = random_matrix(m, k, 21);
+  const auto b = random_matrix(k, n, 22);
+  std::vector<float> c1(static_cast<std::size_t>(m) * n), c4(c1.size());
+
+  ParallelismGuard guard;
+  GemmScratch ws;
+  runtime::set_compute_parallelism(1);
+  gemm(a.data(), b.data(), c1.data(), m, k, n, ws);
+  runtime::set_compute_parallelism(4);
+  gemm(a.data(), b.data(), c4.data(), m, k, n, ws);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)));
+}
+
+TEST(ConvIm2Col, IntoReusesScratchAcrossShapes) {
+  // Shrinking then growing shapes through one scratch: buffers are
+  // grow-only, so results must not be contaminated by stale contents.
+  runtime::Xoshiro256 rng(31);
+  GemmScratch ws;
+  Tensor y;
+  const struct { int batch, in_ch, out_ch, size, stride, pad; } shapes[] = {
+      {2, 4, 8, 16, 2, 1}, {1, 1, 2, 5, 1, 1}, {4, 8, 16, 25, 2, 1}};
+  for (const auto& s : shapes) {
+    Conv2d conv(s.in_ch, s.out_ch, 3, s.stride, s.pad, rng);
+    const Tensor x = random_tensor(s.batch, s.in_ch, s.size, s.size,
+                                   static_cast<std::uint64_t>(s.size));
+    conv.set_use_im2col(false);
+    const Tensor want = conv.forward(x, false);
+    conv2d_im2col_into(x, conv.weight, conv.bias, s.stride, s.pad, y, ws);
+    ASSERT_TRUE(want.same_shape(y));
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(want[i], y[i], 1e-4f) << "element " << i;
+    }
+  }
+}
+
+TEST(ConvIm2Col, BatchFanOutDeterministicAcrossThreadCounts) {
+  // The batched conv path fans samples across the pool; per-sample work is
+  // independent, so outputs must be bitwise identical at any parallelism.
+  runtime::Xoshiro256 rng(41);
+  Conv2d conv(8, 16, 3, 2, 1, rng);
+  const Tensor x = random_tensor(6, 8, 25, 25, 43);
+
+  ParallelismGuard guard;
+  GemmScratch ws;
+  Tensor y1, y4;
+  runtime::set_compute_parallelism(1);
+  conv2d_im2col_into(x, conv.weight, conv.bias, 2, 1, y1, ws);
+  runtime::set_compute_parallelism(4);
+  conv2d_im2col_into(x, conv.weight, conv.bias, 2, 1, y4, ws);
+  ASSERT_TRUE(y1.same_shape(y4));
+  EXPECT_EQ(0, std::memcmp(y1.data(), y4.data(), y1.size() * sizeof(float)));
 }
 
 TEST(Gemm, SkipsZeroWeights) {

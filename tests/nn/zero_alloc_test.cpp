@@ -1,0 +1,139 @@
+// Allocation-count checks for the inference hot path.
+//
+// The steady-state contract of the scratch-threaded forward pass is "warm
+// calls never touch the heap": GemmScratch / InferenceScratch / SnmScratch
+// buffers are grow-only and sized on the first call, after which predict()
+// and forward_inference() must perform zero allocations. This test counts
+// them directly by overriding the global allocation functions, which is
+// why it lives in its own binary rather than nn_tests.
+//
+// The counter only increments between arm()/disarm(), so gtest's own
+// bookkeeping outside the measured window doesn't pollute the count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<bool> g_armed{false};
+std::atomic<long> g_allocs{0};
+
+void count_alloc() {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+struct AllocWindow {
+  AllocWindow() {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  ~AllocWindow() { g_armed.store(false, std::memory_order_relaxed); }
+  long count() const { return g_allocs.load(std::memory_order_relaxed); }
+};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  count_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  count_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include "detect/snm.hpp"
+#include "nn/layers.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/rng.hpp"
+
+namespace ffsva {
+namespace {
+
+image::Image noise_image(int w, int h, std::uint64_t seed) {
+  runtime::Xoshiro256 rng(seed);
+  image::Image img(w, h, 1);
+  for (std::size_t i = 0; i < img.size_bytes(); ++i) {
+    img.data()[i] = static_cast<std::uint8_t>(rng.next() & 0xff);
+  }
+  return img;
+}
+
+TEST(ZeroAlloc, SequentialForwardInferenceIsAllocationFree) {
+  runtime::set_compute_parallelism(1);
+  runtime::Xoshiro256 rng(7);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2d>(1, 8, 3, 2, 1, rng))
+      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::Conv2d>(8, 16, 3, 2, 1, rng))
+      .add(std::make_unique<nn::ReLU>())
+      .add(std::make_unique<nn::MaxPool2d>(2, 2))
+      .add(std::make_unique<nn::Linear>(16 * 6 * 6, 1, rng));
+
+  nn::Tensor x(1, 1, 50, 50);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.01f * static_cast<float>(i % 97);
+
+  nn::InferenceScratch ws;
+  net.forward_inference(x, ws);  // Warm-up sizes every buffer.
+  net.forward_inference(x, ws);
+
+  AllocWindow window;
+  const nn::Tensor& y = net.forward_inference(x, ws);
+  EXPECT_EQ(0, window.count());
+  EXPECT_EQ(1u, y.size());
+}
+
+TEST(ZeroAlloc, WarmSnmPredictIsAllocationFree) {
+  runtime::set_compute_parallelism(1);
+  const image::Image background = noise_image(160, 120, 1);
+  detect::SnmFilter snm(detect::SnmConfig{}, background, 99);
+
+  const image::Image frame_a = noise_image(160, 120, 2);
+  const image::Image frame_b = noise_image(160, 120, 3);
+  (void)snm.predict(frame_a);  // Warm-up sizes scratch + resize plan.
+  (void)snm.predict(frame_b);
+
+  AllocWindow window;
+  const double pa = snm.predict(frame_a);
+  const double pb = snm.predict(frame_b);
+  EXPECT_EQ(0, window.count());
+  EXPECT_GE(pa, 0.0);
+  EXPECT_LE(pa, 1.0);
+  EXPECT_GE(pb, 0.0);
+  EXPECT_LE(pb, 1.0);
+}
+
+TEST(ZeroAlloc, WarmSnmPredictBatchIsAllocationFree) {
+  runtime::set_compute_parallelism(1);
+  const image::Image background = noise_image(160, 120, 11);
+  detect::SnmFilter snm(detect::SnmConfig{}, background, 99);
+
+  std::vector<image::Image> frames;
+  for (int i = 0; i < 4; ++i) frames.push_back(noise_image(160, 120, 20u + i));
+  std::vector<const image::Image*> ptrs;
+  for (const auto& f : frames) ptrs.push_back(&f);
+
+  (void)snm.predict_batch(ptrs);
+  (void)snm.predict_batch(ptrs);
+
+  // The returned vector<double> itself must allocate; everything else is
+  // warm. Allow exactly the result allocations for the two calls.
+  AllocWindow window;
+  const auto probs = snm.predict_batch(ptrs);
+  EXPECT_LE(window.count(), 1);
+  EXPECT_EQ(4u, probs.size());
+}
+
+}  // namespace
+}  // namespace ffsva
