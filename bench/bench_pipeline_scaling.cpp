@@ -1,0 +1,119 @@
+// Offline multi-stream scaling of the *threaded* pipeline engine.
+//
+// Unlike the figure benches (which drive the discrete-event simulator),
+// this one runs the real FfsVaInstance — threads, bounded queues, the GPU0
+// executor — over pre-rendered frames, so what is measured is the engine
+// itself: thread-model overhead, queue wakeups, and cross-stream batching,
+// not decode or simulation cost. Throughput is reported for 1/4/16/64
+// identical streams replaying the same window.
+//
+// Usage: bench_pipeline_scaling [--json out.json] [--label prefix]
+//                               [--frames N] [--streams a,b,c]
+// `--label` prefixes every series name, which is how pre/post engine runs
+// are distinguished inside one archived BENCH_pipeline_scaling.json.
+#include "common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "core/pipeline.hpp"
+#include "runtime/stopwatch.hpp"
+
+using namespace ffsva;
+
+namespace {
+
+/// Replays a pre-rendered frame window as one stream (zero decode cost).
+class ReplaySource final : public video::FrameSource {
+ public:
+  ReplaySource(const std::vector<video::Frame>* window, int stream_id)
+      : window_(window), stream_id_(stream_id) {}
+
+  std::optional<video::Frame> next() override {
+    if (next_ >= window_->size()) return std::nullopt;
+    video::Frame f = (*window_)[next_++];
+    f.stream_id = stream_id_;
+    return f;
+  }
+  std::int64_t total_frames() const override {
+    return static_cast<std::int64_t>(window_->size());
+  }
+
+ private:
+  const std::vector<video::Frame>* window_;
+  int stream_id_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label;
+  std::int64_t frames_per_stream = 192;
+  std::vector<int> stream_counts = {1, 4, 16, 64};
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--label") == 0) label = std::string(argv[i + 1]) + "/";
+    if (std::strcmp(argv[i], "--frames") == 0) frames_per_stream = std::atol(argv[i + 1]);
+    if (std::strcmp(argv[i], "--streams") == 0) {
+      stream_counts.clear();
+      for (const char* p = argv[i + 1]; *p;) {
+        stream_counts.push_back(std::atoi(p));
+        while (*p && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    }
+  }
+  bench::JsonReport report(argc, argv);
+
+  bench::print_header("PIPELINE SCALING -- offline engine throughput vs stream count");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  // One specialized stream, shared by every replica: the paper's deployment
+  // has per-stream models, but for an engine benchmark identical models keep
+  // specialization cost out of the loop. SDD/T-YOLO are const-safe; SNM and
+  // the reference model are serialized by the engine's device ownership.
+  std::printf("Specializing models and pre-rendering %lld frames...\n",
+              static_cast<long long>(frames_per_stream));
+  auto cfg_scene = video::jackson_profile();
+  cfg_scene.width = 128;
+  cfg_scene.height = 96;
+  cfg_scene.tor = 0.25;
+  const std::int64_t calib = 600;
+  video::SceneSimulator sim(cfg_scene, 1234,
+                            calib + frames_per_stream);
+  std::vector<video::Frame> calib_frames;
+  for (std::int64_t i = 0; i < calib; ++i) calib_frames.push_back(sim.render(i));
+  detect::SpecializeConfig sc;
+  sc.target = cfg_scene.target;
+  sc.snm.epochs = 4;
+  const auto models = detect::specialize_stream(calib_frames, sc, 1234);
+
+  std::vector<video::Frame> window;
+  window.reserve(static_cast<std::size_t>(frames_per_stream));
+  for (std::int64_t i = 0; i < frames_per_stream; ++i) {
+    window.push_back(sim.render(calib + i));
+  }
+
+  std::printf("\n%-10s %12s %12s %12s %12s\n", "streams", "total FPS", "FPS/stream",
+              "p50 lat(ms)", "p99 lat(ms)");
+  bench::print_rule();
+  for (const int n : stream_counts) {
+    core::FfsVaConfig cfg;
+    core::FfsVaInstance instance(cfg);
+    instance.set_output_sink([](const core::OutputEvent&) {});
+    for (int s = 0; s < n; ++s) {
+      instance.add_stream(std::make_unique<ReplaySource>(&window, s), models);
+    }
+    const auto stats = instance.run(/*online=*/false);
+    const auto agg = stats.aggregate();
+    std::printf("%-10d %12.1f %12.1f %12.1f %12.1f\n", n,
+                stats.total_throughput_fps, stats.total_throughput_fps / n,
+                agg.latency_ms.p50(), agg.latency_ms.p99());
+    char name[64];
+    std::snprintf(name, sizeof(name), "%soffline/streams=%d", label.c_str(), n);
+    report.add(name, stats.total_throughput_fps, agg.latency_ms.p50(),
+               agg.latency_ms.p99());
+  }
+  return 0;
+}

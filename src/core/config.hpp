@@ -44,6 +44,17 @@ struct FfsVaConfig {
   /// (inter-stream load balancing, Section 3.2.3 / 4.3.1).
   int num_tyolo = 4;
 
+  // --- engine sizing --------------------------------------------------------
+  /// SDD worker-pool size. The engine runs a fixed pool of CPU workers over
+  /// all streams' SDD queues (total thread count O(workers), not
+  /// O(streams)); 0 = auto, which resolves to the FFSVA_THREADS compute
+  /// parallelism capped by the stream count.
+  int sdd_workers = 0;
+  /// Frames one SDD worker processes from a claimed stream before
+  /// rescanning: bounds how long a busy stream can monopolize a worker when
+  /// streams outnumber workers.
+  int sdd_run_length = 32;
+
   // --- online mode ----------------------------------------------------------
   double online_fps = 30.0;
   /// Capacity of the live-capture ring buffer in front of SDD. A camera

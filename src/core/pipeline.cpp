@@ -1,10 +1,12 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "runtime/bounded_queue.hpp"
+#include "runtime/parallel_for.hpp"
 #include "runtime/rate_limiter.hpp"
 #include "runtime/stopwatch.hpp"
 
@@ -63,8 +65,25 @@ struct FfsVaInstance::Stream {
   runtime::BoundedQueue<Item> tyolo_q;
 
   StreamStats stats;
-  std::atomic<bool> tyolo_open{true};  ///< SNM still producing for T-YOLO.
   double ingest_wall_sec = 0.0;
+
+  /// SDD worker-pool coordination: at most one worker serves this stream at
+  /// a time (claim), which both preserves per-stream FIFO order into the
+  /// SNM queue and serializes access to the SDD counters/histogram. The
+  /// acq_rel claim handoff carries the happens-before edge between
+  /// consecutive owners. `sdd_done` is set (exactly once, under the claim)
+  /// when the SDD queue is closed and drained.
+  std::atomic<bool> sdd_claimed{false};
+  std::atomic<bool> sdd_done{false};
+
+  /// Per-stage latency histograms. Each is written by exactly one logical
+  /// owner (SDD claim holder / GPU0 executor / reference thread) and merged
+  /// into stats.latency_ms after the stage threads are joined — stages on
+  /// different threads must not share one histogram.
+  runtime::Histogram lat_sdd;
+  runtime::Histogram lat_snm;
+  runtime::Histogram lat_tyolo;
+  runtime::Histogram lat_ref;
 
   Stream(int id_, std::unique_ptr<video::FrameSource> src, detect::StreamModels m,
          const FfsVaConfig& cfg)
@@ -102,6 +121,14 @@ void FfsVaInstance::set_output_sink(std::function<void(const OutputEvent&)> sink
   sink_ = std::move(sink);
 }
 
+int FfsVaInstance::sdd_pool_size() const {
+  const int n = static_cast<int>(streams_.size());
+  if (n == 0) return 0;
+  const int w = config_.sdd_workers > 0 ? config_.sdd_workers
+                                        : runtime::compute_parallelism();
+  return std::clamp(w, 1, n);
+}
+
 void FfsVaInstance::prefetch_loop(Stream& s, bool online) {
   runtime::RateLimiter limiter(config_.online_fps, /*burst=*/2.0);
   runtime::Stopwatch watch;
@@ -128,102 +155,96 @@ void FfsVaInstance::prefetch_loop(Stream& s, bool online) {
   s.sdd_q.close();
 }
 
-void FfsVaInstance::sdd_loop(Stream& s) {
-  while (auto item = s.sdd_q.pop()) {
-    ++s.stats.sdd.in;
-    if (s.models.sdd->pass(item->frame.image)) {
-      ++s.stats.sdd.passed;
-      if (!s.snm_q.push(std::move(*item))) break;
-    } else {
-      s.stats.latency_ms.add(ms_since(item->ingest));
-    }
-  }
-  s.snm_q.close();
-}
-
-void FfsVaInstance::snm_loop(Stream& s) {
-  const int queue_threshold = config_.snm_queue_depth;
+void FfsVaInstance::sdd_worker_loop(int worker) {
+  const int n = static_cast<int>(streams_.size());
+  if (n == 0) return;
+  const int run_length = std::max(1, config_.sdd_run_length);
+  int cursor = worker % n;  // stagger workers across streams
   for (;;) {
-    // Batch formation mirrors DynamicBatcher::next_batch (Section 4.3.2):
-    // static waits for a full batch, feedback waits for min(batch, queue
-    // threshold), dynamic takes whatever is available.
-    std::vector<Item> batch;
-    switch (config_.batch_policy) {
-      case BatchPolicy::kStatic:
-        batch = s.snm_q.pop_exact(static_cast<std::size_t>(config_.batch_size));
-        break;
-      case BatchPolicy::kFeedback:
-        batch = s.snm_q.pop_exact(static_cast<std::size_t>(
-            std::min(config_.batch_size, queue_threshold)));
-        break;
-      case BatchPolicy::kDynamic:
-        batch = s.snm_q.pop_batch(static_cast<std::size_t>(config_.batch_size));
-        break;
-    }
-    if (batch.empty()) break;  // closed and drained
-
-    std::vector<double> scores;
-    {
-      // SNM executes on GPU0 (shared with T-YOLO).
-      std::lock_guard gpu(gpu0_);
-      std::vector<const image::Image*> imgs;
-      imgs.reserve(batch.size());
-      for (const auto& it : batch) imgs.push_back(&it.frame.image);
-      scores = s.models.snm->predict_batch(imgs);
-    }
-    const double t_pre = s.models.snm->t_pre();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      ++s.stats.snm.in;
-      if (scores[i] >= t_pre) {
-        ++s.stats.snm.passed;
-        if (!s.tyolo_q.push(std::move(batch[i]))) return;
-      } else {
-        s.stats.latency_ms.add(ms_since(batch[i].ingest));
+    const auto ticket = sdd_work_.prepare();
+    bool all_done = true;
+    bool did_work = false;
+    for (int step = 0; step < n; ++step) {
+      const int idx = (cursor + step) % n;
+      Stream& s = *streams_[static_cast<std::size_t>(idx)];
+      if (s.sdd_done.load(std::memory_order_acquire)) continue;
+      all_done = false;
+      if (s.sdd_claimed.exchange(true, std::memory_order_acq_rel)) {
+        continue;  // another worker is serving this stream
+      }
+      int processed = 0;
+      while (processed < run_length) {
+        // Order matters: observe close *before* the failed pop, so an empty
+        // pop on a closed queue really means end-of-stream (a push cannot
+        // land after close).
+        const bool closed = s.sdd_q.closed();
+        auto item = s.sdd_q.try_pop();
+        if (!item) {
+          if (closed) {
+            s.sdd_done.store(true, std::memory_order_release);
+            s.snm_q.close();
+            sdd_work_.notify();  // wake workers idling on this last stream
+          }
+          break;
+        }
+        ++processed;
+        ++s.stats.sdd.in;
+        if (s.models.sdd->pass(item->frame.image)) {
+          ++s.stats.sdd.passed;
+          // Blocking push: the SNM feedback-queue threshold throttles this
+          // worker (other workers keep serving other streams meanwhile).
+          if (!s.snm_q.push(std::move(*item))) break;
+        } else {
+          s.lat_sdd.add(ms_since(item->ingest));
+        }
+      }
+      s.sdd_claimed.store(false, std::memory_order_release);
+      if (processed > 0) {
+        did_work = true;
+        cursor = idx;  // keep draining near the stream we just served
       }
     }
+    if (all_done) return;
+    if (!did_work) sdd_work_.wait(ticket);
   }
-  s.tyolo_open.store(false, std::memory_order_release);
 }
 
-void FfsVaInstance::tyolo_loop() {
+void FfsVaInstance::gpu0_loop() {
   TYoloScheduler scheduler(config_.num_tyolo);
-  std::vector<int> depths(streams_.size(), 0);
-  for (;;) {
-    bool any_open = false;
-    for (std::size_t i = 0; i < streams_.size(); ++i) {
-      depths[i] = static_cast<int>(streams_[i]->tyolo_q.depth());
-      if (streams_[i]->tyolo_open.load(std::memory_order_acquire) || depths[i] > 0) {
-        any_open = true;
-      }
+  const DynamicBatcher batcher(config_.batch_policy, config_.batch_size,
+                               config_.snm_queue_depth);
+  const std::size_t n = streams_.size();
+  std::vector<bool> snm_done(n, false);
+  std::vector<int> tyolo_depths(n, 0);
+  std::vector<Item> items;
+  std::vector<const image::Image*> imgs;
+  items.reserve(static_cast<std::size_t>(std::max(1, config_.batch_size)));
+  bool running = true;
+
+  // One T-YOLO service pick: up to num_tyolo frames from the next non-empty
+  // stream in round-robin order (Section 3.2.3). Executed directly — this
+  // thread owns GPU0. Clears `running` if the reference queue was closed
+  // underneath us (shutdown).
+  const auto serve_tyolo = [&]() -> bool {
+    for (std::size_t i = 0; i < n; ++i) {
+      tyolo_depths[i] = static_cast<int>(streams_[i]->tyolo_q.depth());
     }
-    const auto pick = scheduler.next(depths);
-    if (pick.stream < 0) {
-      if (!any_open) break;
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-      continue;
-    }
+    const auto pick = scheduler.next(tyolo_depths);
+    if (pick.stream < 0) return false;
     Stream& s = *streams_[static_cast<std::size_t>(pick.stream)];
-    std::vector<Item> items;
-    for (int k = 0; k < pick.take; ++k) {
-      auto it = s.tyolo_q.try_pop();
-      if (!it) break;
-      items.push_back(std::move(*it));
-    }
     int served = 0;
-    for (auto& item : items) {
+    for (int k = 0; k < pick.take && running; ++k) {
+      auto item = s.tyolo_q.try_pop();
+      if (!item) break;
       ++s.stats.tyolo.in;
-      bool pass;
-      {
-        std::lock_guard gpu(gpu0_);
-        pass = s.models.tyolo->pass(item.frame.image, s.models.target,
-                                    config_.number_of_objects);
-      }
+      const bool pass = s.models.tyolo->pass(item->frame.image, s.models.target,
+                                             config_.number_of_objects);
       ++served;
       if (pass) {
         ++s.stats.tyolo.passed;
-        if (!tyolo_shared_->ref_q.push({s.id, std::move(item)})) return;
+        if (!tyolo_shared_->ref_q.push({s.id, std::move(*item)})) running = false;
       } else {
-        s.stats.latency_ms.add(ms_since(item.ingest));
+        s.lat_tyolo.add(ms_since(item->ingest));
       }
     }
     if (served > 0) {
@@ -231,7 +252,77 @@ void FfsVaInstance::tyolo_loop() {
           std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
       tyolo_shared_->admission.on_tyolo_served(now, served);
     }
+    return served > 0;
+  };
+
+  while (running) {
+    const auto ticket = gpu0_work_.prepare();
+    bool did_work = false;
+    bool all_snm_done = true;
+
+    // SNM pass: drain every stream's queue under the batch policy into
+    // cross-stream work for this cycle, one sub-batch per stream routed to
+    // that stream's SNM. The executor is the only SNM-queue consumer, so a
+    // observed depth can only grow before the pops below.
+    for (std::size_t i = 0; i < n && running; ++i) {
+      if (snm_done[i]) continue;
+      Stream& s = *streams_[i];
+      const bool ended = s.snm_q.closed();  // read before depth (see sdd_worker_loop)
+      const int avail = static_cast<int>(s.snm_q.depth());
+      if (ended && avail == 0) {
+        snm_done[i] = true;
+        continue;
+      }
+      all_snm_done = false;
+      const auto d = batcher.next_batch(avail, ended);
+      if (d.take <= 0) continue;
+      items.clear();
+      for (int k = 0; k < d.take; ++k) {
+        auto item = s.snm_q.try_pop();
+        if (!item) break;
+        items.push_back(std::move(*item));
+      }
+      if (items.empty()) continue;
+      did_work = true;
+      imgs.clear();
+      for (const auto& it : items) imgs.push_back(&it.frame.image);
+      const auto scores = s.models.snm->predict_batch(imgs);
+      const double t_pre = s.models.snm->t_pre();
+      for (std::size_t j = 0; j < items.size() && running; ++j) {
+        ++s.stats.snm.in;
+        if (scores[j] >= t_pre) {
+          ++s.stats.snm.passed;
+          // The executor is also the T-YOLO service, so it must never block
+          // on a full T-YOLO queue (it would deadlock against itself): a
+          // full queue flips GPU0 over to T-YOLO work until space opens —
+          // the feedback-queue throttle expressed as device interleaving.
+          // The executor is the only thread touching T-YOLO queues, so the
+          // depth check is exact and the push below cannot fail or block.
+          while (running && s.tyolo_q.depth() >= s.tyolo_q.capacity()) {
+            serve_tyolo();
+          }
+          if (running) s.tyolo_q.push(std::move(items[j]));
+        } else {
+          s.lat_snm.add(ms_since(items[j].ingest));
+        }
+      }
+    }
+
+    // T-YOLO pass: one micro-batch per cycle keeps detection tightly
+    // interleaved with SNM batching on the device.
+    if (running && serve_tyolo()) did_work = true;
+
+    if (!running) break;
+    if (all_snm_done) {
+      bool drained = true;
+      for (const auto& s : streams_) drained = drained && s->tyolo_q.depth() == 0;
+      if (drained) break;
+      continue;  // only T-YOLO work remains; keep serving micro-batches
+    }
+    if (!did_work) gpu0_work_.wait(ticket);
   }
+  // Single exit: the reference stage always sees end-of-stream, whatever
+  // path brought the executor down.
   tyolo_shared_->ref_q.close();
 }
 
@@ -240,14 +331,12 @@ void FfsVaInstance::reference_loop() {
     auto& [stream_id, item] = *entry;
     Stream& s = *streams_[static_cast<std::size_t>(stream_id)];
     ++s.stats.ref.in;
-    detect::DetectionResult result;
-    {
-      std::lock_guard gpu(gpu1_);
-      result = s.models.reference->detect(item.frame.image);
-    }
+    // GPU1 is owned by this thread — the paper's device placement, held by
+    // construction rather than a lock.
+    detect::DetectionResult result = s.models.reference->detect(item.frame.image);
     ++s.stats.ref.passed;
     const double latency = ms_since(item.ingest);
-    s.stats.latency_ms.add(latency);
+    s.lat_ref.add(latency);
     OutputEvent ev{std::move(item.frame), std::move(result), latency};
     if (sink_) {
       sink_(ev);
@@ -260,14 +349,22 @@ void FfsVaInstance::reference_loop() {
 
 InstanceStats FfsVaInstance::run(bool online) {
   runtime::Stopwatch wall;
+  // Wire the stage wakeups before any thread starts (set_waiter is
+  // unsynchronized by contract).
+  for (auto& s : streams_) {
+    s->sdd_q.set_waiter(&sdd_work_);
+    s->snm_q.set_waiter(&gpu0_work_);
+  }
+  const int workers = sdd_pool_size();
   std::vector<std::thread> threads;
-  threads.reserve(streams_.size() * 3 + 2);
+  threads.reserve(streams_.size() + static_cast<std::size_t>(workers) + 2);
   for (auto& s : streams_) {
     threads.emplace_back([this, &s, online] { prefetch_loop(*s, online); });
-    threads.emplace_back([this, &s] { sdd_loop(*s); });
-    threads.emplace_back([this, &s] { snm_loop(*s); });
   }
-  threads.emplace_back([this] { tyolo_loop(); });
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([this, w] { sdd_worker_loop(w); });
+  }
+  threads.emplace_back([this] { gpu0_loop(); });
   threads.emplace_back([this] { reference_loop(); });
   for (auto& t : threads) t.join();
 
@@ -275,6 +372,13 @@ InstanceStats FfsVaInstance::run(bool online) {
   out.wall_sec = wall.elapsed_sec();
   std::uint64_t ingested = 0;
   for (auto& s : streams_) {
+    // Merge the per-stage terminal-latency histograms now that every stage
+    // thread is joined; keeping them separate during the run is what makes
+    // concurrent recording race-free.
+    s->stats.latency_ms.merge(s->lat_sdd);
+    s->stats.latency_ms.merge(s->lat_snm);
+    s->stats.latency_ms.merge(s->lat_tyolo);
+    s->stats.latency_ms.merge(s->lat_ref);
     if (s->ingest_wall_sec > 0.0) {
       s->stats.ingest_fps =
           static_cast<double>(s->stats.prefetch.passed) / s->ingest_wall_sec;

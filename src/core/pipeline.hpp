@@ -1,13 +1,26 @@
 // The FFS-VA threaded pipeline engine (paper Sections 3.1.2 and 4.3).
 //
-// Per stream: prefetch -> SDD -> SNM, each a thread, decoupled by bounded
-// queues whose capacities are the paper's feedback-queue thresholds
-// ({2, 10, 2}); a blocking push *is* the feedback throttle. Globally: one
-// T-YOLO service thread round-robins over all streams' T-YOLO queues with
-// the per-stream `num_tyolo` extraction cap, and one reference-model thread
-// drains the survivors. SDDs run on CPU threads; SNM batches and T-YOLO
-// executions serialize on the GPU0 token, the reference model on GPU1 —
-// the paper's device placement, expressed as mutual exclusion.
+// Stages are decoupled by bounded queues whose capacities are the paper's
+// feedback-queue thresholds ({2, 10, 2}); a blocking push *is* the feedback
+// throttle. The thread model scales with the host, not the stream count:
+//
+//  * one prefetch thread per stream (a camera / decoder is inherently
+//    per-stream),
+//  * a fixed-size SDD worker pool (config.sdd_workers, default the
+//    FFSVA_THREADS compute parallelism) multiplexing every stream's SDD
+//    queue on the CPU — per-stream FIFO order is preserved by a per-stream
+//    claim token, so at most one worker serves a given stream at a time,
+//  * ONE GPU0 executor thread that owns the device outright: it drains all
+//    streams' SNM queues into cross-stream batches under the BatchPolicy
+//    (the shared DynamicBatcher), routes each sub-batch to its stream's
+//    SNM, and interleaves T-YOLO micro-batches under the round-robin
+//    TYoloScheduler with the per-stream `num_tyolo` cap. Device
+//    exclusivity holds by construction — no GPU0 mutex, no contention,
+//  * one reference-model thread (GPU1) draining the survivors.
+//
+// Stage workers sleep on QueueWaiter eventcounts wired to their input
+// queues (runtime/bounded_queue.hpp) and are woken by queue activity — the
+// engine has no polling loops.
 //
 // This engine is the *correctness* vehicle (end-to-end behaviour, ordering,
 // no-loss, backpressure, accuracy); calibrated performance numbers come
@@ -23,6 +36,7 @@
 #include "core/config.hpp"
 #include "core/policies.hpp"
 #include "detect/specialize.hpp"
+#include "runtime/bounded_queue.hpp"
 #include "runtime/stats.hpp"
 #include "video/source.hpp"
 
@@ -88,10 +102,13 @@ class FfsVaInstance {
   struct Stream;
 
   void prefetch_loop(Stream& s, bool online);
-  void sdd_loop(Stream& s);
-  void snm_loop(Stream& s);
-  void tyolo_loop();
+  void sdd_worker_loop(int worker);
+  void gpu0_loop();
   void reference_loop();
+
+  /// Resolved SDD pool size: config.sdd_workers, or the FFSVA_THREADS
+  /// compute parallelism, capped by the stream count.
+  int sdd_pool_size() const;
 
   FfsVaConfig config_;
   std::vector<std::unique_ptr<Stream>> streams_;
@@ -99,9 +116,12 @@ class FfsVaInstance {
   std::vector<OutputEvent> outputs_;
   std::mutex outputs_mu_;
 
-  // Device tokens: models mapped to one GPU exclude each other in time.
-  std::mutex gpu0_;  ///< SNMs + T-YOLO (Section 3.1.2).
-  std::mutex gpu1_;  ///< Reference model.
+  // Multi-queue wakeups: SDD workers sleep here when every SDD queue is
+  // empty or claimed; the GPU0 executor sleeps here when no SNM batch is
+  // ready and no T-YOLO work is queued. GPU0 needs no mutex — the executor
+  // thread owns it; the reference model (GPU1) is owned by its one thread.
+  runtime::QueueWaiter sdd_work_;
+  runtime::QueueWaiter gpu0_work_;
 
   struct TYoloShared;
   std::unique_ptr<TYoloShared> tyolo_shared_;

@@ -17,6 +17,7 @@
 //    approximate under concurrency (the controller is a heuristic).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -29,6 +30,69 @@
 
 namespace ffsva::runtime {
 
+/// Eventcount for consumers that multiplex over *several* queues (the GPU0
+/// executor drains every stream's SNM queue; an SDD worker serves every
+/// stream's SDD queue). A consumer cannot block inside any single queue's
+/// pop — that would deafen it to the others — so instead each queue is
+/// wired to a shared QueueWaiter via BoundedQueue::set_waiter() and the
+/// consumer runs the classic eventcount protocol:
+///
+///     const auto ticket = waiter.prepare();   // 1. arm
+///     if (scan_all_queues_found_work()) ...   // 2. re-check
+///     else waiter.wait(ticket);               // 3. sleep
+///
+/// Every push/close on a wired queue bumps the epoch, so activity between
+/// (1) and (3) makes wait() return immediately — no missed wakeups, and no
+/// polling loop (this replaces the executor's 200us sleep).
+///
+/// notify() is on every producer's hot path, so it must cost one atomic
+/// increment when no consumer is parked (the steady state of a saturated
+/// pipeline). Correctness of the fast path rests on seq_cst ordering:
+/// the waiter publishes waiters_ before re-reading the epoch (both under
+/// the mutex), the notifier bumps the epoch before reading waiters_, so in
+/// the single total order either the waiter sees the new epoch and never
+/// sleeps, or the notifier sees the waiter and takes the slow wake path.
+class QueueWaiter {
+ public:
+  /// Arm: snapshot the epoch before scanning for work.
+  std::uint64_t prepare() const { return epoch_.load(); }
+
+  /// Sleep until any wired queue sees activity after `ticket` was taken.
+  void wait(std::uint64_t ticket) const {
+    std::unique_lock lk(mu_);
+    waiters_.fetch_add(1);
+    cv_.wait(lk, [&] { return epoch_.load() != ticket; });
+    waiters_.fetch_sub(1);
+  }
+
+  /// Timed variant; false on timeout with no activity.
+  template <typename Rep, typename Period>
+  bool wait_for(std::uint64_t ticket, std::chrono::duration<Rep, Period> timeout) const {
+    std::unique_lock lk(mu_);
+    waiters_.fetch_add(1);
+    const bool woke = cv_.wait_for(lk, timeout, [&] { return epoch_.load() != ticket; });
+    waiters_.fetch_sub(1);
+    return woke;
+  }
+
+  /// Record activity; wake armed waiters only if any are parked.
+  void notify() const {
+    epoch_.fetch_add(1);
+    if (waiters_.load() != 0) {
+      // The lock handshake closes the window where a waiter has re-checked
+      // the epoch but not yet atomically released the mutex into the wait.
+      { std::lock_guard lk(mu_); }
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<int> waiters_{0};
+};
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -36,6 +100,12 @@ class BoundedQueue {
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Wire this queue to a shared QueueWaiter: every push and the close are
+  /// reported to it, so a consumer multiplexing over many queues can sleep
+  /// on one condition instead of polling. Must be called before the queue
+  /// is shared between threads (the pointer itself is unsynchronized).
+  void set_waiter(QueueWaiter* waiter) { waiter_ = waiter; }
 
   /// Blocks until space is available or the queue is closed.
   /// Returns false (and drops the value) if the queue was closed.
@@ -47,6 +117,7 @@ class BoundedQueue {
     ++total_pushed_;
     lk.unlock();
     not_empty_.notify_one();
+    if (waiter_) waiter_->notify();
     return true;
   }
 
@@ -59,6 +130,7 @@ class BoundedQueue {
       ++total_pushed_;
     }
     not_empty_.notify_one();
+    if (waiter_) waiter_->notify();
     return true;
   }
 
@@ -75,6 +147,7 @@ class BoundedQueue {
     ++total_pushed_;
     lk.unlock();
     not_empty_.notify_one();
+    if (waiter_) waiter_->notify();
     return true;
   }
 
@@ -163,6 +236,7 @@ class BoundedQueue {
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+    if (waiter_) waiter_->notify();
   }
 
   bool closed() const {
@@ -190,6 +264,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
+  QueueWaiter* waiter_ = nullptr;  ///< Optional multi-queue wakeup target.
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

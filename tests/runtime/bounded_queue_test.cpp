@@ -193,6 +193,52 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(1, 4, std::size_t{8}),
                       std::make_tuple(4, 4, std::size_t{1})));
 
+// Eventcount protocol: activity between prepare() and wait() must make the
+// wait return immediately (no missed wakeup).
+TEST(QueueWaiter, ActivityAfterPrepareIsNotMissed) {
+  QueueWaiter w;
+  const auto ticket = w.prepare();
+  w.notify();
+  w.wait(ticket);  // must not block
+  // A fresh ticket with no activity times out.
+  const auto t2 = w.prepare();
+  EXPECT_FALSE(w.wait_for(t2, std::chrono::milliseconds(10)));
+}
+
+// A consumer multiplexing several queues through one waiter is woken by a
+// push on any of them, and by close.
+TEST(QueueWaiter, WakesMultiQueueConsumerOnPushAndClose) {
+  QueueWaiter waiter;
+  BoundedQueue<int> a(4), b(4);
+  a.set_waiter(&waiter);
+  b.set_waiter(&waiter);
+
+  std::vector<int> got;
+  std::thread consumer([&] {
+    for (;;) {
+      const auto ticket = waiter.prepare();
+      bool work = false;
+      for (BoundedQueue<int>* q : {&a, &b}) {
+        while (auto v = q->try_pop()) {
+          got.push_back(*v);
+          work = true;
+        }
+      }
+      if (a.closed() && b.closed() && a.depth() == 0 && b.depth() == 0) return;
+      if (!work) waiter.wait(ticket);
+    }
+  });
+
+  for (int i = 0; i < 50; ++i) {
+    ((i % 2) ? a : b).push(i);
+    if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  a.close();
+  b.close();
+  consumer.join();
+  EXPECT_EQ(got.size(), 50u);
+}
+
 // Per-consumer FIFO: a single consumer observes producer order.
 TEST(BoundedQueue, SingleProducerSingleConsumerOrder) {
   BoundedQueue<int> q(3);
