@@ -7,8 +7,17 @@
 // not decode or simulation cost. Throughput is reported for 1/4/16/64
 // identical streams replaying the same window.
 //
+// Online mode (30 FPS ingest pacing) is measured alongside: its headline
+// number is the *drop rate* vs stream count — a paced camera cannot block,
+// so overload shows up as frames dropped at ingest, not as lower FPS. A
+// third series repeats the online run with injected source faults
+// (transient decode errors, truncated frames, latency spikes) and reports
+// the supervision counters, so the overhead and accounting of the fault
+// path are archived next to the clean runs.
+//
 // Usage: bench_pipeline_scaling [--json out.json] [--label prefix]
-//                               [--frames N] [--streams a,b,c]
+//                               [--frames N] [--online-frames N]
+//                               [--streams a,b,c]
 // `--label` prefixes every series name, which is how pre/post engine runs
 // are distinguished inside one archived BENCH_pipeline_scaling.json.
 #include "common.hpp"
@@ -19,6 +28,7 @@
 
 #include "core/pipeline.hpp"
 #include "runtime/stopwatch.hpp"
+#include "video/fault_injection.hpp"
 
 using namespace ffsva;
 
@@ -51,10 +61,15 @@ class ReplaySource final : public video::FrameSource {
 int main(int argc, char** argv) {
   std::string label;
   std::int64_t frames_per_stream = 192;
+  // Online rows are wall-clock bound by the 30 FPS pacing (wall ~ frames/30
+  // whatever the stream count). The window must outrun the 128-frame ingest
+  // buffer, or overload never surfaces as drops.
+  std::int64_t online_frames = 192;
   std::vector<int> stream_counts = {1, 4, 16, 64};
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--label") == 0) label = std::string(argv[i + 1]) + "/";
     if (std::strcmp(argv[i], "--frames") == 0) frames_per_stream = std::atol(argv[i + 1]);
+    if (std::strcmp(argv[i], "--online-frames") == 0) online_frames = std::atol(argv[i + 1]);
     if (std::strcmp(argv[i], "--streams") == 0) {
       stream_counts.clear();
       for (const char* p = argv[i + 1]; *p;) {
@@ -114,6 +129,73 @@ int main(int argc, char** argv) {
     std::snprintf(name, sizeof(name), "%soffline/streams=%d", label.c_str(), n);
     report.add(name, stats.total_throughput_fps, agg.latency_ms.p50(),
                agg.latency_ms.p99());
+  }
+
+  // --- online mode: drop rate vs stream count -----------------------------
+  // Each online run paces every stream at 30 FPS over a shorter window; the
+  // clean series measures overload (ingest drops), the fault series adds
+  // survivable source faults and reports the supervision counters.
+  const std::int64_t of = std::min(online_frames, frames_per_stream);
+  const auto online_window =
+      std::vector<video::Frame>(window.begin(), window.begin() + of);
+
+  for (const bool with_faults : {false, true}) {
+    std::printf("\nonline %s(30 FPS pacing, %lld frames/stream)\n",
+                with_faults ? "with injected faults " : "",
+                static_cast<long long>(of));
+    std::printf("%-10s %12s %12s %12s %12s\n", "streams", "total FPS",
+                "drop rate", "p50 lat(ms)", "p99 lat(ms)");
+    bench::print_rule();
+    for (const int n : stream_counts) {
+      core::FfsVaConfig cfg;
+      cfg.stall_timeout_ms = 250;  // supervision armed, as deployed
+      cfg.source_max_retries = 6;
+      core::FfsVaInstance instance(cfg);
+      instance.set_output_sink([](const core::OutputEvent&) {});
+      for (int s = 0; s < n; ++s) {
+        auto src = std::make_unique<ReplaySource>(&online_window, s);
+        if (with_faults) {
+          video::FaultPlan plan;
+          plan.p_transient = 0.05;
+          plan.p_truncated = 0.05;
+          plan.p_latency_spike = 0.1;
+          instance.add_stream(
+              std::make_unique<video::FaultInjectingSource>(
+                  std::move(src), plan, 0x5eedu + static_cast<unsigned>(s)),
+              models);
+        } else {
+          instance.add_stream(std::move(src), models);
+        }
+      }
+      const auto stats = instance.run(/*online=*/true);
+      const auto agg = stats.aggregate();
+      const double ingress =
+          static_cast<double>(agg.prefetch.passed + agg.dropped_at_ingest);
+      const double drop_rate =
+          ingress > 0.0 ? static_cast<double>(agg.dropped_at_ingest) / ingress : 0.0;
+      std::printf("%-10d %12.1f %12.4f %12.1f %12.1f\n", n,
+                  stats.total_throughput_fps, drop_rate, agg.latency_ms.p50(),
+                  agg.latency_ms.p99());
+      if (with_faults) {
+        std::printf("%10s decode_errors=%llu retries=%llu degraded=%llu\n", "",
+                    static_cast<unsigned long long>(stats.health.decode_errors),
+                    static_cast<unsigned long long>(stats.health.retries),
+                    static_cast<unsigned long long>(stats.health.degraded_frames));
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name), "%sonline%s/streams=%d", label.c_str(),
+                    with_faults ? "_faults" : "", n);
+      bench::JsonReport::Extras extras{{"drop_rate", drop_rate}};
+      if (with_faults) {
+        extras.emplace_back("decode_errors",
+                            static_cast<double>(stats.health.decode_errors));
+        extras.emplace_back("retries", static_cast<double>(stats.health.retries));
+        extras.emplace_back("degraded_frames",
+                            static_cast<double>(stats.health.degraded_frames));
+      }
+      report.add(name, stats.total_throughput_fps, agg.latency_ms.p50(),
+                 agg.latency_ms.p99(), std::move(extras));
+    }
   }
   return 0;
 }

@@ -14,8 +14,8 @@ JsonReport::JsonReport(int argc, char** argv) {
 }
 
 void JsonReport::add(const std::string& name, double fps, double p50_ms,
-                     double p99_ms) {
-  if (active()) rows_.push_back({name, fps, p50_ms, p99_ms});
+                     double p99_ms, Extras extras) {
+  if (active()) rows_.push_back({name, fps, p50_ms, p99_ms, std::move(extras)});
 }
 
 namespace {
@@ -48,6 +48,11 @@ JsonReport::~JsonReport() {
     put_number(out, "p50_ms", r.p50_ms);
     out << ", ";
     put_number(out, "p99_ms", r.p99_ms);
+    for (const auto& [key, value] : r.extras) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      out << ", \"" << key << "\": " << buf;
+    }
     out << ", \"threads\": " << threads << "}" << (i + 1 < rows_.size() ? "," : "")
         << "\n";
   }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/trace.hpp"
@@ -54,6 +55,11 @@ sim::SimSetup sim_setup_from(const sim::MarkovParams& params,
 /// --json the report is inert and benches print their tables as before.
 class JsonReport {
  public:
+  /// Extra per-row keys (e.g. drop_rate, fault counters), written verbatim
+  /// as additional JSON number fields — unlike fps/percentiles, a zero here
+  /// is meaningful (a 0.0 drop rate) and is written as 0, not null.
+  using Extras = std::vector<std::pair<std::string, double>>;
+
   JsonReport(int argc, char** argv);
   ~JsonReport();
 
@@ -62,7 +68,8 @@ class JsonReport {
 
   /// Record one measured series. fps <= 0 or negative percentiles are
   /// written as JSON null.
-  void add(const std::string& name, double fps, double p50_ms, double p99_ms);
+  void add(const std::string& name, double fps, double p50_ms, double p99_ms,
+           Extras extras = {});
 
  private:
   std::string path_;
@@ -71,6 +78,7 @@ class JsonReport {
     double fps;
     double p50_ms;
     double p99_ms;
+    Extras extras;
   };
   std::vector<Row> rows_;
 };

@@ -17,6 +17,19 @@ enum class BatchPolicy : std::uint8_t { kStatic = 0, kFeedback = 1, kDynamic = 2
 
 const char* to_string(BatchPolicy p);
 
+/// What the engine does with a frame whose model call threw (a corrupt
+/// frame a filter cannot evaluate, a failing model):
+///  * kDrop   — the frame terminates at the throwing stage, counted in the
+///              stream's degraded_frames (conservative: never emit an
+///              unvetted frame).
+///  * kBypass — the frame skips the throwing filter and rides to the next
+///              stage, counted as degraded (recall-preserving: a broken
+///              cheap filter must not silence a stream; the later stages —
+///              ultimately the reference model — still vet the frame).
+enum class DegradePolicy : std::uint8_t { kDrop = 0, kBypass = 1 };
+
+const char* to_string(DegradePolicy p);
+
 struct FfsVaConfig {
   // --- user-facing event definition (Section 4.2) -------------------------
   double filter_degree = 0.5;   ///< Aggressiveness of SNM filtering in [0,1].
@@ -62,6 +75,27 @@ struct FfsVaConfig {
   /// lost only once this buffer overflows. Offline mode ignores it (the
   /// decoder simply stalls on the SDD feedback threshold instead).
   int ingest_buffer = 128;
+
+  // --- supervision (fault tolerance; DESIGN.md Section 9) ------------------
+  /// A stage heartbeat continuously busy for longer than this quarantines
+  /// its stream: the stream's queues are closed and drained, its counters
+  /// freeze, and the other streams keep running. 0 disables stall
+  /// detection (a hung source then blocks its stream forever — the
+  /// pre-supervision behavior).
+  int stall_timeout_ms = 0;
+  /// Wall-clock budget for run(); past it the watchdog invokes stop() and
+  /// the run winds down gracefully. 0 = no deadline.
+  int run_deadline_ms = 0;
+  /// Per-frame behavior when a model call throws.
+  DegradePolicy degrade_policy = DegradePolicy::kDrop;
+  /// Consecutive transient SourceErrors retried (with exponential backoff)
+  /// before the prefetch loop escalates to a source restart.
+  int source_max_retries = 3;
+  /// Source restarts attempted per stream before the stream is ended.
+  int source_max_restarts = 2;
+  /// Base backoff between retries/restarts; doubles per consecutive
+  /// attempt, capped at 100 ms, and aborts early on stop or quarantine.
+  int source_backoff_ms = 1;
 
   // --- admission / re-forwarding (Section 4.3.1) ---------------------------
   /// Sustained T-YOLO service speed below this (FPS) for admit_window_sec

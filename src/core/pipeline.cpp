@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "runtime/bounded_queue.hpp"
@@ -35,6 +37,14 @@ const char* to_string(BatchPolicy p) {
   return "?";
 }
 
+const char* to_string(DegradePolicy p) {
+  switch (p) {
+    case DegradePolicy::kDrop: return "drop";
+    case DegradePolicy::kBypass: return "bypass";
+  }
+  return "?";
+}
+
 StreamStats InstanceStats::aggregate() const {
   StreamStats agg;
   for (const auto& s : streams) {
@@ -51,6 +61,12 @@ StreamStats InstanceStats::aggregate() const {
     agg.dropped_at_ingest += s.dropped_at_ingest;
     agg.latency_ms.merge(s.latency_ms);
     agg.ingest_fps += s.ingest_fps;
+    agg.fault.decode_errors += s.fault.decode_errors;
+    agg.fault.retries += s.fault.retries;
+    agg.fault.restarts += s.fault.restarts;
+    agg.fault.degraded_frames += s.fault.degraded_frames;
+    agg.fault.discarded_frames += s.fault.discarded_frames;
+    agg.fault.quarantined = agg.fault.quarantined || s.fault.quarantined;
   }
   return agg;
 }
@@ -59,13 +75,50 @@ struct FfsVaInstance::Stream {
   int id = 0;
   std::unique_ptr<video::FrameSource> source;
   detect::StreamModels models;
+  FfsVaConfig cfg;  ///< Copy: the prefetch thread may outlive the instance.
 
   runtime::BoundedQueue<Item> sdd_q;
   runtime::BoundedQueue<Item> snm_q;
   runtime::BoundedQueue<Item> tyolo_q;
 
   StreamStats stats;
-  double ingest_wall_sec = 0.0;
+
+  /// Everything the prefetch thread writes lives here as relaxed atomics,
+  /// snapshotted into `stats` when run() builds its report: a quarantined
+  /// stream's prefetch thread is *detached*, so its writes have no join
+  /// edge ordering them before the stats reads.
+  std::atomic<std::uint64_t> prefetch_in{0};
+  std::atomic<std::uint64_t> prefetch_passed{0};
+  std::atomic<std::uint64_t> dropped_ingest{0};
+  std::atomic<std::uint64_t> decode_errors{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> restarts{0};
+  std::atomic<double> ingest_wall_sec{0.0};
+
+  /// Degrade / quarantine accounting, written by whichever stage thread
+  /// observes the event (SDD worker, GPU0 executor, reference thread).
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> discarded{0};
+  std::atomic<bool> quarantined{false};
+
+  /// Liveness of the source: busy only across source->next() — blocking on
+  /// the SDD feedback queue is healthy backpressure and reads as idle.
+  runtime::Heartbeat hb;
+  runtime::StopToken stop;  ///< Copy of the instance token.
+
+  /// Quarantine-aware join handshake: run() waits for `prefetch_exited` OR
+  /// quarantine, then joins or detaches. Lives in the Stream (not the
+  /// instance) because a detached thread signals through it after the
+  /// instance may be gone.
+  std::mutex exit_mu;
+  std::condition_variable exit_cv;
+  bool prefetch_exited = false;
+
+  /// Keep the stage waiters alive for a detached prefetch thread: its
+  /// final sdd_q.close() notifies the SDD waiter, which must not have been
+  /// destroyed with the instance.
+  std::shared_ptr<runtime::QueueWaiter> sdd_waiter_keepalive;
+  std::shared_ptr<runtime::QueueWaiter> gpu0_waiter_keepalive;
 
   /// SDD worker-pool coordination: at most one worker serves this stream at
   /// a time (claim), which both preserves per-stream FIFO order into the
@@ -86,15 +139,15 @@ struct FfsVaInstance::Stream {
   runtime::Histogram lat_ref;
 
   Stream(int id_, std::unique_ptr<video::FrameSource> src, detect::StreamModels m,
-         const FfsVaConfig& cfg)
-      : id(id_), source(std::move(src)), models(std::move(m)),
+         const FfsVaConfig& cfg_)
+      : id(id_), source(std::move(src)), models(std::move(m)), cfg(cfg_),
         // The live-capture ring buffer must absorb bursts without blocking
         // the camera; offline the decoder throttles on the SDD threshold.
         // Sized for the larger of the two so one queue serves both modes.
-        sdd_q(static_cast<std::size_t>(std::max(cfg.ingest_buffer,
-                                                cfg.capacity(cfg.sdd_queue_depth)))),
-        snm_q(static_cast<std::size_t>(cfg.capacity(cfg.snm_queue_depth))),
-        tyolo_q(static_cast<std::size_t>(cfg.capacity(cfg.tyolo_queue_depth))) {}
+        sdd_q(static_cast<std::size_t>(std::max(cfg_.ingest_buffer,
+                                                cfg_.capacity(cfg_.sdd_queue_depth)))),
+        snm_q(static_cast<std::size_t>(cfg_.capacity(cfg_.snm_queue_depth))),
+        tyolo_q(static_cast<std::size_t>(cfg_.capacity(cfg_.tyolo_queue_depth))) {}
 };
 
 struct FfsVaInstance::TYoloShared {
@@ -106,15 +159,21 @@ struct FfsVaInstance::TYoloShared {
 };
 
 FfsVaInstance::FfsVaInstance(FfsVaConfig config)
-    : config_(config), tyolo_shared_(std::make_unique<TYoloShared>(config)) {}
+    : config_(config),
+      sdd_work_(std::make_shared<runtime::QueueWaiter>()),
+      gpu0_work_(std::make_shared<runtime::QueueWaiter>()),
+      tyolo_shared_(std::make_unique<TYoloShared>(config)) {}
 
 FfsVaInstance::~FfsVaInstance() = default;
 
 void FfsVaInstance::add_stream(std::unique_ptr<video::FrameSource> source,
                                detect::StreamModels models) {
-  streams_.push_back(std::make_unique<Stream>(static_cast<int>(streams_.size()),
-                                              std::move(source), std::move(models),
-                                              config_));
+  auto s = std::make_shared<Stream>(static_cast<int>(streams_.size()),
+                                    std::move(source), std::move(models), config_);
+  s->stop = stop_;
+  s->sdd_waiter_keepalive = sdd_work_;
+  s->gpu0_waiter_keepalive = gpu0_work_;
+  streams_.push_back(std::move(s));
 }
 
 void FfsVaInstance::set_output_sink(std::function<void(const OutputEvent&)> sink) {
@@ -129,39 +188,102 @@ int FfsVaInstance::sdd_pool_size() const {
   return std::clamp(w, 1, n);
 }
 
-void FfsVaInstance::prefetch_loop(Stream& s, bool online) {
-  runtime::RateLimiter limiter(config_.online_fps, /*burst=*/2.0);
+void FfsVaInstance::stop() {
+  stop_.request_stop();
+  // Closing the ingest queues unblocks every prefetch thread (a blocked
+  // push fails fast on a closed queue); the close cascades down the stages
+  // as each drains, so in-flight frames still complete.
+  for (auto& s : streams_) s->sdd_q.close();
+}
+
+void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online) {
+  const FfsVaConfig& cfg = s->cfg;
+  runtime::RateLimiter limiter(cfg.online_fps, /*burst=*/2.0);
   runtime::Stopwatch watch;
   const auto frame_interval =
-      std::chrono::duration<double>(1.0 / config_.online_fps);
-  while (auto f = s.source->next()) {
-    ++s.stats.prefetch.in;
+      std::chrono::duration<double>(1.0 / cfg.online_fps);
+
+  const auto aborted = [&s] {
+    return s->stop.stop_requested() ||
+           s->quarantined.load(std::memory_order_acquire);
+  };
+  // Exponential backoff, sliced so stop/quarantine aborts it promptly.
+  const auto backoff = [&](int attempt) {
+    std::int64_t ms = static_cast<std::int64_t>(std::max(0, cfg.source_backoff_ms))
+                      << std::min(attempt, 20);
+    ms = std::min<std::int64_t>(ms, 100);
+    const auto until = Clock::now() + std::chrono::milliseconds(ms);
+    while (Clock::now() < until && !aborted()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  int consecutive_retries = 0;
+  int restarts_used = 0;
+  while (!aborted()) {
+    std::optional<video::Frame> f;
+    try {
+      s->hb.busy();  // a hung decode is what the watchdog must see
+      f = s->source->next();
+      s->hb.idle();
+    } catch (const video::SourceError& e) {
+      s->hb.idle();
+      s->decode_errors.fetch_add(1, std::memory_order_relaxed);
+      if (e.transient() && consecutive_retries < cfg.source_max_retries) {
+        // Transient contract (video/source.hpp): the source position is
+        // unchanged, so retrying resumes with zero frame loss.
+        s->retries.fetch_add(1, std::memory_order_relaxed);
+        backoff(consecutive_retries++);
+        continue;
+      }
+      if (restarts_used < cfg.source_max_restarts && s->source->restart()) {
+        s->restarts.fetch_add(1, std::memory_order_relaxed);
+        backoff(restarts_used++);
+        consecutive_retries = 0;
+        continue;
+      }
+      break;  // unrecoverable: end this stream; downstream drains normally
+    } catch (...) {
+      s->hb.idle();
+      s->decode_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!f) break;  // normal end of stream
+    consecutive_retries = 0;
+    s->prefetch_in.fetch_add(1, std::memory_order_relaxed);
     Item item{std::move(*f), Clock::now()};
     if (online) {
       limiter.acquire();
       // Overload behaviour: a live camera cannot block — if the pipeline
       // cannot absorb the frame within one frame time, the frame is lost
       // and counted (the admission controller re-forwards such streams).
-      if (!s.sdd_q.push_for(std::move(item), frame_interval)) {
-        ++s.stats.dropped_at_ingest;
+      if (!s->sdd_q.push_for(std::move(item), frame_interval)) {
+        if (s->sdd_q.closed()) break;  // stop()/quarantine closed it under us
+        s->dropped_ingest.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
     } else {
-      if (!s.sdd_q.push(std::move(item))) break;  // queue closed underneath us
+      if (!s->sdd_q.push(std::move(item))) break;  // queue closed underneath us
     }
-    ++s.stats.prefetch.passed;
+    s->prefetch_passed.fetch_add(1, std::memory_order_relaxed);
   }
-  s.ingest_wall_sec = watch.elapsed_sec();
-  s.sdd_q.close();
+  s->ingest_wall_sec.store(watch.elapsed_sec(), std::memory_order_relaxed);
+  s->sdd_q.close();
+  {
+    std::lock_guard lk(s->exit_mu);
+    s->prefetch_exited = true;
+  }
+  s->exit_cv.notify_all();
 }
 
 void FfsVaInstance::sdd_worker_loop(int worker) {
   const int n = static_cast<int>(streams_.size());
   if (n == 0) return;
   const int run_length = std::max(1, config_.sdd_run_length);
+  runtime::Heartbeat& hb = sdd_hb_[static_cast<std::size_t>(worker)];
   int cursor = worker % n;  // stagger workers across streams
   for (;;) {
-    const auto ticket = sdd_work_.prepare();
+    const auto ticket = sdd_work_->prepare();
     bool all_done = true;
     bool did_work = false;
     for (int step = 0; step < n; ++step) {
@@ -183,17 +305,38 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
           if (closed) {
             s.sdd_done.store(true, std::memory_order_release);
             s.snm_q.close();
-            sdd_work_.notify();  // wake workers idling on this last stream
+            sdd_work_->notify();  // wake workers idling on this last stream
           }
           break;
         }
         ++processed;
+        if (s.quarantined.load(std::memory_order_acquire)) {
+          // Drain-and-discard: the watchdog closed this stream's queues;
+          // its in-flight frames are dumped, not processed.
+          s.discarded.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         ++s.stats.sdd.in;
-        if (s.models.sdd->pass(item->frame.image)) {
+        bool pass;
+        try {
+          hb.busy();
+          pass = s.models.sdd->pass(item->frame.image);
+          hb.idle();
+        } catch (...) {
+          hb.idle();
+          // Degrade per frame, never per stream: drop terminates the frame
+          // here (latency still recorded below); bypass rides it to SNM.
+          s.degraded.fetch_add(1, std::memory_order_relaxed);
+          pass = config_.degrade_policy == DegradePolicy::kBypass;
+        }
+        if (pass) {
           ++s.stats.sdd.passed;
           // Blocking push: the SNM feedback-queue threshold throttles this
           // worker (other workers keep serving other streams meanwhile).
-          if (!s.snm_q.push(std::move(*item))) break;
+          if (!s.snm_q.push(std::move(*item))) {
+            s.discarded.fetch_add(1, std::memory_order_relaxed);
+            break;  // closed by quarantine
+          }
         } else {
           s.lat_sdd.add(ms_since(item->ingest));
         }
@@ -205,7 +348,7 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
       }
     }
     if (all_done) return;
-    if (!did_work) sdd_work_.wait(ticket);
+    if (!did_work) sdd_work_->wait(ticket);
   }
 }
 
@@ -233,12 +376,27 @@ void FfsVaInstance::gpu0_loop() {
     if (pick.stream < 0) return false;
     Stream& s = *streams_[static_cast<std::size_t>(pick.stream)];
     int served = 0;
+    bool progressed = false;
     for (int k = 0; k < pick.take && running; ++k) {
       auto item = s.tyolo_q.try_pop();
       if (!item) break;
+      progressed = true;
+      if (s.quarantined.load(std::memory_order_acquire)) {
+        s.discarded.fetch_add(1, std::memory_order_relaxed);
+        continue;  // drain, but don't run the model or feed admission
+      }
       ++s.stats.tyolo.in;
-      const bool pass = s.models.tyolo->pass(item->frame.image, s.models.target,
-                                             config_.number_of_objects);
+      bool pass;
+      try {
+        gpu0_hb_.busy();
+        pass = s.models.tyolo->pass(item->frame.image, s.models.target,
+                                    config_.number_of_objects);
+        gpu0_hb_.idle();
+      } catch (...) {
+        gpu0_hb_.idle();
+        s.degraded.fetch_add(1, std::memory_order_relaxed);
+        pass = config_.degrade_policy == DegradePolicy::kBypass;
+      }
       ++served;
       if (pass) {
         ++s.stats.tyolo.passed;
@@ -252,21 +410,38 @@ void FfsVaInstance::gpu0_loop() {
           std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
       tyolo_shared_->admission.on_tyolo_served(now, served);
     }
-    return served > 0;
+    return progressed;
   };
 
   while (running) {
-    const auto ticket = gpu0_work_.prepare();
+    const auto ticket = gpu0_work_->prepare();
     bool did_work = false;
     bool all_snm_done = true;
 
     // SNM pass: drain every stream's queue under the batch policy into
     // cross-stream work for this cycle, one sub-batch per stream routed to
-    // that stream's SNM. The executor is the only SNM-queue consumer, so a
+    // that stream's SNM. The executor is the only SNM-queue consumer, so an
     // observed depth can only grow before the pops below.
     for (std::size_t i = 0; i < n && running; ++i) {
       if (snm_done[i]) continue;
       Stream& s = *streams_[i];
+      if (s.quarantined.load(std::memory_order_acquire)) {
+        // Drain-and-discard both device queues of a quarantined stream.
+        // The watchdog closed them, so once empty they stay empty.
+        std::uint64_t dumped = 0;
+        while (s.snm_q.try_pop()) ++dumped;
+        while (s.tyolo_q.try_pop()) ++dumped;
+        if (dumped > 0) {
+          s.discarded.fetch_add(dumped, std::memory_order_relaxed);
+          did_work = true;
+        }
+        if (s.snm_q.closed() && s.snm_q.depth() == 0) {
+          snm_done[i] = true;
+        } else {
+          all_snm_done = false;
+        }
+        continue;
+      }
       const bool ended = s.snm_q.closed();  // read before depth (see sdd_worker_loop)
       const int avail = static_cast<int>(s.snm_q.depth());
       if (ended && avail == 0) {
@@ -286,22 +461,41 @@ void FfsVaInstance::gpu0_loop() {
       did_work = true;
       imgs.clear();
       for (const auto& it : items) imgs.push_back(&it.frame.image);
-      const auto scores = s.models.snm->predict_batch(imgs);
+      std::vector<double> scores;
+      bool batch_degraded = false;
+      try {
+        gpu0_hb_.busy();
+        scores = s.models.snm->predict_batch(imgs);
+        gpu0_hb_.idle();
+      } catch (...) {
+        gpu0_hb_.idle();
+        // The device call is batched, so one unevaluable frame degrades the
+        // whole sub-batch: every frame in it follows the degrade policy.
+        batch_degraded = true;
+        s.degraded.fetch_add(items.size(), std::memory_order_relaxed);
+      }
       const double t_pre = s.models.snm->t_pre();
       for (std::size_t j = 0; j < items.size() && running; ++j) {
         ++s.stats.snm.in;
-        if (scores[j] >= t_pre) {
+        const bool pass = batch_degraded
+                              ? config_.degrade_policy == DegradePolicy::kBypass
+                              : scores[j] >= t_pre;
+        if (pass) {
           ++s.stats.snm.passed;
           // The executor is also the T-YOLO service, so it must never block
           // on a full T-YOLO queue (it would deadlock against itself): a
           // full queue flips GPU0 over to T-YOLO work until space opens —
           // the feedback-queue throttle expressed as device interleaving.
           // The executor is the only thread touching T-YOLO queues, so the
-          // depth check is exact and the push below cannot fail or block.
-          while (running && s.tyolo_q.depth() >= s.tyolo_q.capacity()) {
+          // depth check is exact and the push below fails only when
+          // quarantine closed the queue mid-batch.
+          while (running && s.tyolo_q.depth() >= s.tyolo_q.capacity() &&
+                 !s.tyolo_q.closed()) {
             serve_tyolo();
           }
-          if (running) s.tyolo_q.push(std::move(items[j]));
+          if (running && !s.tyolo_q.push(std::move(items[j]))) {
+            s.discarded.fetch_add(1, std::memory_order_relaxed);
+          }
         } else {
           s.lat_snm.add(ms_since(items[j].ingest));
         }
@@ -319,7 +513,7 @@ void FfsVaInstance::gpu0_loop() {
       if (drained) break;
       continue;  // only T-YOLO work remains; keep serving micro-batches
     }
-    if (!did_work) gpu0_work_.wait(ticket);
+    if (!did_work) gpu0_work_->wait(ticket);
   }
   // Single exit: the reference stage always sees end-of-stream, whatever
   // path brought the executor down.
@@ -330,10 +524,27 @@ void FfsVaInstance::reference_loop() {
   while (auto entry = tyolo_shared_->ref_q.pop()) {
     auto& [stream_id, item] = *entry;
     Stream& s = *streams_[static_cast<std::size_t>(stream_id)];
+    if (s.quarantined.load(std::memory_order_acquire)) {
+      s.discarded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     ++s.stats.ref.in;
     // GPU1 is owned by this thread — the paper's device placement, held by
     // construction rather than a lock.
-    detect::DetectionResult result = s.models.reference->detect(item.frame.image);
+    detect::DetectionResult result;
+    try {
+      ref_hb_.busy();
+      result = s.models.reference->detect(item.frame.image);
+      ref_hb_.idle();
+    } catch (...) {
+      ref_hb_.idle();
+      // The reference model is the last vetting stage: a frame it cannot
+      // evaluate is always dropped (never emitted unvetted), whatever the
+      // degrade policy says about the cheap filters.
+      s.degraded.fetch_add(1, std::memory_order_relaxed);
+      s.lat_ref.add(ms_since(item.ingest));
+      continue;
+    }
     ++s.stats.ref.passed;
     const double latency = ms_since(item.ingest);
     s.lat_ref.add(latency);
@@ -347,45 +558,156 @@ void FfsVaInstance::reference_loop() {
   }
 }
 
+void FfsVaInstance::quarantine(Stream& s) {
+  if (s.quarantined.exchange(true, std::memory_order_acq_rel)) return;
+  // Close the stream's queues: its producers fail fast, its consumers
+  // drain-and-discard. Every other stream keeps running untouched.
+  s.sdd_q.close();
+  s.snm_q.close();
+  s.tyolo_q.close();
+  gpu0_work_->notify();  // run the executor's drain branch promptly
+  // Un-wedge the quarantine-aware join in run(). The empty critical
+  // section orders the flag publish before the notify for the waiter's
+  // predicate re-check.
+  { std::lock_guard lk(s.exit_mu); }
+  s.exit_cv.notify_all();
+}
+
+void FfsVaInstance::supervise(Clock::time_point t0) {
+  if (config_.run_deadline_ms > 0 && !deadline_hit_.load(std::memory_order_relaxed) &&
+      ms_since(t0) > static_cast<double>(config_.run_deadline_ms)) {
+    deadline_hit_.store(true, std::memory_order_relaxed);
+    stop();
+  }
+  if (config_.stall_timeout_ms <= 0) return;
+  const auto timeout = static_cast<std::int64_t>(config_.stall_timeout_ms);
+  for (auto& s : streams_) {
+    if (!s->quarantined.load(std::memory_order_acquire) &&
+        s->hb.busy_age_ms() > timeout) {
+      quarantine(*s);
+    }
+  }
+  // Shared stages (SDD pool, GPU0 executor, reference thread) serve every
+  // stream, so they cannot be quarantined per stream — a stall there is
+  // surfaced in the health summary instead of acted on.
+  bool stalled = gpu0_hb_.busy_age_ms() > timeout || ref_hb_.busy_age_ms() > timeout;
+  for (const auto& hb : sdd_hb_) stalled = stalled || hb.busy_age_ms() > timeout;
+  if (stalled) stage_stall_ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
 InstanceStats FfsVaInstance::run(bool online) {
+  if (streams_.empty()) {
+    throw std::invalid_argument("FfsVaInstance::run: no streams registered");
+  }
+  if (run_called_.exchange(true)) {
+    throw std::logic_error(
+        "FfsVaInstance::run: run() already invoked on this instance");
+  }
   runtime::Stopwatch wall;
+  const auto t0 = Clock::now();
   // Wire the stage wakeups before any thread starts (set_waiter is
   // unsynchronized by contract).
   for (auto& s : streams_) {
-    s->sdd_q.set_waiter(&sdd_work_);
-    s->snm_q.set_waiter(&gpu0_work_);
+    s->sdd_q.set_waiter(sdd_work_.get());
+    s->snm_q.set_waiter(gpu0_work_.get());
   }
   const int workers = sdd_pool_size();
-  std::vector<std::thread> threads;
-  threads.reserve(streams_.size() + static_cast<std::size_t>(workers) + 2);
+  sdd_hb_ = std::vector<runtime::Heartbeat>(static_cast<std::size_t>(workers));
+
+  std::vector<std::thread> prefetch_threads;
+  prefetch_threads.reserve(streams_.size());
   for (auto& s : streams_) {
-    threads.emplace_back([this, &s, online] { prefetch_loop(*s, online); });
+    prefetch_threads.emplace_back(&FfsVaInstance::prefetch_loop, s, online);
   }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers) + 2);
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([this, w] { sdd_worker_loop(w); });
   }
   threads.emplace_back([this] { gpu0_loop(); });
   threads.emplace_back([this] { reference_loop(); });
+
+  runtime::Watchdog watchdog;
+  if (config_.stall_timeout_ms > 0 || config_.run_deadline_ms > 0) {
+    int tick = 50;
+    if (config_.stall_timeout_ms > 0) {
+      tick = std::min(tick, std::max(1, config_.stall_timeout_ms / 4));
+    }
+    if (config_.run_deadline_ms > 0) {
+      tick = std::min(tick, std::max(1, config_.run_deadline_ms / 4));
+    }
+    watchdog.start(std::chrono::milliseconds(tick), [this, t0] { supervise(t0); });
+  }
+
+  // Quarantine-aware join: a quarantined stream's prefetch thread may be
+  // hung inside its source, so wait for exit OR quarantine, then join or
+  // detach. A detached thread co-owns its Stream (shared_ptr) and touches
+  // nothing else, so it can finish whenever the source finally returns.
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = *streams_[i];
+    std::unique_lock lk(s.exit_mu);
+    s.exit_cv.wait(lk, [&] {
+      return s.prefetch_exited || s.quarantined.load(std::memory_order_acquire);
+    });
+    const bool exited = s.prefetch_exited;
+    lk.unlock();
+    if (exited) {
+      prefetch_threads[i].join();
+    } else {
+      prefetch_threads[i].detach();
+    }
+  }
   for (auto& t : threads) t.join();
+  watchdog.stop();
 
   InstanceStats out;
   out.wall_sec = wall.elapsed_sec();
   std::uint64_t ingested = 0;
-  for (auto& s : streams_) {
+  for (auto& sp : streams_) {
+    Stream& s = *sp;
+    // Snapshot the prefetch-thread atomics into the plain report. For a
+    // quarantined stream the thread may still be alive — the snapshot is
+    // the freeze point of its counters.
+    s.stats.prefetch.in = s.prefetch_in.load(std::memory_order_relaxed);
+    s.stats.prefetch.passed = s.prefetch_passed.load(std::memory_order_relaxed);
+    s.stats.dropped_at_ingest = s.dropped_ingest.load(std::memory_order_relaxed);
+    s.stats.fault.decode_errors = s.decode_errors.load(std::memory_order_relaxed);
+    s.stats.fault.retries = s.retries.load(std::memory_order_relaxed);
+    s.stats.fault.restarts = s.restarts.load(std::memory_order_relaxed);
+    s.stats.fault.degraded_frames = s.degraded.load(std::memory_order_relaxed);
+    s.stats.fault.discarded_frames = s.discarded.load(std::memory_order_relaxed);
+    s.stats.fault.quarantined = s.quarantined.load(std::memory_order_acquire);
     // Merge the per-stage terminal-latency histograms now that every stage
     // thread is joined; keeping them separate during the run is what makes
     // concurrent recording race-free.
-    s->stats.latency_ms.merge(s->lat_sdd);
-    s->stats.latency_ms.merge(s->lat_snm);
-    s->stats.latency_ms.merge(s->lat_tyolo);
-    s->stats.latency_ms.merge(s->lat_ref);
-    if (s->ingest_wall_sec > 0.0) {
-      s->stats.ingest_fps =
-          static_cast<double>(s->stats.prefetch.passed) / s->ingest_wall_sec;
+    s.stats.latency_ms.merge(s.lat_sdd);
+    s.stats.latency_ms.merge(s.lat_snm);
+    s.stats.latency_ms.merge(s.lat_tyolo);
+    s.stats.latency_ms.merge(s.lat_ref);
+    const double iw = s.ingest_wall_sec.load(std::memory_order_relaxed);
+    if (iw > 0.0) {
+      s.stats.ingest_fps = static_cast<double>(s.stats.prefetch.passed) / iw;
     }
-    ingested += s->stats.prefetch.passed;
-    out.streams.push_back(s->stats);
+    ingested += s.stats.prefetch.passed;
+
+    if (s.stats.fault.quarantined) {
+      ++out.health.quarantined_streams;
+    } else if (s.stats.fault.any()) {
+      ++out.health.degraded_streams;
+    } else {
+      ++out.health.healthy_streams;
+    }
+    out.health.decode_errors += s.stats.fault.decode_errors;
+    out.health.retries += s.stats.fault.retries;
+    out.health.restarts += s.stats.fault.restarts;
+    out.health.degraded_frames += s.stats.fault.degraded_frames;
+    out.health.discarded_frames += s.stats.fault.discarded_frames;
+
+    out.streams.push_back(s.stats);
   }
+  out.health.stage_stall_ticks = stage_stall_ticks_.load(std::memory_order_relaxed);
+  out.health.stopped = stop_.stop_requested();
+  out.health.deadline_hit = deadline_hit_.load(std::memory_order_relaxed);
   out.total_throughput_fps =
       out.wall_sec > 0.0 ? static_cast<double>(ingested) / out.wall_sec : 0.0;
   {

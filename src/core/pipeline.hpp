@@ -28,6 +28,9 @@
 // objects (src/core/policies.hpp) under virtual time.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -38,6 +41,7 @@
 #include "detect/specialize.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/supervision.hpp"
 #include "video/source.hpp"
 
 namespace ffsva::core {
@@ -49,6 +53,23 @@ struct OutputEvent {
   double latency_ms = 0.0;  ///< Ingest-to-output time.
 };
 
+/// Per-stream fault accounting (DESIGN.md Section 9). Faults are bounded,
+/// observable events: every retry, restart, degraded frame, and quarantine
+/// lands in exactly one of these counters.
+struct FaultStats {
+  std::uint64_t decode_errors = 0;    ///< SourceErrors raised by next().
+  std::uint64_t retries = 0;          ///< Transient-error retries attempted.
+  std::uint64_t restarts = 0;         ///< Source restarts attempted.
+  std::uint64_t degraded_frames = 0;  ///< Frames a throwing model degraded.
+  std::uint64_t discarded_frames = 0; ///< In-flight frames dumped by quarantine.
+  bool quarantined = false;           ///< Stream was quarantined by the watchdog.
+
+  bool any() const {
+    return decode_errors || retries || restarts || degraded_frames ||
+           discarded_frames || quarantined;
+  }
+};
+
 struct StreamStats {
   runtime::StageCounters prefetch;  ///< in = source frames, passed = ingested.
   runtime::StageCounters sdd;
@@ -58,6 +79,27 @@ struct StreamStats {
   std::uint64_t dropped_at_ingest = 0;
   runtime::Histogram latency_ms;    ///< Terminal latency of every ingested frame.
   double ingest_fps = 0.0;          ///< Realized ingest rate.
+  FaultStats fault;
+};
+
+/// Instance-level health rollup: how many streams finished clean, how many
+/// saw (survivable) faults, how many the watchdog had to quarantine.
+struct HealthSummary {
+  int healthy_streams = 0;      ///< No fault counter ticked.
+  int degraded_streams = 0;     ///< Faults observed, stream completed.
+  int quarantined_streams = 0;  ///< Quarantined by the watchdog.
+  std::uint64_t decode_errors = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t degraded_frames = 0;
+  std::uint64_t discarded_frames = 0;
+  /// Watchdog ticks on which a *shared* stage (an SDD worker, the GPU0
+  /// executor, the reference thread) was busy past the stall timeout.
+  /// Shared stages cannot be quarantined per stream, so stalls there are
+  /// surfaced instead of acted on.
+  std::uint64_t stage_stall_ticks = 0;
+  bool stopped = false;       ///< stop() was requested (by a caller or the deadline).
+  bool deadline_hit = false;  ///< run_deadline_ms expired.
 };
 
 struct InstanceStats {
@@ -65,6 +107,7 @@ struct InstanceStats {
   double wall_sec = 0.0;
   double total_throughput_fps = 0.0;  ///< Ingested frames / wall seconds.
   runtime::Histogram output_latency_ms;
+  HealthSummary health;
 
   StreamStats aggregate() const;
 };
@@ -90,7 +133,19 @@ class FfsVaInstance {
   /// online=true paces each stream's ingest at config.online_fps and drops
   /// frames when the SDD queue stays full (overload); online=false runs
   /// flat out (offline analysis of stored video).
+  ///
+  /// Single-shot: a second invocation throws std::logic_error (the engine's
+  /// queues and counters are consumed by a run). An instance with no
+  /// registered streams throws std::invalid_argument.
   InstanceStats run(bool online);
+
+  /// Request a graceful shutdown of an in-flight run() from any thread:
+  /// ingest stops, in-flight frames drain, run() returns with the stats
+  /// accumulated so far. Idempotent; safe before, during, or after run().
+  /// With stall detection enabled (config.stall_timeout_ms > 0) run()
+  /// returns within roughly the stall timeout even if a source is hung —
+  /// the watchdog quarantines the hung stream and its thread is detached.
+  void stop();
 
   /// Collected outputs (when no sink is set).
   const std::vector<OutputEvent>& outputs() const { return outputs_; }
@@ -101,17 +156,25 @@ class FfsVaInstance {
  private:
   struct Stream;
 
-  void prefetch_loop(Stream& s, bool online);
+  /// Static + shared_ptr: a prefetch thread whose source hung is detached
+  /// at join time (quarantine), so everything it may still touch after
+  /// run() returns must live in the Stream it co-owns, not in `this`.
+  static void prefetch_loop(std::shared_ptr<Stream> s, bool online);
   void sdd_worker_loop(int worker);
   void gpu0_loop();
   void reference_loop();
+
+  /// The watchdog tick: run deadline, per-stream stall quarantine, shared-
+  /// stage stall observation. Runs on the watchdog thread.
+  void supervise(std::chrono::steady_clock::time_point t0);
+  void quarantine(Stream& s);
 
   /// Resolved SDD pool size: config.sdd_workers, or the FFSVA_THREADS
   /// compute parallelism, capped by the stream count.
   int sdd_pool_size() const;
 
   FfsVaConfig config_;
-  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::shared_ptr<Stream>> streams_;
   std::function<void(const OutputEvent&)> sink_;
   std::vector<OutputEvent> outputs_;
   std::mutex outputs_mu_;
@@ -120,8 +183,19 @@ class FfsVaInstance {
   // empty or claimed; the GPU0 executor sleeps here when no SNM batch is
   // ready and no T-YOLO work is queued. GPU0 needs no mutex — the executor
   // thread owns it; the reference model (GPU1) is owned by its one thread.
-  runtime::QueueWaiter sdd_work_;
-  runtime::QueueWaiter gpu0_work_;
+  // shared_ptr because each Stream keeps the waiters alive for any
+  // detached (quarantined) prefetch thread that outlives the instance.
+  std::shared_ptr<runtime::QueueWaiter> sdd_work_;
+  std::shared_ptr<runtime::QueueWaiter> gpu0_work_;
+
+  // Supervision state.
+  runtime::StopToken stop_;
+  std::atomic<bool> run_called_{false};
+  std::atomic<bool> deadline_hit_{false};
+  std::atomic<std::uint64_t> stage_stall_ticks_{0};
+  std::vector<runtime::Heartbeat> sdd_hb_;  ///< One per SDD worker.
+  runtime::Heartbeat gpu0_hb_;
+  runtime::Heartbeat ref_hb_;
 
   struct TYoloShared;
   std::unique_ptr<TYoloShared> tyolo_shared_;

@@ -45,6 +45,13 @@ void build_axis(int src, int out, std::vector<std::int32_t>& i0,
 
 void ResizePlan::ensure(int src_width, int src_height, int out_width,
                         int out_height) {
+  if (src_width <= 0 || src_height <= 0 || out_width <= 0 || out_height <= 0) {
+    // A truncated decode can hand the detectors a zero-size frame; without
+    // this check build_axis clamps with lo > hi (UB) and the resize reads
+    // an empty pixel buffer. Throwing turns garbage input into a clean
+    // per-frame failure the engine's degrade policy can absorb.
+    throw std::invalid_argument("ResizePlan: empty source or output image");
+  }
   if (src_w == src_width && src_h == src_height && out_w == out_width &&
       out_h == out_height) {
     return;

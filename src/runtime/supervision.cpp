@@ -1,0 +1,33 @@
+#include "runtime/supervision.hpp"
+
+#include <utility>
+
+namespace ffsva::runtime {
+
+void Watchdog::start(std::chrono::milliseconds tick, std::function<void()> check) {
+  stop();
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this, tick, check = std::move(check)] {
+    std::unique_lock lk(mu_);
+    for (;;) {
+      if (cv_.wait_for(lk, tick, [&] { return stopping_; })) return;
+      lk.unlock();
+      check();
+      lk.lock();
+    }
+  });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace ffsva::runtime

@@ -1,0 +1,97 @@
+// Supervision primitives for the threaded pipeline engine: cooperative
+// cancellation, stage heartbeats, and a watchdog thread.
+//
+// The engine's availability contract (DESIGN.md Section 9) is that a fault
+// in one stream — a hung decoder, a throwing model — must stay a bounded,
+// observable event instead of wedging the shared feedback queues. These
+// three small pieces carry that contract:
+//
+//  * StopToken — a copyable handle on a shared stop flag. Copies alias the
+//    same state, so a token handed to a detached thread outlives the object
+//    that issued it (std::stop_token is not used because the engine needs
+//    to pair the flag with queue closes, not with std::jthread).
+//  * Heartbeat — a stage publishes busy()/idle() transitions around calls
+//    that may hang (a source decode, a model forward). Blocking on a
+//    bounded queue is *healthy* backpressure and is reported as idle; only
+//    time spent busy counts toward a stall.
+//  * Watchdog — one thread running a supplied check on a fixed tick. The
+//    engine's check compares heartbeat busy-ages against the configured
+//    stall timeout and quarantines the offending stream.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace ffsva::runtime {
+
+/// Milliseconds on the steady clock (monotonic; heartbeat timebase).
+inline std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Copyable handle on a shared cancellation flag. All copies observe the
+/// same request; request_stop() is idempotent and thread-safe.
+class StopToken {
+ public:
+  StopToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_stop() const { state_->store(true, std::memory_order_release); }
+  bool stop_requested() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// One stage's liveness signal. The stage marks busy() immediately before a
+/// call that may hang and idle() when it returns; the watchdog reads
+/// busy_age_ms() to detect a stall. Single-writer (the stage thread),
+/// any-reader (the watchdog).
+class Heartbeat {
+ public:
+  void busy() { busy_since_ms_.store(steady_now_ms(), std::memory_order_release); }
+  void idle() { busy_since_ms_.store(-1, std::memory_order_release); }
+
+  /// Milliseconds the stage has been inside its current busy section, or -1
+  /// when the stage is idle (parked, blocked on backpressure, or finished).
+  std::int64_t busy_age_ms() const {
+    const std::int64_t t = busy_since_ms_.load(std::memory_order_acquire);
+    return t < 0 ? -1 : steady_now_ms() - t;
+  }
+
+ private:
+  std::atomic<std::int64_t> busy_since_ms_{-1};
+};
+
+/// A periodic check on its own thread. start() is restartable; stop() is
+/// idempotent and joins. The check runs outside the watchdog's lock, so it
+/// may itself call stop-adjacent machinery (close queues, notify waiters)
+/// without deadlocking the watchdog.
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog() { stop(); }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void start(std::chrono::milliseconds tick, std::function<void()> check);
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ffsva::runtime

@@ -1,0 +1,79 @@
+#include "video/fault_injection.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace ffsva::video {
+
+FaultInjectingSource::FaultInjectingSource(std::unique_ptr<FrameSource> inner,
+                                           FaultPlan plan, std::uint64_t seed)
+    : inner_(std::move(inner)), plan_(std::move(plan)), rng_(seed) {}
+
+std::optional<Frame> FaultInjectingSource::next() {
+  if (eos_latched_) return std::nullopt;
+  if (fatal_latched_) {
+    throw SourceError(SourceError::Kind::kFatal, "fault injection: source dead");
+  }
+  const std::int64_t i = calls_++;
+
+  if (plan_.premature_eos_at >= 0 && i >= plan_.premature_eos_at) {
+    eos_latched_ = true;
+    ++log_.premature_eos;
+    return std::nullopt;
+  }
+  if (plan_.fatal_at >= 0 && i == plan_.fatal_at) {
+    fatal_latched_ = true;
+    ++log_.fatal_errors;
+    throw SourceError(SourceError::Kind::kFatal, "fault injection: session drop");
+  }
+  if (plan_.stall_at >= 0 && i == plan_.stall_at && plan_.stall_ms > 0) {
+    // A hung decode: next() simply does not return. This is what the
+    // watchdog's stall detection exists for.
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.stall_ms));
+    ++log_.stalls;
+    if (plan_.stall_done) plan_.stall_done->store(true, std::memory_order_release);
+  }
+  if (plan_.p_latency_spike > 0.0 && rng_.chance(plan_.p_latency_spike)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.latency_spike_ms));
+    ++log_.latency_spikes;
+  }
+  const bool transient = (plan_.transient_at >= 0 && i == plan_.transient_at) ||
+                         (plan_.p_transient > 0.0 && rng_.chance(plan_.p_transient));
+  if (transient) {
+    // Thrown before the inner read: the stream position is untouched, so a
+    // retry resumes with no frame lost (the FrameSource contract).
+    ++log_.transient_errors;
+    throw SourceError(SourceError::Kind::kTransient, "fault injection: decode error");
+  }
+
+  auto frame = inner_->next();
+  if (!frame) return frame;
+
+  if (plan_.p_truncated > 0.0 && rng_.chance(plan_.p_truncated)) {
+    // A truncated decode: provenance survives, pixels do not. Downstream
+    // models must reject this cleanly (degrade policy), never crash.
+    frame->image = image::Image{};
+    ++log_.truncated_frames;
+    return frame;
+  }
+  if (plan_.p_corrupt > 0.0 && rng_.chance(plan_.p_corrupt)) {
+    // Bitstream corruption that still decodes: full-size noise.
+    std::uint8_t* p = frame->image.data();
+    const std::size_t n = static_cast<std::size_t>(frame->image.width()) *
+                          frame->image.height() * frame->image.channels();
+    for (std::size_t k = 0; k < n; ++k) {
+      p[k] = static_cast<std::uint8_t>(rng_.next());
+    }
+    ++log_.corrupted_frames;
+  }
+  return frame;
+}
+
+bool FaultInjectingSource::restart() {
+  if (!plan_.restartable) return false;
+  fatal_latched_ = false;
+  return true;
+}
+
+}  // namespace ffsva::video

@@ -2,23 +2,57 @@
 // frames from. Live sources render the synthetic scene on demand (online
 // mode: a camera); stored sources decode the delta-RLE bitstream (offline
 // mode: a recording), so the prefetch stage pays a real decode cost.
+//
+// Real camera fleets fail: connections drop, decoders hit corrupt NALs,
+// RTSP sessions die and need a reconnect. next() reports those through
+// SourceError (transient = retry may succeed, fatal = the session is dead)
+// and restart() models the reconnect; the engine's prefetch loop owns the
+// retry/restart budget and backoff (DESIGN.md Section 9).
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "video/codec.hpp"
 #include "video/scene.hpp"
 
 namespace ffsva::video {
 
+/// A decode/transport failure raised by FrameSource::next().
+///  * kTransient — this read failed but the source is still usable (a
+///    corrupt packet, a momentary network hiccup); retrying next() is the
+///    right response.
+///  * kFatal — the source session is dead (device unplugged, stream
+///    closed); only restart() can revive it.
+class SourceError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t { kTransient = 0, kFatal = 1 };
+
+  SourceError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+  bool transient() const { return kind_ == Kind::kTransient; }
+
+ private:
+  Kind kind_;
+};
+
 class FrameSource {
  public:
   virtual ~FrameSource() = default;
   /// Next frame in presentation order, or nullopt at end of stream.
+  /// May throw SourceError; after a transient error the stream position is
+  /// unchanged (a successful retry resumes without frame loss).
   virtual std::optional<Frame> next() = 0;
   /// Total frames this source will yield (for progress/termination).
   virtual std::int64_t total_frames() const = 0;
+  /// Attempt to revive the source after a fatal SourceError (reconnect the
+  /// camera, reopen the file). Returns false when the source does not
+  /// support restart (the default) or the revival failed.
+  virtual bool restart() { return false; }
 };
 
 /// Renders frames from a shared scene simulator (a "camera").

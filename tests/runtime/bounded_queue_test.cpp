@@ -70,6 +70,48 @@ TEST(BoundedQueue, CloseUnblocksWaitingProducer) {
   producer.join();
 }
 
+// Close must be idempotent — quarantine and a racing producer exit can both
+// close the same queue, in any order, without upsetting drain semantics.
+TEST(BoundedQueue, CloseIsIdempotent) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.close();
+  q.close();
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.pop().value(), 1);  // drain still works after repeated close
+  EXPECT_FALSE(q.pop().has_value());
+  q.close();  // and close after drain is still a no-op
+  EXPECT_FALSE(q.push(2));
+}
+
+// The timed variants must observe close the same way the blocking ones do:
+// push_for fails fast (no timeout wait) on a closed queue …
+TEST(BoundedQueue, PushForAfterCloseFailsFast) {
+  BoundedQueue<int> q(1);
+  q.close();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.push_for(1, std::chrono::milliseconds(500)));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::milliseconds(100));  // no full-timeout sleep
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+// … and pop_for drains the remaining elements, then reports end of stream
+// without waiting out its timeout.
+TEST(BoundedQueue, PopForAfterCloseDrainsThenEndsFast) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  q.push(8);
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(500)).value(), 7);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(500)).value(), 8);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(500)).has_value());
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::milliseconds(100));
+}
+
 TEST(BoundedQueue, PopForTimesOut) {
   BoundedQueue<int> q(1);
   const auto got = q.pop_for(std::chrono::milliseconds(20));

@@ -1,0 +1,191 @@
+// FaultInjectingSource: deterministic replay of camera-fleet failure modes
+// (video/fault_injection.hpp). The contract under test is the one the
+// engine's prefetch loop depends on: transient errors leave the stream
+// position untouched, fatal errors latch until restart(), premature EOS is
+// permanent, and a (plan, seed) pair replays the identical fault sequence.
+#include "video/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace ffsva::video {
+namespace {
+
+/// Yields `count` tiny frames with sequential indices and a pixel pattern
+/// derived from the index, so tests can detect skipped or corrupt frames.
+class CountingSource final : public FrameSource {
+ public:
+  explicit CountingSource(std::int64_t count) : count_(count) {}
+
+  std::optional<Frame> next() override {
+    if (next_ >= count_) return std::nullopt;
+    Frame f;
+    f.index = next_;
+    f.image = image::Image(4, 4, 1, static_cast<std::uint8_t>(next_ & 0x7f));
+    ++next_;
+    return f;
+  }
+  std::int64_t total_frames() const override { return count_; }
+
+ private:
+  std::int64_t count_;
+  std::int64_t next_ = 0;
+};
+
+/// Drains the wrapper, retrying transient errors and restarting after fatal
+/// ones (a miniature of the engine's prefetch loop), and returns the frame
+/// indices actually delivered.
+std::vector<std::int64_t> drain(FrameSource& src) {
+  std::vector<std::int64_t> got;
+  for (;;) {
+    try {
+      auto f = src.next();
+      if (!f) break;
+      got.push_back(f->index);
+    } catch (const SourceError& e) {
+      if (!e.transient() && !src.restart()) break;
+    }
+  }
+  return got;
+}
+
+TEST(FaultInjection, CleanPlanIsTransparent) {
+  FaultInjectingSource src(std::make_unique<CountingSource>(10), FaultPlan{}, 1);
+  const auto got = drain(src);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(src.log().transient_errors, 0u);
+  EXPECT_EQ(src.log().corrupted_frames, 0u);
+}
+
+TEST(FaultInjection, TransientErrorLeavesPositionUnchanged) {
+  FaultPlan plan;
+  plan.transient_at = 3;
+  FaultInjectingSource src(std::make_unique<CountingSource>(6), plan, 1);
+  std::vector<std::int64_t> got;
+  int thrown = 0;
+  for (int call = 0; call < 16 && got.size() < 6; ++call) {
+    try {
+      auto f = src.next();
+      if (!f) break;
+      got.push_back(f->index);
+    } catch (const SourceError& e) {
+      EXPECT_TRUE(e.transient());
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 1);
+  // Retrying after the throw resumes exactly where the stream was: every
+  // frame delivered once, none skipped.
+  ASSERT_EQ(got.size(), 6u);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(src.log().transient_errors, 1u);
+}
+
+TEST(FaultInjection, FatalLatchesUntilRestart) {
+  FaultPlan plan;
+  plan.fatal_at = 2;
+  FaultInjectingSource src(std::make_unique<CountingSource>(5), plan, 1);
+  EXPECT_EQ(src.next()->index, 0);
+  EXPECT_EQ(src.next()->index, 1);
+  EXPECT_THROW(src.next(), SourceError);
+  EXPECT_THROW(src.next(), SourceError);  // latched: still dead
+  ASSERT_TRUE(src.restart());
+  // Revived at the pre-fault position — the fatal call consumed no frame.
+  const auto got = drain(src);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got.front(), 2);
+  EXPECT_EQ(got.back(), 4);
+  EXPECT_EQ(src.log().fatal_errors, 1u);
+}
+
+TEST(FaultInjection, NonRestartablePlanStaysDead) {
+  FaultPlan plan;
+  plan.fatal_at = 0;
+  plan.restartable = false;
+  FaultInjectingSource src(std::make_unique<CountingSource>(5), plan, 1);
+  EXPECT_THROW(src.next(), SourceError);
+  EXPECT_FALSE(src.restart());
+  EXPECT_THROW(src.next(), SourceError);
+}
+
+TEST(FaultInjection, PrematureEosIsPermanent) {
+  FaultPlan plan;
+  plan.premature_eos_at = 3;
+  FaultInjectingSource src(std::make_unique<CountingSource>(10), plan, 1);
+  const auto got = drain(src);
+  ASSERT_EQ(got.size(), 3u);  // frames 0..2, then the stream ends early
+  EXPECT_FALSE(src.next().has_value());  // and stays ended
+  EXPECT_EQ(src.log().premature_eos, 1u);
+}
+
+TEST(FaultInjection, TruncatedFramesAreEmptyButKeepProvenance) {
+  FaultPlan plan;
+  plan.p_truncated = 1.0;  // every frame
+  FaultInjectingSource src(std::make_unique<CountingSource>(3), plan, 1);
+  auto f = src.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->image.empty());
+  EXPECT_EQ(f->index, 0);  // provenance survives the truncation
+  EXPECT_EQ(src.log().truncated_frames, 1u);
+}
+
+TEST(FaultInjection, CorruptFramesKeepTheirShape) {
+  FaultPlan plan;
+  plan.p_corrupt = 1.0;
+  FaultInjectingSource src(std::make_unique<CountingSource>(3), plan, 1);
+  auto f = src.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->image.width(), 4);
+  EXPECT_EQ(f->image.height(), 4);
+  EXPECT_EQ(src.log().corrupted_frames, 1u);
+}
+
+TEST(FaultInjection, StallSetsTheCompletionLatch) {
+  FaultPlan plan;
+  plan.stall_at = 1;
+  plan.stall_ms = 10;
+  plan.stall_done = std::make_shared<std::atomic<bool>>(false);
+  FaultInjectingSource src(std::make_unique<CountingSource>(4), plan, 1);
+  EXPECT_EQ(src.next()->index, 0);
+  EXPECT_FALSE(plan.stall_done->load());
+  EXPECT_EQ(src.next()->index, 1);  // the stalled call still yields its frame
+  EXPECT_TRUE(plan.stall_done->load());
+  EXPECT_EQ(src.log().stalls, 1u);
+}
+
+// Same (plan, seed) → identical fault sequence and identical delivery;
+// a different seed draws a different stochastic sequence.
+TEST(FaultInjection, SeededRunsAreDeterministic) {
+  FaultPlan plan;
+  plan.p_transient = 0.2;
+  plan.p_truncated = 0.15;
+  plan.p_corrupt = 0.1;
+
+  const auto run = [&](std::uint64_t seed) {
+    FaultInjectingSource src(std::make_unique<CountingSource>(64), plan, seed);
+    const auto got = drain(src);
+    return std::make_tuple(got, src.log().transient_errors,
+                           src.log().truncated_frames, src.log().corrupted_frames);
+  };
+
+  const auto a = run(99);
+  const auto b = run(99);
+  EXPECT_EQ(a, b);
+
+  // Retried transients lose nothing: all 64 frames always arrive in order.
+  const auto& [frames, transients, truncated, corrupted] = a;
+  ASSERT_EQ(frames.size(), 64u);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(frames[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_GT(transients + truncated + corrupted, 0u) << "plan injected nothing";
+
+  const auto c = run(7);
+  EXPECT_NE(a, c) << "different seeds should draw different fault sequences";
+}
+
+}  // namespace
+}  // namespace ffsva::video
