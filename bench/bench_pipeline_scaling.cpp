@@ -15,15 +15,28 @@
 // the supervision counters, so the overhead and accounting of the fault
 // path are archived next to the clean runs.
 //
+// A final pair of 16-stream offline rows measures the telemetry subsystem
+// itself: three interleaved off/on pairs (sampler at --metrics-interval-ms
+// in the on runs), archived best-of-3 as offline_metrics_{off,on} with the
+// relative overhead_pct — the budget DESIGN.md Section 10 commits to. When
+// --trace-out is given, one extra unmeasured run records spans and writes
+// the chrome://tracing timeline.
+//
 // Usage: bench_pipeline_scaling [--json out.json] [--label prefix]
 //                               [--frames N] [--online-frames N]
 //                               [--streams a,b,c]
+//                               [--metrics-out m.jsonl] [--trace-out t.json]
+//                               [--metrics-interval-ms N]
 // `--label` prefixes every series name, which is how pre/post engine runs
 // are distinguished inside one archived BENCH_pipeline_scaling.json.
+// --metrics-out captures the JSONL of the metrics-on overhead runs (without
+// it they sample into a discarded buffer, so the overhead row is measured
+// either way); --trace-out adds the unmeasured traced run.
 #include "common.hpp"
 
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <thread>
 
 #include "core/pipeline.hpp"
@@ -66,10 +79,17 @@ int main(int argc, char** argv) {
   // buffer, or overload never surfaces as drops.
   std::int64_t online_frames = 192;
   std::vector<int> stream_counts = {1, 4, 16, 64};
+  std::string metrics_out, trace_out;
+  int metrics_interval_ms = 100;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--label") == 0) label = std::string(argv[i + 1]) + "/";
     if (std::strcmp(argv[i], "--frames") == 0) frames_per_stream = std::atol(argv[i + 1]);
     if (std::strcmp(argv[i], "--online-frames") == 0) online_frames = std::atol(argv[i + 1]);
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-interval-ms") == 0) {
+      metrics_interval_ms = std::atoi(argv[i + 1]);
+    }
     if (std::strcmp(argv[i], "--streams") == 0) {
       stream_counts.clear();
       for (const char* p = argv[i + 1]; *p;) {
@@ -129,6 +149,89 @@ int main(int argc, char** argv) {
     std::snprintf(name, sizeof(name), "%soffline/streams=%d", label.c_str(), n);
     report.add(name, stats.total_throughput_fps, agg.latency_ms.p50(),
                agg.latency_ms.p99());
+  }
+
+  // --- telemetry overhead: 16-stream offline, metrics off vs on -----------
+  // The per-run noise of a 16-stream threaded run is several percent, so a
+  // single off/on pair cannot resolve a <=2% budget. We alternate off/on
+  // over three pairs and compare best-of-3 — interleaving cancels drift
+  // (thermal, page cache, sibling load) and best-of suppresses outliers.
+  // The measured "on" runs carry the live sampler at --metrics-interval-ms;
+  // span tracing is a separate opt-in diagnostic and is exercised by one
+  // extra unmeasured run only when --trace-out asks for a timeline.
+  {
+    const int n = 16;
+    const int reps = 3;
+    std::printf("\ntelemetry overhead (%d streams, offline, sampler %d ms, "
+                "best of %d)\n", n, metrics_interval_ms, reps);
+    std::printf("%-22s %12s %12s %12s\n", "variant", "total FPS", "p50 lat(ms)",
+                "p99 lat(ms)");
+    bench::print_rule();
+    struct Best {
+      double fps = 0.0, p50 = 0.0, p99 = 0.0;
+    };
+    Best best[2];  // [0] = metrics off, [1] = metrics on.
+    const auto run_variant = [&](bool metrics_on) {
+      core::FfsVaConfig cfg;
+      cfg.metrics_interval_ms = std::max(1, metrics_interval_ms);
+      core::FfsVaInstance instance(cfg);
+      instance.set_output_sink([](const core::OutputEvent&) {});
+      std::ostringstream discard;
+      if (metrics_on) {
+        if (!metrics_out.empty()) {
+          instance.enable_metrics_export(metrics_out, label + "bench16");
+        } else {
+          instance.enable_metrics_export(&discard, label + "bench16");
+        }
+      }
+      for (int s = 0; s < n; ++s) {
+        instance.add_stream(std::make_unique<ReplaySource>(&window, s), models);
+      }
+      const auto stats = instance.run(/*online=*/false);
+      const auto agg = stats.aggregate();
+      Best& b = best[metrics_on ? 1 : 0];
+      if (stats.total_throughput_fps > b.fps) {
+        b = {stats.total_throughput_fps, agg.latency_ms.p50(),
+             agg.latency_ms.p99()};
+      }
+      std::printf("%-22s %12.1f %12.1f %12.1f\n",
+                  metrics_on ? "metrics_on" : "metrics_off",
+                  stats.total_throughput_fps, agg.latency_ms.p50(),
+                  agg.latency_ms.p99());
+    };
+    for (int rep = 0; rep < reps; ++rep) {
+      run_variant(false);
+      run_variant(true);
+    }
+    const double overhead_pct =
+        best[0].fps > 0.0
+            ? (best[0].fps - best[1].fps) / best[0].fps * 100.0
+            : 0.0;
+    std::printf("%-22s %12.2f%%\n", "overhead (best-of)", overhead_pct);
+    for (const bool metrics_on : {false, true}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "%soffline_metrics_%s/streams=%d",
+                    label.c_str(), metrics_on ? "on" : "off", n);
+      bench::JsonReport::Extras extras;
+      if (metrics_on) extras.emplace_back("overhead_pct", overhead_pct);
+      const Best& b = best[metrics_on ? 1 : 0];
+      report.add(name, b.fps, b.p50, b.p99, std::move(extras));
+    }
+    if (!trace_out.empty()) {
+      // One extra run with spans armed, outside the measured pairs.
+      core::FfsVaConfig cfg;
+      cfg.metrics_interval_ms = std::max(1, metrics_interval_ms);
+      core::FfsVaInstance instance(cfg);
+      instance.set_output_sink([](const core::OutputEvent&) {});
+      instance.enable_tracing();
+      for (int s = 0; s < n; ++s) {
+        instance.add_stream(std::make_unique<ReplaySource>(&window, s), models);
+      }
+      instance.run(/*online=*/false);
+      if (instance.export_trace(trace_out)) {
+        std::printf("trace written to %s\n", trace_out.c_str());
+      }
+    }
   }
 
   // --- online mode: drop rate vs stream count -----------------------------

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/pipeline.hpp"
+
 namespace ffsva::core {
 
-ClusterManager::ClusterManager(int num_instances, const FfsVaConfig& config) {
+ClusterManager::ClusterManager(int num_instances, const FfsVaConfig& config)
+    : config_(config) {
   if (num_instances < 1) throw std::invalid_argument("cluster needs >= 1 instance");
   instances_.reserve(static_cast<std::size_t>(num_instances));
   for (int i = 0; i < num_instances; ++i) instances_.emplace_back(config);
@@ -17,6 +20,49 @@ void ClusterManager::report_tyolo_service(int id, double now_sec, int frames) {
 
 void ClusterManager::report_queue_over_threshold(int id, double now_sec) {
   instances_.at(static_cast<std::size_t>(id)).admission.on_queue_over_threshold(now_sec);
+}
+
+void ClusterManager::report_snapshot(int id, double now_sec,
+                                     const InstanceSnapshot& snap) {
+  auto& inst = instances_.at(static_cast<std::size_t>(id));
+
+  // T-YOLO service rate from the cumulative counter's delta. A counter that
+  // went backwards means the instance restarted — re-baseline without
+  // feeding a bogus (huge or negative) delta into the window.
+  const std::uint64_t served = snap.tyolo_served();
+  if (inst.have_baseline && served >= inst.last_tyolo_served) {
+    const std::uint64_t delta = served - inst.last_tyolo_served;
+    // A zero delta is still an observation: an idle instance must age into
+    // "spare" (has_spare_capacity requires a full observed window).
+    inst.admission.on_tyolo_served(
+        now_sec, static_cast<int>(std::min<std::uint64_t>(delta, 1u << 30)));
+  }
+  inst.last_tyolo_served = served;
+  inst.have_baseline = true;
+
+  // Section 4.3.1: "when any queue of T-YOLO or SNM is longer than its
+  // predefined threshold ... the instance overloads". The engine's queues
+  // are bounded at exactly these thresholds, so full == over-threshold.
+  const auto snm_cap =
+      static_cast<std::size_t>(config_.capacity(config_.snm_queue_depth));
+  const auto tyolo_cap =
+      static_cast<std::size_t>(config_.capacity(config_.tyolo_queue_depth));
+  for (const auto& s : snap.streams) {
+    if (s.snm_queue_depth >= snm_cap || s.tyolo_queue_depth >= tyolo_cap) {
+      inst.admission.on_queue_over_threshold(now_sec);
+      break;
+    }
+  }
+
+  inst.healthy = snap.health.quarantined_streams == 0;
+}
+
+bool ClusterManager::instance_healthy(int id) const {
+  return instances_.at(static_cast<std::size_t>(id)).healthy;
+}
+
+void ClusterManager::set_instance_health(int id, bool healthy) {
+  instances_.at(static_cast<std::size_t>(id)).healthy = healthy;
 }
 
 void ClusterManager::attach_stream(int stream_id, int instance_id) {
@@ -48,7 +94,7 @@ bool ClusterManager::instance_overloaded(int id, double now_sec) const {
 
 bool ClusterManager::instance_has_spare(int id, double now_sec) {
   auto& inst = instances_.at(static_cast<std::size_t>(id));
-  return !inst.admission.overloaded(now_sec) &&
+  return inst.healthy && !inst.admission.overloaded(now_sec) &&
          inst.admission.has_spare_capacity(now_sec);
 }
 
@@ -63,10 +109,12 @@ std::optional<int> ClusterManager::place_new_stream(double now_sec) {
 }
 
 std::optional<ReforwardDecision> ClusterManager::next_reforward(double now_sec) {
-  // Find the most-loaded overloaded instance and a spare target.
+  // Find the most-loaded instance needing relief — overloaded queues, or
+  // unhealthy (quarantines): a sick instance is drained even while its
+  // queues look fine — and a spare, healthy target.
   int from = -1;
   for (int i = 0; i < num_instances(); ++i) {
-    if (!instance_overloaded(i, now_sec)) continue;
+    if (!instance_overloaded(i, now_sec) && instance_healthy(i)) continue;
     if (stream_count(i) == 0) continue;
     if (from < 0 || stream_count(i) > stream_count(from)) from = i;
   }

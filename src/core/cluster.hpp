@@ -24,6 +24,8 @@
 
 namespace ffsva::core {
 
+struct InstanceSnapshot;  // pipeline.hpp
+
 struct ReforwardDecision {
   int stream_id = -1;
   int from_instance = -1;
@@ -39,6 +41,24 @@ class ClusterManager {
   /// Telemetry from instance `id` at time `now_sec`.
   void report_tyolo_service(int id, double now_sec, int frames);
   void report_queue_over_threshold(int id, double now_sec);
+
+  /// Fold one live engine snapshot (FfsVaInstance::snapshot()) into the
+  /// placement signals — the preferred reporting path for real instances:
+  ///  * the T-YOLO served delta since the previous snapshot feeds the
+  ///    admission window (a counter that went backwards re-baselines, so an
+  ///    instance restart does not poison the rate);
+  ///  * any stream's SNM or T-YOLO queue at/over its threshold raises the
+  ///    overload signal (Section 4.3.1's re-forward trigger);
+  ///  * instance health follows the snapshot: an instance with quarantined
+  ///    streams stops receiving placements and becomes a re-forward source.
+  void report_snapshot(int id, double now_sec, const InstanceSnapshot& snap);
+
+  /// Health gate. Unhealthy instances never receive place_new_stream /
+  /// re-forward placements and are drained by next_reforward even when
+  /// their queues look fine. Set by report_snapshot; settable directly by
+  /// control planes with out-of-band health signals.
+  bool instance_healthy(int id) const;
+  void set_instance_health(int id, bool healthy);
 
   /// Register / remove stream membership.
   void attach_stream(int stream_id, int instance_id);
@@ -64,11 +84,16 @@ class ClusterManager {
   struct Instance {
     AdmissionController admission;
     std::vector<int> streams;
+    bool healthy = true;
+    /// Snapshot-delta baseline for report_snapshot's served counter.
+    std::uint64_t last_tyolo_served = 0;
+    bool have_baseline = false;
     explicit Instance(const FfsVaConfig& cfg)
         : admission(cfg.admit_tyolo_fps, cfg.admit_window_sec) {}
   };
   std::vector<Instance> instances_;
   std::map<int, int> stream_home_;
+  FfsVaConfig config_;
 };
 
 }  // namespace ffsva::core

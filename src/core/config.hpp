@@ -97,6 +97,12 @@ struct FfsVaConfig {
   /// attempt, capped at 100 ms, and aborts early on stop or quarantine.
   int source_backoff_ms = 1;
 
+  // --- telemetry -----------------------------------------------------------
+  /// Sampling period of the live metrics exporter (JSONL rows): queue
+  /// depths, per-stage FPS, drop rates, supervision counters. Used when
+  /// metrics export is enabled via FfsVaInstance::enable_metrics_export.
+  int metrics_interval_ms = 100;
+
   // --- admission / re-forwarding (Section 4.3.1) ---------------------------
   /// Sustained T-YOLO service speed below this (FPS) for admit_window_sec
   /// means the instance has spare capacity for another stream.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "runtime/parallel_for.hpp"
 #include "runtime/rate_limiter.hpp"
 #include "runtime/stopwatch.hpp"
+#include "telemetry/spans.hpp"
 
 namespace ffsva::core {
 
@@ -26,6 +28,8 @@ struct Item {
   video::Frame frame;
   Clock::time_point ingest;
 };
+
+telemetry::TraceBuffer& trace() { return telemetry::TraceBuffer::global(); }
 }  // namespace
 
 const char* to_string(BatchPolicy p) {
@@ -100,6 +104,16 @@ struct FfsVaInstance::Stream {
   std::atomic<std::uint64_t> degraded{0};
   std::atomic<std::uint64_t> discarded{0};
   std::atomic<bool> quarantined{false};
+
+  /// Per-stage frame counters as relaxed atomics so snapshot() can read
+  /// them while the stage threads run. Each is still written by one logical
+  /// owner at a time (SDD claim holder / GPU0 executor / reference thread);
+  /// the atomics buy mid-run readability, not write coordination. run()
+  /// freezes them into `stats` once the stage threads are joined.
+  std::atomic<std::uint64_t> sdd_in{0}, sdd_passed{0};
+  std::atomic<std::uint64_t> snm_in{0}, snm_passed{0};
+  std::atomic<std::uint64_t> tyolo_in{0}, tyolo_passed{0};
+  std::atomic<std::uint64_t> ref_in{0}, ref_passed{0};
 
   /// Liveness of the source: busy only across source->next() — blocking on
   /// the SDD feedback queue is healthy backpressure and reads as idle.
@@ -188,6 +202,153 @@ int FfsVaInstance::sdd_pool_size() const {
   return std::clamp(w, 1, n);
 }
 
+bool FfsVaInstance::enable_metrics_export(const std::string& path,
+                                          std::string label) {
+  // Validate the sink now (enable is the caller's error boundary); the
+  // exporter reopens in append mode when run() starts.
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) return false;
+  probe.close();
+  metrics_path_ = path;
+  metrics_sink_ = nullptr;
+  metrics_label_ = std::move(label);
+  return true;
+}
+
+void FfsVaInstance::enable_metrics_export(std::ostream* sink,
+                                          std::string label) {
+  metrics_sink_ = sink;
+  metrics_path_.clear();
+  metrics_label_ = std::move(label);
+}
+
+bool FfsVaInstance::export_trace(const std::string& path) const {
+  return trace().write_chrome_trace(path);
+}
+
+void FfsVaInstance::wire_metrics() {
+  hot_.sdd_in = &metrics_.counter("sdd.in");
+  hot_.sdd_passed = &metrics_.counter("sdd.passed");
+  hot_.snm_in = &metrics_.counter("snm.in");
+  hot_.snm_passed = &metrics_.counter("snm.passed");
+  hot_.tyolo_in = &metrics_.counter("tyolo.in");
+  hot_.tyolo_passed = &metrics_.counter("tyolo.passed");
+  hot_.ref_in = &metrics_.counter("ref.in");
+  hot_.ref_passed = &metrics_.counter("ref.passed");
+  hot_.drop_sdd = &metrics_.counter("drop.sdd");
+  hot_.drop_snm = &metrics_.counter("drop.snm");
+  hot_.drop_tyolo = &metrics_.counter("drop.tyolo");
+  hot_.drop_ref = &metrics_.counter("drop.ref");
+  hot_.snm_batches = &metrics_.counter("executor.snm_batches");
+  hot_.tyolo_picks = &metrics_.counter("executor.tyolo_picks");
+  hot_.batch_size = &metrics_.histogram("executor.batch_size");
+  hot_.tyolo_take = &metrics_.histogram("executor.tyolo_take");
+  hot_.output_latency_ms = &metrics_.histogram("latency.output_ms");
+
+  // Prefetch/fault/supervision state lives in Stream atomics (the detached
+  // quarantined prefetch thread must never touch this registry), so it is
+  // surfaced as gauges polled only at snapshot time.
+  const auto sum = [this](auto member) {
+    return [this, member]() {
+      std::uint64_t total = 0;
+      for (const auto& s : streams_) {
+        total += ((*s).*member).load(std::memory_order_relaxed);
+      }
+      return static_cast<double>(total);
+    };
+  };
+  metrics_.gauge("prefetch.in", sum(&Stream::prefetch_in));
+  metrics_.gauge("prefetch.passed", sum(&Stream::prefetch_passed));
+  metrics_.gauge("drop.ingest", sum(&Stream::dropped_ingest));
+  metrics_.gauge("fault.decode_errors", sum(&Stream::decode_errors));
+  metrics_.gauge("fault.retries", sum(&Stream::retries));
+  metrics_.gauge("fault.restarts", sum(&Stream::restarts));
+  metrics_.gauge("fault.degraded_frames", sum(&Stream::degraded));
+  metrics_.gauge("fault.discarded_frames", sum(&Stream::discarded));
+  metrics_.gauge("streams.quarantined", [this] {
+    double n = 0;
+    for (const auto& s : streams_) {
+      if (s->quarantined.load(std::memory_order_relaxed)) ++n;
+    }
+    return n;
+  });
+  metrics_.gauge("supervise.stall_ticks", [this] {
+    return static_cast<double>(
+        stage_stall_ticks_.load(std::memory_order_relaxed));
+  });
+  const auto depth_sum = [this](runtime::BoundedQueue<Item> Stream::* q) {
+    return [this, q]() {
+      std::size_t total = 0;
+      for (const auto& s : streams_) total += ((*s).*q).depth();
+      return static_cast<double>(total);
+    };
+  };
+  metrics_.gauge("queue.sdd", depth_sum(&Stream::sdd_q));
+  metrics_.gauge("queue.snm", depth_sum(&Stream::snm_q));
+  metrics_.gauge("queue.tyolo", depth_sum(&Stream::tyolo_q));
+  metrics_.gauge("queue.ref",
+                 [this] { return static_cast<double>(tyolo_shared_->ref_q.depth()); });
+}
+
+InstanceSnapshot FfsVaInstance::snapshot() const {
+  InstanceSnapshot snap;
+  snap.running = running_.load(std::memory_order_acquire);
+  const std::int64_t t0 = run_t0_ns_.load(std::memory_order_relaxed);
+  if (t0 > 0) {
+    const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now().time_since_epoch())
+                         .count();
+    snap.t_sec = static_cast<double>(now - t0) * 1e-9;
+  }
+  snap.streams.reserve(streams_.size());
+  for (const auto& sp : streams_) {
+    const Stream& s = *sp;
+    StreamSnapshot ss;
+    ss.id = s.id;
+    ss.prefetch_in = s.prefetch_in.load(std::memory_order_relaxed);
+    ss.prefetch_passed = s.prefetch_passed.load(std::memory_order_relaxed);
+    ss.dropped_at_ingest = s.dropped_ingest.load(std::memory_order_relaxed);
+    ss.sdd_in = s.sdd_in.load(std::memory_order_relaxed);
+    ss.sdd_passed = s.sdd_passed.load(std::memory_order_relaxed);
+    ss.snm_in = s.snm_in.load(std::memory_order_relaxed);
+    ss.snm_passed = s.snm_passed.load(std::memory_order_relaxed);
+    ss.tyolo_in = s.tyolo_in.load(std::memory_order_relaxed);
+    ss.tyolo_passed = s.tyolo_passed.load(std::memory_order_relaxed);
+    ss.ref_in = s.ref_in.load(std::memory_order_relaxed);
+    ss.ref_passed = s.ref_passed.load(std::memory_order_relaxed);
+    ss.sdd_queue_depth = s.sdd_q.depth();
+    ss.snm_queue_depth = s.snm_q.depth();
+    ss.tyolo_queue_depth = s.tyolo_q.depth();
+    ss.fault.decode_errors = s.decode_errors.load(std::memory_order_relaxed);
+    ss.fault.retries = s.retries.load(std::memory_order_relaxed);
+    ss.fault.restarts = s.restarts.load(std::memory_order_relaxed);
+    ss.fault.degraded_frames = s.degraded.load(std::memory_order_relaxed);
+    ss.fault.discarded_frames = s.discarded.load(std::memory_order_relaxed);
+    ss.fault.quarantined = s.quarantined.load(std::memory_order_acquire);
+
+    if (ss.fault.quarantined) {
+      ++snap.health.quarantined_streams;
+    } else if (ss.fault.any()) {
+      ++snap.health.degraded_streams;
+    } else {
+      ++snap.health.healthy_streams;
+    }
+    snap.health.decode_errors += ss.fault.decode_errors;
+    snap.health.retries += ss.fault.retries;
+    snap.health.restarts += ss.fault.restarts;
+    snap.health.degraded_frames += ss.fault.degraded_frames;
+    snap.health.discarded_frames += ss.fault.discarded_frames;
+    snap.streams.push_back(std::move(ss));
+  }
+  snap.ref_queue_depth = tyolo_shared_->ref_q.depth();
+  snap.outputs = outputs_count_.load(std::memory_order_relaxed);
+  snap.health.stage_stall_ticks =
+      stage_stall_ticks_.load(std::memory_order_relaxed);
+  snap.health.stopped = stop_.stop_requested();
+  snap.health.deadline_hit = deadline_hit_.load(std::memory_order_relaxed);
+  return snap;
+}
+
 void FfsVaInstance::stop() {
   stop_.request_stop();
   // Closing the ingest queues unblocks every prefetch thread (a blocked
@@ -224,7 +385,15 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online) {
     std::optional<video::Frame> f;
     try {
       s->hb.busy();  // a hung decode is what the watchdog must see
-      f = s->source->next();
+      {
+        // Spans go to the process-global buffer, never the instance: this
+        // thread may be detached (quarantine) and outlive the instance.
+        telemetry::ScopedSpan sp(
+            trace(), "decode", telemetry::Stage::kPrefetch, s->id,
+            static_cast<std::int64_t>(
+                s->prefetch_in.load(std::memory_order_relaxed)));
+        f = s->source->next();
+      }
       s->hb.idle();
     } catch (const video::SourceError& e) {
       s->hb.idle();
@@ -316,10 +485,13 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
           s.discarded.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        ++s.stats.sdd.in;
+        s.sdd_in.fetch_add(1, std::memory_order_relaxed);
+        hot_.sdd_in->add();
         bool pass;
         try {
           hb.busy();
+          telemetry::ScopedSpan sp(trace(), "sdd.filter", telemetry::Stage::kSdd,
+                                   s.id, item->frame.index);
           pass = s.models.sdd->pass(item->frame.image);
           hb.idle();
         } catch (...) {
@@ -330,7 +502,8 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
           pass = config_.degrade_policy == DegradePolicy::kBypass;
         }
         if (pass) {
-          ++s.stats.sdd.passed;
+          s.sdd_passed.fetch_add(1, std::memory_order_relaxed);
+          hot_.sdd_passed->add();
           // Blocking push: the SNM feedback-queue threshold throttles this
           // worker (other workers keep serving other streams meanwhile).
           if (!s.snm_q.push(std::move(*item))) {
@@ -338,6 +511,7 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
             break;  // closed by quarantine
           }
         } else {
+          hot_.drop_sdd->add();
           s.lat_sdd.add(ms_since(item->ingest));
         }
       }
@@ -377,6 +551,8 @@ void FfsVaInstance::gpu0_loop() {
     Stream& s = *streams_[static_cast<std::size_t>(pick.stream)];
     int served = 0;
     bool progressed = false;
+    telemetry::ScopedSpan span(trace(), "tyolo.batch", telemetry::Stage::kTyolo,
+                               s.id);
     for (int k = 0; k < pick.take && running; ++k) {
       auto item = s.tyolo_q.try_pop();
       if (!item) break;
@@ -385,7 +561,8 @@ void FfsVaInstance::gpu0_loop() {
         s.discarded.fetch_add(1, std::memory_order_relaxed);
         continue;  // drain, but don't run the model or feed admission
       }
-      ++s.stats.tyolo.in;
+      s.tyolo_in.fetch_add(1, std::memory_order_relaxed);
+      hot_.tyolo_in->add();
       bool pass;
       try {
         gpu0_hb_.busy();
@@ -399,13 +576,18 @@ void FfsVaInstance::gpu0_loop() {
       }
       ++served;
       if (pass) {
-        ++s.stats.tyolo.passed;
+        s.tyolo_passed.fetch_add(1, std::memory_order_relaxed);
+        hot_.tyolo_passed->add();
         if (!tyolo_shared_->ref_q.push({s.id, std::move(*item)})) running = false;
       } else {
+        hot_.drop_tyolo->add();
         s.lat_tyolo.add(ms_since(item->ingest));
       }
     }
+    span.set_batch(served);
     if (served > 0) {
+      hot_.tyolo_picks->add();
+      hot_.tyolo_take->record(static_cast<double>(served));
       const double now =
           std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
       tyolo_shared_->admission.on_tyolo_served(now, served);
@@ -461,10 +643,14 @@ void FfsVaInstance::gpu0_loop() {
       did_work = true;
       imgs.clear();
       for (const auto& it : items) imgs.push_back(&it.frame.image);
+      hot_.snm_batches->add();
+      hot_.batch_size->record(static_cast<double>(items.size()));
       std::vector<double> scores;
       bool batch_degraded = false;
       try {
         gpu0_hb_.busy();
+        telemetry::ScopedSpan sp(trace(), "snm.batch", telemetry::Stage::kSnm,
+                                 s.id, -1, static_cast<int>(items.size()));
         scores = s.models.snm->predict_batch(imgs);
         gpu0_hb_.idle();
       } catch (...) {
@@ -476,12 +662,14 @@ void FfsVaInstance::gpu0_loop() {
       }
       const double t_pre = s.models.snm->t_pre();
       for (std::size_t j = 0; j < items.size() && running; ++j) {
-        ++s.stats.snm.in;
+        s.snm_in.fetch_add(1, std::memory_order_relaxed);
+        hot_.snm_in->add();
         const bool pass = batch_degraded
                               ? config_.degrade_policy == DegradePolicy::kBypass
                               : scores[j] >= t_pre;
         if (pass) {
-          ++s.stats.snm.passed;
+          s.snm_passed.fetch_add(1, std::memory_order_relaxed);
+          hot_.snm_passed->add();
           // The executor is also the T-YOLO service, so it must never block
           // on a full T-YOLO queue (it would deadlock against itself): a
           // full queue flips GPU0 over to T-YOLO work until space opens —
@@ -497,6 +685,7 @@ void FfsVaInstance::gpu0_loop() {
             s.discarded.fetch_add(1, std::memory_order_relaxed);
           }
         } else {
+          hot_.drop_snm->add();
           s.lat_snm.add(ms_since(items[j].ingest));
         }
       }
@@ -528,12 +717,15 @@ void FfsVaInstance::reference_loop() {
       s.discarded.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    ++s.stats.ref.in;
+    s.ref_in.fetch_add(1, std::memory_order_relaxed);
+    hot_.ref_in->add();
     // GPU1 is owned by this thread — the paper's device placement, held by
     // construction rather than a lock.
     detect::DetectionResult result;
     try {
       ref_hb_.busy();
+      telemetry::ScopedSpan sp(trace(), "ref.detect", telemetry::Stage::kRef,
+                               s.id, item.frame.index);
       result = s.models.reference->detect(item.frame.image);
       ref_hb_.idle();
     } catch (...) {
@@ -542,12 +734,16 @@ void FfsVaInstance::reference_loop() {
       // evaluate is always dropped (never emitted unvetted), whatever the
       // degrade policy says about the cheap filters.
       s.degraded.fetch_add(1, std::memory_order_relaxed);
+      hot_.drop_ref->add();
       s.lat_ref.add(ms_since(item.ingest));
       continue;
     }
-    ++s.stats.ref.passed;
+    s.ref_passed.fetch_add(1, std::memory_order_relaxed);
+    hot_.ref_passed->add();
+    outputs_count_.fetch_add(1, std::memory_order_relaxed);
     const double latency = ms_since(item.ingest);
     s.lat_ref.add(latency);
+    hot_.output_latency_ms->record(latency);
     OutputEvent ev{std::move(item.frame), std::move(result), latency};
     if (sink_) {
       sink_(ev);
@@ -574,6 +770,8 @@ void FfsVaInstance::quarantine(Stream& s) {
 }
 
 void FfsVaInstance::supervise(Clock::time_point t0) {
+  telemetry::ScopedSpan sp(trace(), "supervise.tick",
+                           telemetry::Stage::kSupervise);
   if (config_.run_deadline_ms > 0 && !deadline_hit_.load(std::memory_order_relaxed) &&
       ms_since(t0) > static_cast<double>(config_.run_deadline_ms)) {
     deadline_hit_.store(true, std::memory_order_relaxed);
@@ -605,6 +803,22 @@ InstanceStats FfsVaInstance::run(bool online) {
   }
   runtime::Stopwatch wall;
   const auto t0 = Clock::now();
+  run_t0_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t0.time_since_epoch())
+                       .count(),
+                   std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  // All registry handles and gauges exist before any stage thread starts —
+  // from here the hot path never touches the registry map.
+  wire_metrics();
+  if (tracing_requested_) trace().enable();
+  if (!metrics_path_.empty()) {
+    exporter_.start_file(metrics_path_, config_.metrics_interval_ms,
+                         metrics_label_);
+  } else if (metrics_sink_ != nullptr) {
+    exporter_.start_stream(metrics_sink_, config_.metrics_interval_ms,
+                           metrics_label_);
+  }
   // Wire the stage wakeups before any thread starts (set_waiter is
   // unsynchronized by contract).
   for (auto& s : streams_) {
@@ -659,6 +873,13 @@ InstanceStats FfsVaInstance::run(bool online) {
   }
   for (auto& t : threads) t.join();
   watchdog.stop();
+  // Stage threads have quiesced: the exporter's final row and the trace
+  // rings now hold the run's closing state. A detached quarantined prefetch
+  // thread may still tick its Stream atomics (surfaced as gauges), which
+  // the final sample reads with the usual relaxed-snapshot caveat.
+  exporter_.stop();
+  if (tracing_requested_) trace().disable();
+  running_.store(false, std::memory_order_release);
 
   InstanceStats out;
   out.wall_sec = wall.elapsed_sec();
@@ -671,6 +892,16 @@ InstanceStats FfsVaInstance::run(bool online) {
     s.stats.prefetch.in = s.prefetch_in.load(std::memory_order_relaxed);
     s.stats.prefetch.passed = s.prefetch_passed.load(std::memory_order_relaxed);
     s.stats.dropped_at_ingest = s.dropped_ingest.load(std::memory_order_relaxed);
+    // Freeze the per-stage counters now that the stage threads are joined;
+    // the atomics exist so snapshot() can read them mid-run.
+    s.stats.sdd.in = s.sdd_in.load(std::memory_order_relaxed);
+    s.stats.sdd.passed = s.sdd_passed.load(std::memory_order_relaxed);
+    s.stats.snm.in = s.snm_in.load(std::memory_order_relaxed);
+    s.stats.snm.passed = s.snm_passed.load(std::memory_order_relaxed);
+    s.stats.tyolo.in = s.tyolo_in.load(std::memory_order_relaxed);
+    s.stats.tyolo.passed = s.tyolo_passed.load(std::memory_order_relaxed);
+    s.stats.ref.in = s.ref_in.load(std::memory_order_relaxed);
+    s.stats.ref.passed = s.ref_passed.load(std::memory_order_relaxed);
     s.stats.fault.decode_errors = s.decode_errors.load(std::memory_order_relaxed);
     s.stats.fault.retries = s.retries.load(std::memory_order_relaxed);
     s.stats.fault.restarts = s.restarts.load(std::memory_order_relaxed);

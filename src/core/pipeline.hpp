@@ -28,6 +28,7 @@
 // objects (src/core/policies.hpp) under virtual time.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -42,6 +43,8 @@
 #include "runtime/bounded_queue.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/supervision.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 #include "video/source.hpp"
 
 namespace ffsva::core {
@@ -112,6 +115,52 @@ struct InstanceStats {
   StreamStats aggregate() const;
 };
 
+/// Point-in-time view of one stream, safe to take while the run is live.
+/// Every field is read from a relaxed atomic (or a mutex-guarded queue
+/// depth), so a mid-run snapshot is internally *approximate* — counters may
+/// be skewed by in-flight frames — and exact once run() has returned.
+struct StreamSnapshot {
+  int id = 0;
+  std::uint64_t prefetch_in = 0;
+  std::uint64_t prefetch_passed = 0;
+  std::uint64_t dropped_at_ingest = 0;
+  std::uint64_t sdd_in = 0, sdd_passed = 0;
+  std::uint64_t snm_in = 0, snm_passed = 0;
+  std::uint64_t tyolo_in = 0, tyolo_passed = 0;
+  std::uint64_t ref_in = 0, ref_passed = 0;
+  std::size_t sdd_queue_depth = 0;
+  std::size_t snm_queue_depth = 0;
+  std::size_t tyolo_queue_depth = 0;
+  FaultStats fault;
+};
+
+/// Instance-wide live snapshot: the observable state a control plane (the
+/// metrics exporter, ClusterManager re-forwarding) polls during a run.
+struct InstanceSnapshot {
+  bool running = false;  ///< A run() is currently in flight.
+  double t_sec = 0.0;    ///< Seconds since run() started (0 before).
+  std::vector<StreamSnapshot> streams;
+  std::size_t ref_queue_depth = 0;
+  std::uint64_t outputs = 0;          ///< Frames emitted by the reference stage.
+  HealthSummary health;               ///< Mid-run rollup (same caveats as above).
+
+  /// Total frames served by the T-YOLO stage across streams (the cluster
+  /// admission signal: its rate of change is the T-YOLO service speed).
+  std::uint64_t tyolo_served() const {
+    std::uint64_t n = 0;
+    for (const auto& s : streams) n += s.tyolo_in;
+    return n;
+  }
+  /// Largest filter-queue depth across streams (overload indicator).
+  std::size_t max_queue_depth() const {
+    std::size_t d = 0;
+    for (const auto& s : streams) {
+      d = std::max({d, s.sdd_queue_depth, s.snm_queue_depth, s.tyolo_queue_depth});
+    }
+    return d;
+  }
+};
+
 class FfsVaInstance {
  public:
   explicit FfsVaInstance(FfsVaConfig config);
@@ -153,6 +202,34 @@ class FfsVaInstance {
   const FfsVaConfig& config() const { return config_; }
   int num_streams() const { return static_cast<int>(streams_.size()); }
 
+  // --- live telemetry ------------------------------------------------------
+
+  /// Thread-safe live snapshot: callable from any thread before, during, or
+  /// after run(). Mid-run values are relaxed-atomic reads (see
+  /// StreamSnapshot); after run() returns they match the InstanceStats.
+  InstanceSnapshot snapshot() const;
+
+  /// The instance's metrics registry (counters/gauges/histograms the stage
+  /// threads record into). Snapshot it directly, or let the exporter below
+  /// sample it.
+  telemetry::Registry& metrics() { return metrics_; }
+
+  /// Sample the registry every config.metrics_interval_ms during run() and
+  /// append JSONL rows to `path` (append mode). Call before run(); false if
+  /// the file cannot be opened (export then stays off).
+  bool enable_metrics_export(const std::string& path, std::string label = {});
+  /// Same, into a caller-owned stream that must outlive run().
+  void enable_metrics_export(std::ostream* sink, std::string label = {});
+
+  /// Arm per-stage trace spans for the next run() (recorded into
+  /// telemetry::TraceBuffer::global(); enabling resets that buffer). Export
+  /// with export_trace() after run() returns.
+  void enable_tracing(bool on = true) { tracing_requested_ = on; }
+
+  /// Write the spans recorded by the last traced run() as chrome://tracing
+  /// JSON. Call after run() returns (spans are exact once stages quiesce).
+  bool export_trace(const std::string& path) const;
+
  private:
   struct Stream;
 
@@ -172,6 +249,10 @@ class FfsVaInstance {
   /// Resolved SDD pool size: config.sdd_workers, or the FFSVA_THREADS
   /// compute parallelism, capped by the stream count.
   int sdd_pool_size() const;
+
+  /// Register the run's gauges (queue depths, fault counters, supervision
+  /// state) and cache the hot-path counter/histogram handles.
+  void wire_metrics();
 
   FfsVaConfig config_;
   std::vector<std::shared_ptr<Stream>> streams_;
@@ -199,6 +280,43 @@ class FfsVaInstance {
 
   struct TYoloShared;
   std::unique_ptr<TYoloShared> tyolo_shared_;
+
+  // Telemetry. The registry lives in the instance (stage threads join
+  // before run() returns, so instance lifetime covers every recorder
+  // except the detached quarantined prefetch thread — which therefore
+  // reports only through its Stream's atomics, surfaced here as gauges).
+  telemetry::Registry metrics_;
+  telemetry::MetricsExporter exporter_{metrics_};
+  std::ostream* metrics_sink_ = nullptr;
+  std::string metrics_path_;
+  std::string metrics_label_;
+  bool tracing_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> run_t0_ns_{0};
+  std::atomic<std::uint64_t> outputs_count_{0};
+
+  /// Hot-path handles, resolved once in wire_metrics() so stage loops never
+  /// touch the registry map.
+  struct Hot {
+    telemetry::Counter* sdd_in = nullptr;
+    telemetry::Counter* sdd_passed = nullptr;
+    telemetry::Counter* snm_in = nullptr;
+    telemetry::Counter* snm_passed = nullptr;
+    telemetry::Counter* tyolo_in = nullptr;
+    telemetry::Counter* tyolo_passed = nullptr;
+    telemetry::Counter* ref_in = nullptr;
+    telemetry::Counter* ref_passed = nullptr;
+    telemetry::Counter* drop_sdd = nullptr;
+    telemetry::Counter* drop_snm = nullptr;
+    telemetry::Counter* drop_tyolo = nullptr;
+    telemetry::Counter* drop_ref = nullptr;
+    telemetry::Counter* snm_batches = nullptr;
+    telemetry::Counter* tyolo_picks = nullptr;
+    telemetry::AtomicHistogram* batch_size = nullptr;
+    telemetry::AtomicHistogram* tyolo_take = nullptr;
+    telemetry::AtomicHistogram* output_latency_ms = nullptr;
+  };
+  Hot hot_;
 };
 
 /// The paper's baseline: every frame of every stream goes straight to the

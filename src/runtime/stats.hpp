@@ -60,12 +60,17 @@ class Histogram {
   /// One-line summary, e.g. "n=1000 mean=3.2 p50=3.0 p99=9.7 max=12.1".
   std::string summary() const;
 
- private:
   static constexpr int kSubBucketsLog2 = 5;  // 32 sub-buckets per octave
   static constexpr int kSubBuckets = 1 << kSubBucketsLog2;
+  static constexpr std::size_t kBuckets = 64 * kSubBuckets;
+
+  /// The bucketing scheme, exposed so other recorders (the telemetry
+  /// registry's lock-free AtomicHistogram) can share it and stay mergeable
+  /// with this class bucket-for-bucket.
   static std::size_t bucket_index(double value);
   static double bucket_value(std::size_t index);
 
+ private:
   std::vector<std::uint64_t> buckets_;
   RunningStats stats_;
 };

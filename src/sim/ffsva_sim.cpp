@@ -7,6 +7,8 @@
 
 #include "core/policies.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/spans.hpp"
 
 namespace ffsva::sim {
 
@@ -20,6 +22,12 @@ struct SimFrame {
 /// Model-id space for the GPU0 switch accounting: stream i's SNM has id i,
 /// the shared T-YOLO has a single id past all SNMs.
 constexpr std::int64_t kTyoloModelBase = 1'000'000;
+
+/// Trace lanes for virtual-time spans (the simulator has no real threads,
+/// so resources play the role of timeline rows).
+constexpr std::uint32_t kLaneGpu0 = 1;
+constexpr std::uint32_t kLaneGpu1 = 2;
+constexpr std::uint32_t kLaneCpu = 3;
 
 struct SimStream {
   int id = 0;
@@ -75,11 +83,99 @@ class FfsVaSimulation {
     }
     ref_loop();
     wake_tyolo();
+    if (setup_.metrics_sink != nullptr) {
+      const double interval =
+          std::max(1, setup_.metrics_interval_ms) * 1e-3;
+      schedule_metrics_tick(interval, interval);
+    }
     engine_.run();
+    if (setup_.metrics_sink != nullptr) emit_metrics_row();  // closing state
     return collect();
   }
 
  private:
+  // ----------------------------------------------------------- telemetry --
+  /// Record one completed unit of simulated work as a span ending *now* in
+  /// virtual time. No-op without a trace buffer.
+  void record_span(const char* name, telemetry::Stage stage, int stream,
+                   int batch, double exec_sec, std::uint32_t lane) {
+    if (setup_.trace == nullptr) return;
+    telemetry::Span sp;
+    sp.name = name;
+    sp.stage = stage;
+    sp.stream = stream;
+    sp.batch = batch;
+    sp.t_end_us = static_cast<std::int64_t>(engine_.now() * 1e6);
+    sp.t_start_us =
+        sp.t_end_us - std::max<std::int64_t>(
+                          1, static_cast<std::int64_t>(exec_sec * 1e6));
+    sp.tid = lane;
+    setup_.trace->record(sp);
+  }
+
+  /// Virtual-time sampler: the engine-exporter's JSONL schema driven by the
+  /// simulation clock instead of a thread.
+  void schedule_metrics_tick(double at, double interval) {
+    engine_.at(at, [this, at, interval] {
+      emit_metrics_row();
+      if (!ref_closed_) schedule_metrics_tick(at + interval, interval);
+    });
+  }
+
+  telemetry::MetricsSnapshot metrics_snapshot() const {
+    telemetry::MetricsSnapshot s;
+    std::int64_t sdd_in = 0, sdd_pass = 0, snm_in = 0, snm_pass = 0;
+    std::int64_t ty_in = 0, ty_pass = 0, outputs = 0, dropped = 0;
+    std::size_t q_sdd = 0, q_snm = 0, q_ty = 0;
+    for (const auto& st : streams_) {
+      sdd_in += st->stats.sdd_in;
+      sdd_pass += st->stats.sdd_pass;
+      snm_in += st->stats.snm_in;
+      snm_pass += st->stats.snm_pass;
+      ty_in += st->stats.tyolo_in;
+      ty_pass += st->stats.tyolo_pass;
+      outputs += st->stats.outputs;
+      dropped += st->stats.dropped;
+      q_sdd += st->sdd_q.depth();
+      q_snm += st->snm_q.depth();
+      q_ty += st->tyolo_q.depth();
+    }
+    const auto c = [&s](const char* name, std::int64_t v) {
+      s.counters.emplace_back(name, static_cast<std::uint64_t>(v));
+    };
+    // Same names as the engine registry so downstream tooling reads both.
+    c("drop.ingest", dropped);
+    c("drop.sdd", sdd_in - sdd_pass);
+    c("drop.snm", snm_in - snm_pass);
+    c("drop.tyolo", ty_in - ty_pass);
+    c("executor.snm_batches", snm_batches_);
+    c("ref.passed", outputs);
+    c("sdd.in", sdd_in);
+    c("sdd.passed", sdd_pass);
+    c("snm.in", snm_in);
+    c("snm.passed", snm_pass);
+    c("tyolo.in", ty_in);
+    c("tyolo.passed", ty_pass);
+    s.gauges.emplace_back("queue.ref", static_cast<double>(ref_q_.depth()));
+    s.gauges.emplace_back("queue.sdd", static_cast<double>(q_sdd));
+    s.gauges.emplace_back("queue.snm", static_cast<double>(q_snm));
+    s.gauges.emplace_back("queue.tyolo", static_cast<double>(q_ty));
+    return s;
+  }
+
+  void emit_metrics_row() {
+    const double t = engine_.now();
+    telemetry::MetricsSnapshot cur = metrics_snapshot();
+    const double dt = t - last_metrics_t_;
+    if (dt <= 0.0 && have_metrics_prev_) return;  // nothing elapsed
+    *setup_.metrics_sink << telemetry::metrics_jsonl_row(
+                                cur, have_metrics_prev_ ? &metrics_prev_ : nullptr,
+                                t, dt, setup_.metrics_label)
+                         << '\n';
+    metrics_prev_ = std::move(cur);
+    last_metrics_t_ = t;
+    have_metrics_prev_ = true;
+  }
   // ----------------------------------------------------------- prefetch --
   void start_online_prefetch(SimStream& s) {
     const double interval = 1.0 / setup_.config.online_fps;
@@ -116,6 +212,8 @@ class FfsVaSimulation {
     // Decode on a CPU core, then hand the frame to the SDD queue (blocking:
     // the decoder thread stalls while the pipeline is full — feedback).
     cpu_.submit(setup_.costs.decode_us * 1e-6, [this, &s] {
+      record_span("decode", telemetry::Stage::kPrefetch, s.id, 0,
+                  setup_.costs.decode_us * 1e-6, kLaneCpu);
       SimFrame f{engine_.now(), s.outcomes->next()};
       ++s.stats.ingested;
       s.sdd_q.push_wait(f, [this, &s] { offline_prefetch_next(s); });
@@ -132,7 +230,9 @@ class FfsVaSimulation {
       ++s.stats.sdd_in;
       const double service =
           (setup_.costs.sdd.resize_us + setup_.costs.sdd.per_frame_us) * 1e-6;
-      cpu_.submit(service, [this, &s, fr = *f] {
+      cpu_.submit(service, [this, &s, service, fr = *f] {
+        record_span("sdd.filter", telemetry::Stage::kSdd, s.id, 0, service,
+                    kLaneCpu);
         if (fr.outcome == core::FilteredAt::kSdd) {
           terminal(fr);
           sdd_loop(s);
@@ -180,7 +280,9 @@ class FfsVaSimulation {
           static_cast<double>(batch.size()) *
               (setup_.costs.snm.per_frame_us + setup_.costs.snm.resize_us);
       gpu0_.submit(s.id, setup_.costs.snm.switch_ms, exec_us,
-                   [this, &s, batch = std::move(batch)]() mutable {
+                   [this, &s, exec_us, batch = std::move(batch)]() mutable {
+        record_span("snm.batch", telemetry::Stage::kSnm, s.id,
+                    static_cast<int>(batch.size()), exec_us * 1e-6, kLaneGpu0);
         deliver_snm_outputs(s, std::move(batch), 0);
       });
     });
@@ -241,7 +343,9 @@ class FfsVaSimulation {
         static_cast<double>(batch.size()) *
             (setup_.costs.tyolo.per_frame_us + setup_.costs.tyolo.resize_us);
     gpu0_.submit(kTyoloModelBase, setup_.costs.tyolo.switch_ms, exec_us,
-                 [this, &s, batch = std::move(batch)]() mutable {
+                 [this, &s, exec_us, batch = std::move(batch)]() mutable {
+      record_span("tyolo.batch", telemetry::Stage::kTyolo, s.id,
+                  static_cast<int>(batch.size()), exec_us * 1e-6, kLaneGpu0);
       tyolo_served_ += static_cast<std::int64_t>(batch.size());
       admission_.on_tyolo_served(engine_.now(), static_cast<int>(batch.size()));
       deliver_tyolo_outputs(s, std::move(batch), 0);
@@ -275,7 +379,9 @@ class FfsVaSimulation {
                              setup_.costs.ref.per_frame_us +
                              setup_.costs.ref.resize_us;
       gpu1_.submit(0, setup_.costs.ref.switch_ms, exec_us,
-                   [this, stream_id, fr] {
+                   [this, stream_id, exec_us, fr] {
+        record_span("ref.detect", telemetry::Stage::kRef, stream_id, 0,
+                    exec_us * 1e-6, kLaneGpu1);
         SimStream& s = *streams_[static_cast<std::size_t>(stream_id)];
         ++s.stats.outputs;
         const double latency_ms = (engine_.now() - fr.arrival) * 1e3;
@@ -341,6 +447,9 @@ class FfsVaSimulation {
   std::int64_t snm_batched_frames_ = 0;
   runtime::Histogram output_latency_;
   runtime::Histogram terminal_latency_;
+  telemetry::MetricsSnapshot metrics_prev_;
+  double last_metrics_t_ = 0.0;
+  bool have_metrics_prev_ = false;
 };
 
 }  // namespace

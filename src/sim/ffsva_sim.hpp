@@ -13,12 +13,18 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <string>
 
 #include "core/config.hpp"
 #include "detect/cost_model.hpp"
 #include "runtime/stats.hpp"
 #include "sim/outcome.hpp"
+
+namespace ffsva::telemetry {
+class TraceBuffer;
+}
 
 namespace ffsva::sim {
 
@@ -42,6 +48,18 @@ struct SimSetup {
   std::int64_t frames_per_stream = 5000;
   /// Factory for each stream's per-frame outcomes.
   std::function<std::unique_ptr<OutcomeSource>(int stream)> make_outcomes;
+
+  // --- telemetry (virtual-time) --------------------------------------------
+  /// When set, stage completions are recorded as spans with *virtual*
+  /// timestamps (lanes: tid 1 = GPU0, 2 = GPU1, 3 = CPU pool). The caller
+  /// owns the buffer and must enable() it; export with write_chrome_trace.
+  telemetry::TraceBuffer* trace = nullptr;
+  /// When set, one metrics JSONL row (same schema as the engine's live
+  /// exporter) is appended per metrics_interval_ms of *virtual* time, plus
+  /// a final row when the run drains.
+  std::ostream* metrics_sink = nullptr;
+  int metrics_interval_ms = 100;
+  std::string metrics_label;
 };
 
 struct SimStreamStats {

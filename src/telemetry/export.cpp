@@ -1,0 +1,165 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace ffsva::telemetry {
+
+namespace {
+/// Doubles formatted compactly; JSON forbids nan/inf, map them to 0.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+}  // namespace
+
+std::string metrics_jsonl_row(const MetricsSnapshot& cur,
+                              const MetricsSnapshot* prev, double t_sec,
+                              double dt_sec, const std::string& label) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"t_sec\":";
+  append_number(out, t_sec);
+  if (!label.empty()) {
+    out += ",\"label\":\"";
+    out += label;  // labels are caller-controlled identifiers, not user text
+    out += '"';
+  }
+
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < cur.counters.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += cur.counters[i].first;
+    out += "\":";
+    out += std::to_string(cur.counters[i].second);
+  }
+  out += '}';
+
+  // Rates: per-counter delta over the sampling interval. With a null prev
+  // the whole run so far is the interval (first row).
+  out += ",\"rates\":{";
+  bool first = true;
+  for (const auto& [name, value] : cur.counters) {
+    const std::uint64_t before = prev ? prev->counter_or(name) : 0;
+    if (dt_sec <= 0.0) break;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_number(out, static_cast<double>(value - std::min(before, value)) / dt_sec);
+  }
+  out += '}';
+
+  out += ",\"gauges\":{";
+  for (std::size_t i = 0; i < cur.gauges.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += cur.gauges[i].first;
+    out += "\":";
+    append_number(out, cur.gauges[i].second);
+  }
+  out += '}';
+
+  out += ",\"hist\":{";
+  for (std::size_t i = 0; i < cur.histograms.size(); ++i) {
+    const auto& [name, h] = cur.histograms[i];
+    if (i) out += ',';
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"mean\":";
+    append_number(out, h.mean());
+    out += ",\"p50\":";
+    append_number(out, h.quantile(0.50));
+    out += ",\"p99\":";
+    append_number(out, h.quantile(0.99));
+    out += ",\"max\":";
+    append_number(out, h.max);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsExporter::start_file(const std::string& path, int interval_ms,
+                                 std::string label) {
+  stop();
+  file_.open(path, std::ios::app);
+  if (!file_) return false;
+  sink_ = &file_;
+  start(interval_ms, std::move(label));
+  return true;
+}
+
+void MetricsExporter::start_stream(std::ostream* sink, int interval_ms,
+                                   std::string label) {
+  stop();
+  sink_ = sink;
+  start(interval_ms, std::move(label));
+}
+
+void MetricsExporter::start(int interval_ms, std::string label) {
+  label_ = std::move(label);
+  stopping_ = false;
+  samples_ = 0;
+  have_prev_ = false;
+  prev_t_sec_ = 0.0;
+  t0_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this, interval_ms] { loop(std::max(1, interval_ms)); });
+}
+
+void MetricsExporter::loop(int interval_ms) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (cv_.wait_for(lk, std::chrono::milliseconds(interval_ms),
+                     [&] { return stopping_; })) {
+      return;  // final sample is taken by stop() after the join
+    }
+    lk.unlock();
+    sample_once();
+    lk.lock();
+  }
+}
+
+void MetricsExporter::sample_once() {
+  if (!sink_) return;
+  const double t_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  MetricsSnapshot cur = registry_.snapshot();
+  const double dt = t_sec - (have_prev_ ? prev_t_sec_ : 0.0);
+  *sink_ << metrics_jsonl_row(cur, have_prev_ ? &prev_ : nullptr, t_sec, dt,
+                              label_)
+         << '\n';
+  prev_ = std::move(cur);
+  prev_t_sec_ = t_sec;
+  have_prev_ = true;
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsExporter::stop() {
+  if (thread_.joinable()) {
+    {
+      std::lock_guard lk(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    sample_once();  // the run's closing state always lands in the sink
+    sink_->flush();
+  }
+  if (file_.is_open()) file_.close();
+  sink_ = nullptr;
+}
+
+}  // namespace ffsva::telemetry

@@ -1,0 +1,82 @@
+// Live metrics export: a sampler thread that periodically snapshots a
+// Registry and appends one JSON object per sample to a sink (JSONL).
+//
+// Each row carries the sample time, every counter (cumulative), per-counter
+// rates over the sampling interval (this is where per-stage FPS and drop
+// rates come from), every gauge (instantaneous: queue depths, prefetch-side
+// cumulative counters kept as stream atomics), and a summary of every
+// histogram (count/mean/p50/p99/max). The sampler takes one final sample on
+// stop(), so short runs still produce at least one row.
+//
+// The exporter owns no metric state — it is safe to start before the
+// pipeline's threads and must be stopped before the Registry (or anything
+// its gauge callbacks read) is destroyed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace ffsva::telemetry {
+
+/// Serialize one sample as a single-line JSON object (no trailing newline).
+/// `dt_sec` is the time since the previous sample (rates denominator);
+/// `prev` may be null for the first sample (rates then span [0, t]).
+std::string metrics_jsonl_row(const MetricsSnapshot& cur,
+                              const MetricsSnapshot* prev, double t_sec,
+                              double dt_sec, const std::string& label);
+
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(Registry& registry) : registry_(registry) {}
+  ~MetricsExporter() { stop(); }
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Start sampling every `interval_ms` into a file (append mode, so one
+  /// archive can hold several runs). False if the file cannot be opened.
+  bool start_file(const std::string& path, int interval_ms,
+                  std::string label = {});
+
+  /// Start sampling into a caller-owned stream (must outlive stop()).
+  void start_stream(std::ostream* sink, int interval_ms, std::string label = {});
+
+  /// Stop the sampler: takes one final sample, flushes, joins. Idempotent.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void start(int interval_ms, std::string label);
+  void loop(int interval_ms);
+  void sample_once();
+
+  Registry& registry_;
+  std::ofstream file_;
+  std::ostream* sink_ = nullptr;
+  std::string label_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> samples_{0};
+  bool have_prev_ = false;
+  MetricsSnapshot prev_;
+  double prev_t_sec_ = 0.0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace ffsva::telemetry

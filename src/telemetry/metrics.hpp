@@ -1,0 +1,170 @@
+// Lock-free metrics registry: named counters, gauges, and histograms whose
+// hot-path recording is wait-free, allocation-free, and contention-sharded,
+// with snapshot-on-demand merge for samplers and control planes.
+//
+// The engine's control decisions (feedback throttling, `num_tyolo`
+// scheduling, Section 4.3.1 re-forwarding) all hinge on runtime signals —
+// queue depths, per-stage service rates, drop rates — that must be
+// observable *while the pipeline runs*, at a cost the pipeline cannot feel.
+// The design follows the usual production-telemetry split:
+//
+//  * Counter   — monotonic event count. add() is one relaxed fetch_add on a
+//    per-thread shard cell (cache-line padded, thread slot assigned once per
+//    thread), so concurrent writers never touch the same cache line;
+//    value() merges the shards with relaxed loads. Totals are exact once
+//    writers quiesce and monotonically non-decreasing while they run.
+//  * Gauge     — an instantaneous value polled at snapshot time via a
+//    callback (a queue depth, a cumulative counter kept elsewhere as an
+//    atomic). Registering costs a lock; the hot path never sees a gauge.
+//  * AtomicHistogram — log-bucketed distribution (the exact bucketing
+//    scheme of runtime::Histogram) over shared atomic buckets. record() is
+//    two relaxed fetch_adds plus CAS min/max — lock-free and alloc-free;
+//    batch-size and service-time distributions record at batch rate, so
+//    bucket contention is negligible.
+//
+// Registration (counter()/gauge()/histogram()) takes the registry mutex and
+// may allocate; callers hold the returned reference, which stays valid for
+// the registry's lifetime. snapshot() walks everything under the same mutex
+// and returns plain merged values.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/stats.hpp"
+
+namespace ffsva::telemetry {
+
+/// Small dense id for the calling thread, assigned on first use. Shared by
+/// every sharded metric (and the trace recorder's tid), so one process has
+/// one stable thread numbering.
+std::uint32_t thread_slot();
+
+/// Monotonic event counter, sharded to keep concurrent writers off each
+/// other's cache lines.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Wait-free, alloc-free; safe from any thread.
+  void add(std::uint64_t n = 1) {
+    cells_[thread_slot() % kShards].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Merged total. Exact once writers quiesce; while they run, a sum that
+  /// never decreases and never exceeds the true count at read completion.
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_;
+};
+
+/// Instantaneous value, read via callback at snapshot time only.
+class Gauge {
+ public:
+  using Fn = std::function<double()>;
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set_fn(Fn fn) { fn_ = std::move(fn); }
+  double value() const { return fn_ ? fn_() : 0.0; }
+
+ private:
+  Fn fn_;
+};
+
+/// Plain merged view of one histogram at snapshot time.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< runtime::Histogram bucketing.
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Same semantics as runtime::Histogram::quantile (bucket representative
+  /// clamped into [min, max]).
+  double quantile(double q) const;
+};
+
+/// Log-bucketed histogram over shared atomic buckets. record() is lock-free
+/// and alloc-free from any thread; snapshot() is a relaxed walk that is
+/// exact once writers quiesce.
+class AtomicHistogram {
+ public:
+  AtomicHistogram();
+  AtomicHistogram(const AtomicHistogram&) = delete;
+  AtomicHistogram& operator=(const AtomicHistogram&) = delete;
+
+  void record(double value);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Everything the registry holds, merged into plain values. Entries are
+/// sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  std::uint64_t counter_or(std::string_view name, std::uint64_t fallback = 0) const;
+  double gauge_or(std::string_view name, double fallback = 0.0) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Named metric registry. Handles returned by counter()/gauge()/histogram()
+/// are stable for the registry's lifetime; repeated registration of a name
+/// returns the same instance (a gauge's callback is replaced if a new one
+/// is supplied).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name, Gauge::Fn fn = nullptr);
+  AtomicHistogram& histogram(const std::string& name);
+
+  /// Merge every metric into plain values. Safe concurrently with recording
+  /// (counters/histograms are relaxed reads); gauge callbacks run on the
+  /// calling thread and must themselves be thread-safe.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<AtomicHistogram>> histograms_;
+};
+
+}  // namespace ffsva::telemetry

@@ -1,0 +1,156 @@
+#include "telemetry/spans.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/metrics.hpp"
+
+namespace ffsva::telemetry {
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kPrefetch: return "prefetch";
+    case Stage::kSdd: return "sdd";
+    case Stage::kSnm: return "snm";
+    case Stage::kTyolo: return "tyolo";
+    case Stage::kRef: return "ref";
+    case Stage::kExecutor: return "executor";
+    case Stage::kSupervise: return "supervise";
+    case Stage::kSim: return "sim";
+  }
+  return "?";
+}
+
+struct TraceBuffer::Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+  std::vector<Span> slots;
+  /// Total spans ever written; slot = head % capacity. Published with
+  /// release so collect() (acquire) sees completed slot writes.
+  std::atomic<std::uint64_t> head{0};
+  std::uint32_t tid = 0;
+};
+
+namespace {
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread ring cache, keyed by buffer *identity* (a process-unique id,
+/// not the address — a new buffer reusing a dead one's address must not
+/// resurrect its rings) so several TraceBuffers (the global engine one, a
+/// simulator-owned one) can coexist on one thread.
+std::atomic<std::uint64_t> g_next_buffer_id{1};
+
+struct RingCache {
+  std::uint64_t buffer_id = 0;
+  TraceBuffer::Ring* ring = nullptr;
+};
+thread_local RingCache t_ring_cache;
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      id_(g_next_buffer_id.fetch_add(1, std::memory_order_relaxed)) {
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+TraceBuffer::~TraceBuffer() = default;
+
+void TraceBuffer::enable() {
+  std::lock_guard lk(mu_);
+  for (auto& r : rings_) r->head.store(0, std::memory_order_relaxed);
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceBuffer::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::int64_t TraceBuffer::now_us() const {
+  return (steady_ns() - epoch_ns_.load(std::memory_order_relaxed)) / 1000;
+}
+
+TraceBuffer::Ring* TraceBuffer::ring_for_this_thread() {
+  const std::uint32_t tid = thread_slot();
+  std::lock_guard lk(mu_);
+  // A thread that alternated to another buffer and back finds its old ring.
+  for (auto& r : rings_) {
+    if (r->tid == tid) return r.get();
+  }
+  auto ring = std::make_unique<Ring>(ring_capacity_);
+  ring->tid = tid;
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  return raw;
+}
+
+void TraceBuffer::record(const Span& span) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  RingCache& cache = t_ring_cache;
+  if (cache.buffer_id != id_) {
+    cache.buffer_id = id_;
+    cache.ring = ring_for_this_thread();
+  }
+  Ring& r = *cache.ring;
+  const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+  Span& slot = r.slots[static_cast<std::size_t>(h % r.slots.size())];
+  slot = span;
+  if (slot.tid == 0) slot.tid = r.tid;
+  r.head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<Span> TraceBuffer::collect() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& r : rings_) {
+      const std::uint64_t head = r->head.load(std::memory_order_acquire);
+      const std::uint64_t n =
+          std::min<std::uint64_t>(head, r->slots.size());
+      for (std::uint64_t i = head - n; i < head; ++i) {
+        out.push_back(r->slots[static_cast<std::size_t>(i % r->slots.size())]);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.t_start_us < b.t_start_us;
+  });
+  return out;
+}
+
+void TraceBuffer::write_chrome_trace(std::ostream& os) const {
+  const auto spans = collect();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"ffsva\"}}";
+  for (const auto& s : spans) {
+    os << ",\n{\"name\":\"" << s.name << "\",\"cat\":\"" << to_string(s.stage)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
+       << ",\"ts\":" << s.t_start_us
+       << ",\"dur\":" << std::max<std::int64_t>(1, s.t_end_us - s.t_start_us)
+       << ",\"args\":{";
+    os << "\"stream\":" << s.stream;
+    if (s.frame >= 0) os << ",\"frame\":" << s.frame;
+    if (s.batch > 0) os << ",\"batch\":" << s.batch;
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool TraceBuffer::write_chrome_trace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+TraceBuffer& TraceBuffer::global() {
+  // Leaked on purpose: a detached (quarantined) prefetch thread may record
+  // into the global buffer during process teardown.
+  static TraceBuffer* instance = new TraceBuffer();
+  return *instance;
+}
+
+}  // namespace ffsva::telemetry

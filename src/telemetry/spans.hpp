@@ -1,0 +1,147 @@
+// Per-stage trace spans: a per-thread ring-buffer recorder with a runtime
+// on/off toggle and a chrome://tracing / Perfetto-loadable JSON exporter.
+//
+// Every pipeline stage wraps its unit of work (a decode, a filter call, an
+// executor batch) in a ScopedSpan; when tracing is disabled the whole
+// mechanism costs one relaxed load per span. When enabled, finishing a span
+// writes one fixed-size record into the calling thread's ring — no locks,
+// no allocation after the thread's first span (ring registration) — so the
+// recorder is safe on the zero-alloc inference hot path. Rings overwrite
+// their oldest records, bounding memory to O(threads * ring capacity): a
+// trace holds the *tail* of a run, which is what a timeline viewer needs.
+//
+// Contract: enable() must not race with recorders (the engine arms tracing
+// before its stage threads start); collect()/write_chrome_trace() are exact
+// after recorders quiesce (the engine exports after joining its stages) and
+// otherwise may miss or skip in-flight records, never crash. Timestamps are
+// microseconds since enable(); the simulator records spans with *virtual*
+// timestamps through the same record() call.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ffsva::telemetry {
+
+/// Which pipeline stage a span belongs to (the chrome-trace category).
+enum class Stage : std::uint8_t {
+  kPrefetch = 0,
+  kSdd,
+  kSnm,
+  kTyolo,
+  kRef,
+  kExecutor,
+  kSupervise,
+  kSim,
+};
+
+const char* to_string(Stage s);
+
+struct Span {
+  const char* name = "";      ///< Static string (never owned).
+  Stage stage = Stage::kSim;
+  int stream = -1;            ///< Stream id, -1 when not stream-scoped.
+  std::int64_t frame = -1;    ///< Frame index, -1 when batch-scoped.
+  int batch = 0;              ///< Batch size, 0 when frame-scoped.
+  std::int64_t t_start_us = 0;
+  std::int64_t t_end_us = 0;
+  std::uint32_t tid = 0;      ///< telemetry::thread_slot() of the recorder.
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t ring_capacity = 1 << 14);
+  ~TraceBuffer();
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Arm recording: resets every ring and the timestamp epoch. Must not
+  /// race with recorders.
+  void enable();
+  /// Disarm recording; subsequent record() calls return immediately.
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the last enable() (steady clock).
+  std::int64_t now_us() const;
+
+  /// Append one span to the calling thread's ring. Lock-free and alloc-free
+  /// after the thread's first call; a no-op while disabled.
+  void record(const Span& span);
+
+  /// All recorded spans, oldest first. Exact after recorders quiesce.
+  std::vector<Span> collect() const;
+
+  /// Write the spans as a chrome://tracing "traceEvents" JSON document
+  /// (load in chrome://tracing or https://ui.perfetto.dev).
+  void write_chrome_trace(std::ostream& os) const;
+  /// Same, to a file; false if the file cannot be opened.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Process-wide buffer used by the threaded engine (a detached
+  /// quarantined prefetch thread may outlive its instance, so the engine
+  /// cannot own the rings its threads record into).
+  static TraceBuffer& global();
+
+  /// One thread's span ring; public only so the thread-local ring cache in
+  /// the implementation file can name it.
+  struct Ring;
+
+ private:
+  Ring* ring_for_this_thread();
+
+  const std::size_t ring_capacity_;
+  std::uint64_t id_ = 0;  ///< Process-unique identity for thread ring caches.
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> epoch_ns_{0};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: stamps start at construction, records at destruction. All
+/// decisions are taken against the buffer's enabled() at construction, so a
+/// disabled trace costs one relaxed load.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceBuffer& buf, const char* name, Stage stage, int stream = -1,
+             std::int64_t frame = -1, int batch = 0)
+      : buf_(buf.enabled() ? &buf : nullptr) {
+    if (buf_) {
+      span_.name = name;
+      span_.stage = stage;
+      span_.stream = stream;
+      span_.frame = frame;
+      span_.batch = batch;
+      span_.t_start_us = buf_->now_us();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Batch size is often known only after the work (e.g. frames actually
+  /// popped); settable until destruction.
+  void set_batch(int batch) {
+    if (buf_) span_.batch = batch;
+  }
+
+  ~ScopedSpan() {
+    if (buf_) {
+      span_.t_end_us = buf_->now_us();
+      buf_->record(span_);
+    }
+  }
+
+ private:
+  TraceBuffer* buf_;
+  Span span_;
+};
+
+}  // namespace ffsva::telemetry

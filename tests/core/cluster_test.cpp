@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/pipeline.hpp"
+
 namespace ffsva::core {
 namespace {
 
@@ -107,6 +109,125 @@ TEST(ClusterManager, OverloadSignalDecaysAndReforwardStops) {
   EXPECT_TRUE(cm.instance_overloaded(0, 6.5));
   EXPECT_FALSE(cm.instance_overloaded(0, 8.0));  // decayed
   EXPECT_FALSE(cm.next_reforward(8.0).has_value());
+}
+
+// --- report_snapshot: the live-engine reporting path ----------------------
+
+/// A snapshot with `streams` streams, each having served `tyolo_in` frames,
+/// with every queue at `queue_depth`.
+InstanceSnapshot snap_of(int streams, std::uint64_t tyolo_in,
+                         std::size_t queue_depth = 0, int quarantined = 0) {
+  InstanceSnapshot snap;
+  for (int i = 0; i < streams; ++i) {
+    StreamSnapshot s;
+    s.id = i;
+    s.tyolo_in = tyolo_in;
+    s.snm_queue_depth = queue_depth;
+    s.tyolo_queue_depth = queue_depth;
+    snap.streams.push_back(s);
+  }
+  snap.health.quarantined_streams = quarantined;
+  snap.health.healthy_streams = streams - quarantined;
+  return snap;
+}
+
+/// Feed idle (zero-delta) snapshots over [t0, t1] at 10 Hz so the instance
+/// ages into demonstrated spare capacity.
+void feed_idle_snapshots(ClusterManager& cm, int id, double t0, double t1) {
+  for (double t = t0; t <= t1; t += 0.1) cm.report_snapshot(id, t, snap_of(1, 50));
+}
+
+TEST(ClusterManager, UnhealthySnapshotBlocksPlacement) {
+  ClusterManager cm(2, cfg());
+  feed_idle_snapshots(cm, 0, 0.0, 6.0);
+  feed_idle_snapshots(cm, 1, 0.0, 6.0);
+  cm.attach_stream(1, 1);  // instance 0 has fewer streams: default target
+  ASSERT_EQ(cm.place_new_stream(6.0), std::optional<int>(0));
+
+  // A quarantined stream in the live snapshot marks the instance unhealthy:
+  // it stops receiving placements even though its rate signal looks spare.
+  cm.report_snapshot(0, 6.0, snap_of(2, 50, 0, /*quarantined=*/1));
+  EXPECT_FALSE(cm.instance_healthy(0));
+  EXPECT_EQ(cm.place_new_stream(6.0), std::optional<int>(1));
+
+  // Health follows the snapshots: a clean one restores eligibility.
+  cm.report_snapshot(0, 6.1, snap_of(2, 50));
+  EXPECT_TRUE(cm.instance_healthy(0));
+  EXPECT_EQ(cm.place_new_stream(6.1), std::optional<int>(0));
+}
+
+TEST(ClusterManager, UnhealthyOnlyInstanceMeansNoPlacement) {
+  ClusterManager cm(1, cfg());
+  feed_idle_snapshots(cm, 0, 0.0, 6.0);
+  ASSERT_TRUE(cm.place_new_stream(6.0).has_value());
+  cm.report_snapshot(0, 6.0, snap_of(1, 50, 0, /*quarantined=*/1));
+  EXPECT_FALSE(cm.place_new_stream(6.0).has_value());
+}
+
+TEST(ClusterManager, SetInstanceHealthIsAnOutOfBandGate) {
+  ClusterManager cm(2, cfg());
+  feed_idle_snapshots(cm, 0, 0.0, 6.0);
+  feed_idle_snapshots(cm, 1, 0.0, 6.0);
+  cm.set_instance_health(0, false);
+  EXPECT_FALSE(cm.instance_healthy(0));
+  EXPECT_EQ(cm.place_new_stream(6.0), std::optional<int>(1));
+  cm.set_instance_health(0, true);
+  EXPECT_TRUE(cm.instance_healthy(0));
+}
+
+TEST(ClusterManager, UnhealthyInstanceIsDrainedByReforward) {
+  ClusterManager cm(2, cfg());
+  cm.attach_stream(1, 0);
+  cm.attach_stream(2, 0);
+  feed_idle_snapshots(cm, 0, 0.0, 6.0);
+  feed_idle_snapshots(cm, 1, 0.0, 6.0);
+  // Not overloaded — queues are empty — but quarantines make it a source.
+  cm.report_snapshot(0, 6.0, snap_of(2, 50, 0, /*quarantined=*/1));
+  const auto d = cm.next_reforward(6.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->from_instance, 0);
+  EXPECT_EQ(d->to_instance, 1);
+}
+
+TEST(ClusterManager, SnapshotQueueAtThresholdRaisesOverload) {
+  const auto c = cfg();
+  ClusterManager cm(2, c);
+  cm.attach_stream(1, 0);
+  feed_idle_snapshots(cm, 0, 0.0, 6.0);
+  feed_idle_snapshots(cm, 1, 0.0, 6.0);
+  EXPECT_FALSE(cm.instance_overloaded(0, 6.0));
+
+  const auto full = static_cast<std::size_t>(c.capacity(c.tyolo_queue_depth));
+  InstanceSnapshot snap = snap_of(1, 60);
+  snap.streams[0].tyolo_queue_depth = full;
+  cm.report_snapshot(0, 6.0, snap);
+  EXPECT_TRUE(cm.instance_overloaded(0, 6.0));
+  const auto d = cm.next_reforward(6.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->from_instance, 0);
+  EXPECT_EQ(d->to_instance, 1);
+}
+
+TEST(ClusterManager, SnapshotServedDeltaFeedsAdmissionRate) {
+  ClusterManager cm(1, cfg());  // admit threshold: 140 fps
+  // 8 streams each advancing 25 frames per 0.1 s => 2000 fps served.
+  for (int k = 0; k <= 60; ++k) {
+    cm.report_snapshot(0, 0.1 * k, snap_of(8, 25u * static_cast<unsigned>(k)));
+  }
+  EXPECT_FALSE(cm.instance_has_spare(0, 6.0));  // far above the threshold
+  EXPECT_FALSE(cm.place_new_stream(6.0).has_value());
+}
+
+TEST(ClusterManager, SnapshotCounterRegressionRebaselines) {
+  ClusterManager cm(1, cfg());
+  cm.report_snapshot(0, 0.0, snap_of(1, 100000));
+  // The instance restarted: its cumulative counter went backwards. The
+  // delta must be discarded (re-baseline), not fed as a huge rate.
+  cm.report_snapshot(0, 0.1, snap_of(1, 10));
+  feed_idle_snapshots(cm, 0, 0.2, 6.0);
+  // Checked at t=5.0 so a wrongly-fed wraparound delta (t=0.1) would still
+  // sit inside the 5 s admission window and sink this below.
+  EXPECT_TRUE(cm.instance_has_spare(0, 5.0));
 }
 
 TEST(ClusterManager, RepeatedReforwardDrainsOverloadedInstance) {

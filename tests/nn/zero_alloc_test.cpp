@@ -57,6 +57,8 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 #include "nn/layers.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/rng.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/spans.hpp"
 
 namespace ffsva {
 namespace {
@@ -133,6 +135,46 @@ TEST(ZeroAlloc, WarmSnmPredictBatchIsAllocationFree) {
   const auto probs = snm.predict_batch(ptrs);
   EXPECT_LE(window.count(), 1);
   EXPECT_EQ(4u, probs.size());
+}
+
+// The telemetry hot path shares the zero-allocation contract: with metrics
+// and tracing armed around the warm inference call — exactly how the
+// instrumented engine runs — counter adds, histogram records, and span
+// recording must stay off the heap.
+TEST(ZeroAlloc, WarmInferenceWithTelemetryArmedIsAllocationFree) {
+  runtime::set_compute_parallelism(1);
+  const image::Image background = noise_image(160, 120, 31);
+  detect::SnmFilter snm(detect::SnmConfig{}, background, 99);
+  const image::Image frame = noise_image(160, 120, 32);
+  (void)snm.predict(frame);  // Warm-up sizes scratch + resize plan.
+  (void)snm.predict(frame);
+
+  telemetry::Registry reg;
+  telemetry::Counter& in = reg.counter("snm.in");
+  telemetry::AtomicHistogram& hist = reg.histogram("executor.batch_size");
+  telemetry::TraceBuffer trace(64);
+  trace.enable();
+  // Warm-up: registers this thread's span ring and counter shard slot.
+  in.add(0);
+  hist.record(1.0);
+  {
+    telemetry::ScopedSpan warm(trace, "warm", telemetry::Stage::kSnm);
+  }
+
+  AllocWindow window;
+  {
+    telemetry::ScopedSpan span(trace, "snm.batch", telemetry::Stage::kSnm);
+    in.add();
+    const double p = snm.predict(frame);
+    hist.record(1.0);
+    span.set_batch(1);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_EQ(0, window.count());
+  EXPECT_EQ(in.value(), 1u);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(trace.collect().size(), 2u);
 }
 
 }  // namespace

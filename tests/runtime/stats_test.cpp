@@ -65,6 +65,25 @@ TEST(Histogram, SingleValue) {
   EXPECT_DOUBLE_EQ(h.max(), 42.0);
   // Bucketed value within ~3% of the true value, clamped to [min, max].
   EXPECT_NEAR(h.p50(), 42.0, 42.0 * 0.04);
+  // A single sample pins every quantile exactly (the [min, max] clamp).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(Histogram, ExtremeQuantilesClampToMinAndMax) {
+  Histogram h;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(1.0, 100.0));
+  // q=0 / q=1 land on the observed extremes up to one bucket's width (~3%),
+  // and the [min, max] clamp guarantees they never overshoot the range.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(0.0), h.min() * 1.04);
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_GE(h.quantile(1.0), h.max() / 1.04);
+  // Empty histograms return 0 at the extremes too.
+  Histogram e;
+  EXPECT_EQ(e.quantile(0.0), 0.0);
+  EXPECT_EQ(e.quantile(1.0), 0.0);
 }
 
 TEST(Histogram, QuantileAccuracyOnUniform) {

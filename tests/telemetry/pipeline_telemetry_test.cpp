@@ -1,0 +1,264 @@
+// Telemetry against the real threaded engine: the chrome-trace exporter and
+// JSONL metrics stream produced by an actual run, snapshot() polled safely
+// while 32 streams are in flight (this binary carries the tsan label), and
+// ClusterManager re-forwarding driven solely by live FfsVaInstance
+// snapshots — the paper's Section 4.3.1 control loop closed end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/pipeline.hpp"
+#include "video/profiles.hpp"
+
+namespace ffsva::core {
+namespace {
+
+// The same world as pipeline_test's shared stream: it is known to carry
+// frames through every stage (SDD/SNM/T-YOLO survivors reach the reference
+// model), which the trace/queue-pressure assertions below depend on.
+struct World {
+  video::SceneConfig cfg;
+  detect::StreamModels models;
+  std::vector<video::Frame> window;
+
+  World() {
+    cfg = video::jackson_profile();
+    cfg.width = 128;
+    cfg.height = 96;
+    cfg.tor = 0.35;
+    video::SceneSimulator sim(cfg, 91, 1400);
+    std::vector<video::Frame> calib;
+    for (int i = 0; i < 700; ++i) calib.push_back(sim.render(i));
+    detect::SpecializeConfig sc;
+    sc.target = cfg.target;
+    sc.snm.epochs = 5;
+    models = detect::specialize_stream(calib, sc, 91);
+    for (int i = 700; i < 1000; ++i) window.push_back(sim.render(i));
+  }
+};
+
+World& world() {
+  static auto* w = new World();
+  return *w;
+}
+
+class ReplaySource final : public video::FrameSource {
+ public:
+  ReplaySource(const std::vector<video::Frame>* window, int stream_id)
+      : window_(window), stream_id_(stream_id) {}
+
+  std::optional<video::Frame> next() override {
+    if (next_ >= window_->size()) return std::nullopt;
+    video::Frame f = (*window_)[next_++];
+    f.stream_id = stream_id_;
+    return f;
+  }
+  std::int64_t total_frames() const override {
+    return static_cast<std::int64_t>(window_->size());
+  }
+
+ private:
+  const std::vector<video::Frame>* window_;
+  int stream_id_;
+  std::size_t next_ = 0;
+};
+
+TEST(PipelineTelemetry, RealRunExportsTraceAndMetrics) {
+  auto& w = world();
+  FfsVaConfig cfg;
+  cfg.metrics_interval_ms = 20;
+  FfsVaInstance instance(cfg);
+  for (int s = 0; s < 4; ++s) {
+    instance.add_stream(std::make_unique<ReplaySource>(&w.window, s), w.models);
+  }
+  instance.set_output_sink([](const OutputEvent&) {});
+  std::ostringstream metrics;
+  instance.enable_metrics_export(&metrics, "itest");
+  instance.enable_tracing();
+  const auto stats = instance.run(/*online=*/false);
+
+  // Trace: spans for all four stages (the prefetch decode, the SDD filter,
+  // the executor's SNM and T-YOLO batches) plus the reference stage.
+  const std::string trace_path =
+      ::testing::TempDir() + "/ffsva_itest_trace.json";
+  ASSERT_TRUE(instance.export_trace(trace_path));
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::string trace((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::remove(trace_path.c_str());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  for (const char* cat : {"prefetch", "sdd", "snm", "tyolo", "ref"}) {
+    EXPECT_NE(trace.find("\"cat\":\"" + std::string(cat) + "\""),
+              std::string::npos)
+        << cat;
+  }
+  // Executor batches carry their realized size.
+  EXPECT_NE(trace.find("snm.batch"), std::string::npos);
+  EXPECT_NE(trace.find("tyolo.batch"), std::string::npos);
+  EXPECT_NE(trace.find("\"batch\":"), std::string::npos);
+
+  // Metrics JSONL: at least the final stop() sample, carrying stage
+  // counters, per-stage rates, queue-depth gauges, and supervision gauges.
+  const std::string rows = metrics.str();
+  ASSERT_FALSE(rows.empty());
+  for (const char* key :
+       {"\"sdd.in\"", "\"snm.in\"", "\"tyolo.in\"", "\"ref.passed\"",
+        "\"drop.sdd\"", "\"drop.snm\"", "\"drop.tyolo\"", "\"queue.sdd\"",
+        "\"queue.snm\"", "\"queue.tyolo\"", "\"queue.ref\"",
+        "\"supervise.stall_ticks\"", "\"executor.batch_size\"", "\"rates\"",
+        "\"label\":\"itest\""}) {
+    EXPECT_NE(rows.find(key), std::string::npos) << key;
+  }
+
+  // The counters agree with the run's frozen stats.
+  const auto agg = stats.aggregate();
+  EXPECT_NE(rows.rfind("\"ref.passed\":" + std::to_string(agg.ref.passed)),
+            std::string::npos);
+}
+
+TEST(PipelineTelemetry, SnapshotIsSafeAndMonotonicMidRun) {
+  auto& w = world();
+  constexpr int kStreams = 32;
+  FfsVaConfig cfg;
+  FfsVaInstance instance(cfg);
+  for (int s = 0; s < kStreams; ++s) {
+    instance.add_stream(std::make_unique<ReplaySource>(&w.window, s), w.models);
+  }
+  instance.set_output_sink([](const OutputEvent&) {});
+
+  EXPECT_FALSE(instance.snapshot().running);
+
+  std::atomic<bool> done{false};
+  std::uint64_t polls = 0;
+  std::thread poller([&] {
+    // Per-location monotonicity is the safe mid-run invariant: each counter
+    // is a single atomic, so successive relaxed reads never go backwards.
+    // (Cross-stage inequalities are only guaranteed once writers quiesce.)
+    std::vector<std::uint64_t> last_sdd_in(kStreams, 0);
+    std::uint64_t last_served = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = instance.snapshot();
+      EXPECT_EQ(snap.streams.size(), static_cast<std::size_t>(kStreams));
+      const std::uint64_t served = snap.tyolo_served();
+      EXPECT_GE(served, last_served);
+      last_served = served;
+      for (std::size_t i = 0; i < snap.streams.size(); ++i) {
+        const auto& s = snap.streams[i];
+        EXPECT_EQ(s.id, static_cast<int>(i));
+        EXPECT_GE(s.sdd_in, last_sdd_in[i]);
+        last_sdd_in[i] = s.sdd_in;
+      }
+      ++polls;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  const auto stats = instance.run(/*online=*/false);
+  done.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_GT(polls, 0u);
+
+  // After the run the snapshot is the frozen end state.
+  const auto final_snap = instance.snapshot();
+  EXPECT_FALSE(final_snap.running);
+  std::uint64_t tyolo_in_total = 0;
+  for (const auto& st : stats.streams) tyolo_in_total += st.tyolo.in;
+  EXPECT_EQ(final_snap.tyolo_served(), tyolo_in_total);
+  EXPECT_EQ(final_snap.streams.size(), stats.streams.size());
+  for (std::size_t i = 0; i < stats.streams.size(); ++i) {
+    EXPECT_EQ(final_snap.streams[i].ref_passed, stats.streams[i].ref.passed);
+    EXPECT_EQ(final_snap.streams[i].prefetch_in, stats.streams[i].prefetch.in);
+  }
+}
+
+// Section 4.3.1 end to end: an instance whose live snapshots show full SNM /
+// T-YOLO queues becomes the re-forward source; an instance whose snapshots
+// show a quiet T-YOLO over a full admission window becomes the target. No
+// hand-fed signals — everything the ClusterManager sees comes from
+// FfsVaInstance::snapshot().
+TEST(PipelineTelemetry, LiveSnapshotsDriveClusterReforward) {
+  auto& w = world();
+
+  FfsVaConfig cfg;
+  cfg.admit_tyolo_fps = 1e6;     // spare == any observed full window
+  cfg.admit_window_sec = 0.25;
+  ClusterManager cm(2, cfg);
+  const auto now_sec = [t0 = std::chrono::steady_clock::now()] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // Instance 1: one light stream, run to completion, then observed idle for
+  // a full admission window -> demonstrated spare capacity.
+  FfsVaInstance light(cfg);
+  light.add_stream(std::make_unique<ReplaySource>(&w.window, 100), w.models);
+  light.set_output_sink([](const OutputEvent&) {});
+  light.run(/*online=*/false);
+  cm.attach_stream(100, 1);
+  {
+    const double t_begin = now_sec();
+    while (now_sec() - t_begin < 1.2 * cfg.admit_window_sec) {
+      cm.report_snapshot(1, now_sec(), light.snapshot());
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    cm.report_snapshot(1, now_sec(), light.snapshot());
+  }
+
+  // Instance 0: six streams flooding the shared GPU0 executor offline, so
+  // some stream's bounded SNM/T-YOLO queue is full whenever we look. The
+  // overload decision is latched the moment a live snapshot shows it (and the
+  // run wound down early) — the Section 4.3.1 trigger is "a queue is full
+  // now", and waiting for the run to finish first would race the drain tail,
+  // which under a sanitizer's slowdown outlasts the 1 s overload recency
+  // window. The poll racing a full queue is overwhelmingly likely but not
+  // certain, so the run is repeated (fresh instance) in the rare miss case.
+  constexpr int kBusyStreams = 6;
+  for (int s = 0; s < kBusyStreams; ++s) cm.attach_stream(s, 0);
+  double last_t = now_sec();
+  for (int attempt = 0; attempt < 3 && !cm.instance_overloaded(0, last_t);
+       ++attempt) {
+    FfsVaInstance busy(cfg);
+    for (int s = 0; s < kBusyStreams; ++s) {
+      busy.add_stream(std::make_unique<ReplaySource>(&w.window, s), w.models);
+    }
+    busy.set_output_sink([](const OutputEvent&) {});
+
+    std::atomic<bool> done{false};
+    std::thread runner([&] {
+      busy.run(/*online=*/false);
+      done.store(true, std::memory_order_release);
+    });
+    while (!done.load(std::memory_order_acquire)) {
+      const double t = now_sec();
+      cm.report_snapshot(0, t, busy.snapshot());
+      if (cm.instance_overloaded(0, t)) {
+        last_t = t;
+        busy.stop();
+        break;
+      }
+      last_t = t;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    runner.join();
+  }
+
+  EXPECT_TRUE(cm.instance_overloaded(0, last_t));
+  EXPECT_TRUE(cm.instance_has_spare(1, last_t));
+  const auto d = cm.next_reforward(last_t);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->from_instance, 0);
+  EXPECT_EQ(d->to_instance, 1);
+  EXPECT_EQ(cm.instance_of(d->stream_id), 1);
+}
+
+}  // namespace
+}  // namespace ffsva::core
