@@ -1,3 +1,7 @@
+// relaxed-ok: per-stream frame/fault counters are single-logical-writer
+// cells snapshotted mid-run (approximate by contract) and frozen after the
+// stage joins; the claim/quarantine edges that need ordering use acq_rel —
+// see the Stream struct comments below.
 #include "core/pipeline.hpp"
 
 #include <algorithm>
@@ -124,9 +128,9 @@ struct FfsVaInstance::Stream {
   /// quarantine, then joins or detaches. Lives in the Stream (not the
   /// instance) because a detached thread signals through it after the
   /// instance may be gone.
-  std::mutex exit_mu;
-  std::condition_variable exit_cv;
-  bool prefetch_exited = false;
+  runtime::Mutex exit_mu;
+  runtime::CondVar exit_cv;
+  bool prefetch_exited FFSVA_GUARDED_BY(exit_mu) = false;
 
   /// Keep the stage waiters alive for a detached prefetch thread: its
   /// final sdd_q.close() notifies the SDD waiter, which must not have been
@@ -439,7 +443,7 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online) {
   s->ingest_wall_sec.store(watch.elapsed_sec(), std::memory_order_relaxed);
   s->sdd_q.close();
   {
-    std::lock_guard lk(s->exit_mu);
+    runtime::MutexLock lk(s->exit_mu);
     s->prefetch_exited = true;
   }
   s->exit_cv.notify_all();
@@ -748,7 +752,7 @@ void FfsVaInstance::reference_loop() {
     if (sink_) {
       sink_(ev);
     } else {
-      std::lock_guard lk(outputs_mu_);
+      runtime::MutexLock lk(outputs_mu_);
       outputs_.push_back(std::move(ev));
     }
   }
@@ -765,7 +769,7 @@ void FfsVaInstance::quarantine(Stream& s) {
   // Un-wedge the quarantine-aware join in run(). The empty critical
   // section orders the flag publish before the notify for the waiter's
   // predicate re-check.
-  { std::lock_guard lk(s.exit_mu); }
+  { runtime::MutexLock lk(s.exit_mu); }
   s.exit_cv.notify_all();
 }
 
@@ -828,11 +832,15 @@ InstanceStats FfsVaInstance::run(bool online) {
   const int workers = sdd_pool_size();
   sdd_hb_ = std::vector<runtime::Heartbeat>(static_cast<std::size_t>(workers));
 
+  // thread-ok: per-stream prefetch threads — a camera/decoder is inherently
+  // per-stream; joined (or quarantine-detached) below.
   std::vector<std::thread> prefetch_threads;
   prefetch_threads.reserve(streams_.size());
   for (auto& s : streams_) {
     prefetch_threads.emplace_back(&FfsVaInstance::prefetch_loop, s, online);
   }
+  // thread-ok: the fixed stage set (SDD pool, GPU0 executor, reference
+  // thread) — O(workers), not O(streams); all joined below.
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers) + 2);
   for (int w = 0; w < workers; ++w) {
@@ -859,15 +867,20 @@ InstanceStats FfsVaInstance::run(bool online) {
   // nothing else, so it can finish whenever the source finally returns.
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     Stream& s = *streams_[i];
-    std::unique_lock lk(s.exit_mu);
-    s.exit_cv.wait(lk, [&] {
-      return s.prefetch_exited || s.quarantined.load(std::memory_order_acquire);
-    });
+    runtime::UniqueLock lk(s.exit_mu);
+    while (!s.prefetch_exited &&
+           !s.quarantined.load(std::memory_order_acquire)) {
+      s.exit_cv.wait(lk);
+    }
     const bool exited = s.prefetch_exited;
     lk.unlock();
     if (exited) {
       prefetch_threads[i].join();
     } else {
+      // detach-ok: watchdog quarantine — the thread is hung inside its
+      // source; it co-owns its Stream (shared_ptr) and touches nothing
+      // else, so it may finish whenever the source finally returns
+      // (DESIGN.md Section 9).
       prefetch_threads[i].detach();
     }
   }
@@ -942,7 +955,7 @@ InstanceStats FfsVaInstance::run(bool online) {
   out.total_throughput_fps =
       out.wall_sec > 0.0 ? static_cast<double>(ingested) / out.wall_sec : 0.0;
   {
-    std::lock_guard lk(outputs_mu_);
+    runtime::MutexLock lk(outputs_mu_);
     for (const auto& ev : outputs_) out.output_latency_ms.add(ev.latency_ms);
   }
   return out;
@@ -958,8 +971,11 @@ BaselineStats run_yolo_baseline(
   // GPUs, the paper's baseline deployment.
   runtime::BoundedQueue<std::pair<int, Item>> q(8);
   std::atomic<std::uint64_t> frames{0}, dropped{0};
-  std::mutex hist_mu;
+  runtime::Mutex hist_mu;
 
+  // thread-ok: the baseline harness spawns its own producers/GPU workers —
+  // it deliberately bypasses the engine (that is what it measures against);
+  // all joined below.
   std::vector<std::thread> producers;
   producers.reserve(sources.size());
   for (std::size_t i = 0; i < sources.size(); ++i) {
@@ -983,7 +999,8 @@ BaselineStats run_yolo_baseline(
     });
   }
 
-  std::mutex gpu[2];
+  runtime::Mutex gpu[2];
+  // thread-ok: the baseline's two GPU workers, joined below.
   std::vector<std::thread> workers;
   for (int g = 0; g < 2; ++g) {
     workers.emplace_back([&, g] {
@@ -991,11 +1008,11 @@ BaselineStats run_yolo_baseline(
         auto& [stream_id, item] = *entry;
         detect::DetectionResult r;
         {
-          std::lock_guard lk(gpu[g]);
+          runtime::MutexLock lk(gpu[g]);
           r = models[static_cast<std::size_t>(stream_id)].reference->detect(
               item.frame.image);
         }
-        std::lock_guard lk(hist_mu);
+        runtime::MutexLock lk(hist_mu);
         stats.latency_ms.add(ms_since(item.ingest));
       }
     });

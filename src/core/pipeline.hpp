@@ -31,15 +31,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/policies.hpp"
 #include "detect/specialize.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/supervision.hpp"
@@ -196,8 +195,12 @@ class FfsVaInstance {
   /// the watchdog quarantines the hung stream and its thread is detached.
   void stop();
 
-  /// Collected outputs (when no sink is set).
-  const std::vector<OutputEvent>& outputs() const { return outputs_; }
+  /// Collected outputs (when no sink is set). Valid after run() returns —
+  /// the reference thread appending to the vector is joined by then, which
+  /// is the edge the analysis cannot see (hence the opt-out).
+  const std::vector<OutputEvent>& outputs() const FFSVA_NO_TSA {
+    return outputs_;
+  }
 
   const FfsVaConfig& config() const { return config_; }
   int num_streams() const { return static_cast<int>(streams_.size()); }
@@ -257,8 +260,8 @@ class FfsVaInstance {
   FfsVaConfig config_;
   std::vector<std::shared_ptr<Stream>> streams_;
   std::function<void(const OutputEvent&)> sink_;
-  std::vector<OutputEvent> outputs_;
-  std::mutex outputs_mu_;
+  runtime::Mutex outputs_mu_;
+  std::vector<OutputEvent> outputs_ FFSVA_GUARDED_BY(outputs_mu_);
 
   // Multi-queue wakeups: SDD workers sleep here when every SDD queue is
   // empty or claimed; the GPU0 executor sleeps here when no SNM batch is

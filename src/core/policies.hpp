@@ -193,6 +193,8 @@ class AdmissionController {
 
   double admit_fps_;
   double window_sec_;
+  // bounded-ok: sliding observation window, pruned to window_sec_ on every
+  // report; owned by the control plane's single reporting thread.
   std::deque<Sample> samples_;
   double observed_since_ = -1.0;
   double last_overload_ = -1.0;

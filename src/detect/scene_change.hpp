@@ -68,6 +68,8 @@ class SceneChangeMonitor {
   SceneChangeConfig config_;
   double background_level_;
   std::int64_t frame_count_ = 0;
+  // bounded-ok: monotonic window minimum, pruned to the window span every
+  // push; single-thread per-stream state, not an inter-thread channel.
   std::deque<Sample> mono_min_;  ///< Monotonic deque: front = window minimum.
   std::int64_t elevated_ = 0;
   bool triggered_ = false;

@@ -10,6 +10,7 @@
 #include "image/ops.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
+#include "runtime/binary_io.hpp"
 
 namespace ffsva::detect {
 
@@ -243,14 +244,16 @@ SnmTrainReport SnmFilter::train(const std::vector<video::Frame>& frames,
 }
 
 void SnmFilter::save(std::ostream& os) const {
-  os.write(reinterpret_cast<const char*>(&config_.c_low), sizeof(double));
-  os.write(reinterpret_cast<const char*>(&config_.c_high), sizeof(double));
+  runtime::write_pod(os, &config_.c_low);
+  runtime::write_pod(os, &config_.c_high);
   net_->save(os);
 }
 
 void SnmFilter::load(std::istream& is) {
-  is.read(reinterpret_cast<char*>(&config_.c_low), sizeof(double));
-  is.read(reinterpret_cast<char*>(&config_.c_high), sizeof(double));
+  if (!runtime::read_pod(is, &config_.c_low) ||
+      !runtime::read_pod(is, &config_.c_high)) {
+    throw std::runtime_error("truncated SNM threshold header on load");
+  }
   net_->load(is);
 }
 

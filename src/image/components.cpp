@@ -38,6 +38,7 @@ std::vector<Component> connected_components_labeled(const Image& binary,
   labels.assign(static_cast<std::size_t>(w) * h, 0);
   std::vector<Component> comps;
   int next_label = 0;
+  // bounded-ok: function-local BFS frontier, at most one entry per pixel.
   std::deque<std::pair<int, int>> frontier;
 
   for (int sy = 0; sy < h; ++sy) {

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "runtime/binary_io.hpp"
+
 namespace ffsva::nn {
 
 void Tensor::axpy(float alpha, const Tensor& other) {
@@ -31,20 +33,18 @@ double Tensor::abs_max() const {
 
 void write_tensor(std::ostream& os, const Tensor& t) {
   const auto& s = t.shape();
-  os.write(reinterpret_cast<const char*>(s.data()), sizeof(int) * 4);
-  os.write(reinterpret_cast<const char*>(t.data()),
-           static_cast<std::streamsize>(t.size() * sizeof(float)));
+  runtime::write_pod(os, s.data(), s.size());
+  runtime::write_pod(os, t.data(), t.size());
 }
 
 void read_tensor_values(std::istream& is, Tensor& t) {
   std::array<int, 4> s{};
-  is.read(reinterpret_cast<char*>(s.data()), sizeof(int) * 4);
-  if (!is || s != t.shape()) {
+  if (!runtime::read_pod(is, s.data(), s.size()) || s != t.shape()) {
     throw std::runtime_error("tensor shape mismatch on load");
   }
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.size() * sizeof(float)));
-  if (!is) throw std::runtime_error("truncated tensor data on load");
+  if (!runtime::read_pod(is, t.data(), t.size())) {
+    throw std::runtime_error("truncated tensor data on load");
+  }
 }
 
 }  // namespace ffsva::nn

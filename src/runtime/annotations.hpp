@@ -1,0 +1,150 @@
+// Clang thread-safety-analysis annotations plus the annotated lock
+// vocabulary the whole engine uses (DESIGN.md Section 11).
+//
+// The pipeline's concurrency discipline — which mutex guards which state,
+// which functions demand a lock held, which must be called without it — is
+// written down here as *attributes* so `-Wthread-safety` turns every
+// violation into a compile error under the `lint` preset. Off Clang the
+// macros expand to nothing and the wrappers below compile to exactly the
+// std primitives they forward to (everything is inline, no virtuals, no
+// extra state), so the annotated tree costs nothing on GCC builds.
+//
+// Conventions:
+//  * Guarded state is declared with FFSVA_GUARDED_BY(mu_) and only touched
+//    inside a MutexLock/UniqueLock scope (or from a private helper marked
+//    FFSVA_REQUIRES(mu_)).
+//  * Condition-variable predicates are written as explicit while-loops in
+//    the locked scope, never as lambda predicates: the analysis cannot see
+//    through std::condition_variable's predicate overloads, and the manual
+//    loop is exactly equivalent (both re-check after every spurious wake).
+//  * FFSVA_NO_TSA is a last resort for reads whose safety comes from a
+//    join/quiesce edge the analysis cannot express; every use carries a
+//    comment naming that edge.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FFSVA_TSA(x) __attribute__((x))
+#else
+#define FFSVA_TSA(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex", "role", ...).
+#define FFSVA_CAPABILITY(x) FFSVA_TSA(capability(x))
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define FFSVA_SCOPED_CAPABILITY FFSVA_TSA(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define FFSVA_GUARDED_BY(x) FFSVA_TSA(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by `x`.
+#define FFSVA_PT_GUARDED_BY(x) FFSVA_TSA(pt_guarded_by(x))
+/// Function requires the listed capabilities held on entry (and exit).
+#define FFSVA_REQUIRES(...) FFSVA_TSA(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on return).
+#define FFSVA_ACQUIRE(...) FFSVA_TSA(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define FFSVA_RELEASE(...) FFSVA_TSA(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `b`.
+#define FFSVA_TRY_ACQUIRE(b, ...) FFSVA_TSA(try_acquire_capability(b, __VA_ARGS__))
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock-by-self-lock prevention).
+#define FFSVA_EXCLUDES(...) FFSVA_TSA(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define FFSVA_RETURN_CAPABILITY(x) FFSVA_TSA(lock_returned(x))
+/// Assert (at runtime, for the analysis) that the capability is held.
+#define FFSVA_ASSERT_CAPABILITY(x) FFSVA_TSA(assert_capability(x))
+/// Opt a function out of the analysis entirely. Last resort; every use
+/// carries a comment naming the happens-before edge that replaces the lock.
+#define FFSVA_NO_TSA FFSVA_TSA(no_thread_safety_analysis)
+
+namespace ffsva::runtime {
+
+/// std::mutex with the capability attribute the analysis needs. Zero-cost:
+/// every member is a one-line inline forward.
+class FFSVA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FFSVA_ACQUIRE() { mu_.lock(); }
+  void unlock() FFSVA_RELEASE() { mu_.unlock(); }
+  bool try_lock() FFSVA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for CondVar's wait plumbing only. Locking through
+  /// this reference is invisible to the analysis — never do it directly.
+  std::mutex& os_mutex() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over Mutex: acquire at construction, release at scope
+/// exit. The default for critical sections with no wait and no early
+/// unlock.
+class FFSVA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FFSVA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FFSVA_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over Mutex: relockable (unlock before a notify, relock
+/// around a blocking call) and the handle CondVar waits on. The analysis
+/// tracks the held/released state through the annotated members.
+class FFSVA_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) FFSVA_ACQUIRE(mu) : lk_(mu.os_mutex()) {}
+  ~UniqueLock() FFSVA_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() FFSVA_ACQUIRE() { lk_.lock(); }
+  void unlock() FFSVA_RELEASE() { lk_.unlock(); }
+
+  /// For CondVar only: the native handle a std cv can block on.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable paired with Mutex/UniqueLock. Predicate overloads are
+/// intentionally absent: callers write the wait loop in their own locked
+/// scope so the analysis sees every guarded read (see file comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.native()); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          std::chrono::duration<Rep, Period> timeout) {
+    return cv_.wait_for(lk.native(), timeout);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(UniqueLock& lk,
+                            std::chrono::time_point<Clock, Duration> deadline) {
+    return cv_.wait_until(lk.native(), deadline);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ffsva::runtime

@@ -1,0 +1,42 @@
+// Centralized binary (de)serialization for trivially-copyable values.
+//
+// Writing an object's bytes to a stream requires an object-to-bytes
+// reinterpret_cast. Rather than scattering that cast across every save/load
+// routine, the whole tree funnels through these two helpers so the cast is
+// written — and audited — in exactly one file, constrained by a
+// static_assert to types where it is well-defined.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+namespace ffsva::runtime {
+
+/// Write `count` values starting at `v` as raw bytes.
+template <typename T>
+void write_pod(std::ostream& os, const T* v, std::size_t count = 1) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "raw-byte serialization requires a trivially copyable type");
+  // Audited: viewing a trivially-copyable object as char bytes is one of the
+  // type-punning forms the language explicitly permits ([basic.lval]).
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  os.write(reinterpret_cast<const char*>(v),
+           static_cast<std::streamsize>(sizeof(T) * count));
+}
+
+/// Read `count` values into `v` from raw bytes. Returns false on a short or
+/// failed read (the stream's fail state is left set for the caller).
+template <typename T>
+[[nodiscard]] bool read_pod(std::istream& is, T* v, std::size_t count = 1) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "raw-byte deserialization requires a trivially copyable type");
+  // Audited: see write_pod.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  is.read(reinterpret_cast<char*>(v),
+          static_cast<std::streamsize>(sizeof(T) * count));
+  return static_cast<bool>(is);
+}
+
+}  // namespace ffsva::runtime

@@ -8,7 +8,9 @@
 // Design notes:
 //  * Blocking push/pop with condition variables; try_/timed_ variants for
 //    the feedback-queue controller, which must observe depth without
-//    committing to a wait.
+//    committing to a wait. Wait conditions are explicit loops so the
+//    thread-safety analysis (runtime/annotations.hpp) can check every
+//    guarded access.
 //  * close() wakes all waiters; a closed queue drains remaining elements,
 //    then pop() returns std::nullopt. This gives pipelines a clean
 //    end-of-stream path with no sentinel values.
@@ -19,14 +21,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "runtime/annotations.hpp"
 
 namespace ffsva::runtime {
 
@@ -59,18 +61,26 @@ class QueueWaiter {
 
   /// Sleep until any wired queue sees activity after `ticket` was taken.
   void wait(std::uint64_t ticket) const {
-    std::unique_lock lk(mu_);
+    UniqueLock lk(mu_);
     waiters_.fetch_add(1);
-    cv_.wait(lk, [&] { return epoch_.load() != ticket; });
+    while (epoch_.load() == ticket) cv_.wait(lk);
     waiters_.fetch_sub(1);
   }
 
   /// Timed variant; false on timeout with no activity.
   template <typename Rep, typename Period>
-  bool wait_for(std::uint64_t ticket, std::chrono::duration<Rep, Period> timeout) const {
-    std::unique_lock lk(mu_);
+  bool wait_for(std::uint64_t ticket,
+                std::chrono::duration<Rep, Period> timeout) const {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lk(mu_);
     waiters_.fetch_add(1);
-    const bool woke = cv_.wait_for(lk, timeout, [&] { return epoch_.load() != ticket; });
+    bool woke = true;
+    while (epoch_.load() == ticket) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        woke = epoch_.load() != ticket;
+        break;
+      }
+    }
     waiters_.fetch_sub(1);
     return woke;
   }
@@ -81,14 +91,14 @@ class QueueWaiter {
     if (waiters_.load() != 0) {
       // The lock handshake closes the window where a waiter has re-checked
       // the epoch but not yet atomically released the mutex into the wait.
-      { std::lock_guard lk(mu_); }
+      { MutexLock lk(mu_); }
       cv_.notify_all();
     }
   }
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
   mutable std::atomic<std::uint64_t> epoch_{0};
   mutable std::atomic<int> waiters_{0};
 };
@@ -110,8 +120,8 @@ class BoundedQueue {
   /// Blocks until space is available or the queue is closed.
   /// Returns false (and drops the value) if the queue was closed.
   bool push(T value) {
-    std::unique_lock lk(mu_);
-    not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
+    UniqueLock lk(mu_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.wait(lk);
     if (closed_) return false;
     items_.push_back(std::move(value));
     ++total_pushed_;
@@ -124,7 +134,7 @@ class BoundedQueue {
   /// Non-blocking push. Returns false if full or closed.
   bool try_push(T value) {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
       ++total_pushed_;
@@ -137,10 +147,13 @@ class BoundedQueue {
   /// Push waiting at most `timeout`. Returns false on timeout or close.
   template <typename Rep, typename Period>
   bool push_for(T value, std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lk(mu_);
-    if (!not_full_.wait_for(lk, timeout,
-                            [&] { return items_.size() < capacity_ || closed_; })) {
-      return false;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lk(mu_);
+    while (items_.size() >= capacity_ && !closed_) {
+      if (not_full_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        if (items_.size() >= capacity_ && !closed_) return false;
+        break;
+      }
     }
     if (closed_) return false;
     items_.push_back(std::move(value));
@@ -154,8 +167,8 @@ class BoundedQueue {
   /// Blocks until an element is available; returns nullopt once the queue
   /// is closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    UniqueLock lk(mu_);
+    while (items_.empty() && !closed_) not_empty_.wait(lk);
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
@@ -167,7 +180,7 @@ class BoundedQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock lk(mu_);
+    UniqueLock lk(mu_);
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
@@ -180,9 +193,13 @@ class BoundedQueue {
   /// Pop waiting at most `timeout`.
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lk(mu_);
-    if (!not_empty_.wait_for(lk, timeout, [&] { return !items_.empty() || closed_; })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lk(mu_);
+    while (items_.empty() && !closed_) {
+      if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        if (items_.empty() && !closed_) return std::nullopt;
+        break;
+      }
     }
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
@@ -198,8 +215,8 @@ class BoundedQueue {
   /// is empty", paper Section 4.3.2). Blocks for the *first* element only.
   /// Returns an empty vector once closed and drained.
   std::vector<T> pop_batch(std::size_t max_count) {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    UniqueLock lk(mu_);
+    while (items_.empty() && !closed_) not_empty_.wait(lk);
     std::vector<T> out;
     while (!items_.empty() && out.size() < max_count) {
       out.push_back(std::move(items_.front()));
@@ -215,8 +232,8 @@ class BoundedQueue {
   /// pops exactly min(count, size) elements. This is the *static* batch
   /// primitive: wait for a full batch.
   std::vector<T> pop_exact(std::size_t count) {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return items_.size() >= count || closed_; });
+    UniqueLock lk(mu_);
+    while (items_.size() < count && !closed_) not_empty_.wait(lk);
     std::vector<T> out;
     while (!items_.empty() && out.size() < count) {
       out.push_back(std::move(items_.front()));
@@ -231,7 +248,7 @@ class BoundedQueue {
   /// Close the queue: producers fail, consumers drain then see end-of-stream.
   void close() {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -240,13 +257,13 @@ class BoundedQueue {
   }
 
   bool closed() const {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
   /// Instantaneous queue depth (feedback-queue mechanism reads this).
   std::size_t depth() const {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     return items_.size();
   }
 
@@ -254,24 +271,26 @@ class BoundedQueue {
 
   /// Lifetime counters; used by tests to prove no element is lost.
   std::uint64_t total_pushed() const {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     return total_pushed_;
   }
   std::uint64_t total_popped() const {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     return total_popped_;
   }
 
  private:
   const std::size_t capacity_;
   QueueWaiter* waiter_ = nullptr;  ///< Optional multi-queue wakeup target.
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  std::uint64_t total_pushed_ = 0;
-  std::uint64_t total_popped_ = 0;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  // bounded-ok: capacity_ is enforced by every push path above; the deque
+  // is the bounded queue's own storage, not an unbounded channel.
+  std::deque<T> items_ FFSVA_GUARDED_BY(mu_);
+  bool closed_ FFSVA_GUARDED_BY(mu_) = false;
+  std::uint64_t total_pushed_ FFSVA_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_popped_ FFSVA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ffsva::runtime

@@ -1,14 +1,16 @@
+// relaxed-ok: the chunk cursor and failure flag are independent counters —
+// the join's happens-before edge is the acq_rel `finished` counter plus the
+// mutex around `error`; see LoopState below.
 #include "runtime/parallel_for.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "runtime/annotations.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ffsva::runtime {
@@ -25,20 +27,27 @@ int parallelism_from_env() {
 }
 
 struct ComputePool {
-  std::mutex mu;
-  std::unique_ptr<ThreadPool> pool;
-  int parallelism = 0;  // 0 = not yet resolved
+  Mutex mu;
+  std::unique_ptr<ThreadPool> pool FFSVA_GUARDED_BY(mu);
+  int parallelism FFSVA_GUARDED_BY(mu) = 0;  // 0 = not yet resolved
 
-  void ensure(int requested) {
-    std::lock_guard lk(mu);
+  int ensure(int requested) FFSVA_EXCLUDES(mu) {
+    MutexLock lk(mu);
     const int want = requested > 0 ? requested
                      : parallelism > 0 ? parallelism
                                        : parallelism_from_env();
-    if (want == parallelism) return;
+    if (want == parallelism) return parallelism;
     pool.reset();
     // The caller is worker number `want`; the pool supplies the rest.
     if (want > 1) pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(want - 1));
     parallelism = want;
+    return parallelism;
+  }
+
+  ThreadPool* get() FFSVA_EXCLUDES(mu) {
+    ensure(0);
+    MutexLock lk(mu);
+    return pool.get();
   }
 };
 
@@ -49,17 +58,9 @@ ComputePool& state() {
 
 }  // namespace
 
-ThreadPool* compute_pool() {
-  auto& s = state();
-  s.ensure(0);
-  return s.pool.get();
-}
+ThreadPool* compute_pool() { return state().get(); }
 
-int compute_parallelism() {
-  auto& s = state();
-  s.ensure(0);
-  return s.parallelism;
-}
+int compute_parallelism() { return state().ensure(0); }
 
 void set_compute_parallelism(int n) { state().ensure(std::max(1, n)); }
 
@@ -87,11 +88,11 @@ struct LoopState {
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> finished{0};
   std::atomic<bool> failed{false};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  std::exception_ptr error FFSVA_GUARDED_BY(mu);
 
-  void run_chunks() {
+  void run_chunks() FFSVA_EXCLUDES(mu) {
     for (;;) {
       const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= chunks) break;
@@ -102,13 +103,13 @@ struct LoopState {
         try {
           invoke(ctx, b, std::min(end, b + grain));
         } catch (...) {
-          std::lock_guard lk(mu);
+          MutexLock lk(mu);
           if (!error) error = std::current_exception();
           failed.store(true, std::memory_order_relaxed);
         }
       }
       if (finished.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-        std::lock_guard lk(mu);  // Pairs with the join's predicate check.
+        MutexLock lk(mu);  // Pairs with the join's predicate check.
         cv.notify_all();
       }
     }
@@ -135,12 +136,15 @@ void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
   }
   st->run_chunks();
   if (st->finished.load(std::memory_order_acquire) != chunks) {
-    std::unique_lock lk(st->mu);
-    st->cv.wait(lk, [&] {
-      return st->finished.load(std::memory_order_acquire) == chunks;
-    });
+    UniqueLock lk(st->mu);
+    while (st->finished.load(std::memory_order_acquire) != chunks) st->cv.wait(lk);
   }
-  if (st->error) std::rethrow_exception(st->error);
+  std::exception_ptr error;
+  {
+    MutexLock lk(st->mu);
+    error = st->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace detail

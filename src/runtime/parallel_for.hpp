@@ -68,6 +68,10 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
       [](void* ctx, std::int64_t b, std::int64_t e) {
         (*static_cast<std::remove_reference_t<Fn>*>(ctx))(b, e);
       },
+      // Type-erasure const_cast, audited: the trampoline above casts back to
+      // std::remove_reference_t<Fn>*, which re-applies const when Fn deduced
+      // const — a const callable is never invoked through a non-const path.
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast)
       const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
 }
 

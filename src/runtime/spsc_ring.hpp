@@ -8,6 +8,10 @@
 // Per C++ Core Guidelines CP.100 we keep the lock-free surface tiny and
 // conventional: two monotonically increasing counters, each written by one
 // thread only.
+//
+// relaxed-ok: each index is relaxed-read only by its own writer (the other
+// side always reads it with acquire); the release store on publish carries
+// the slot's happens-before edge.
 #pragma once
 
 #include <atomic>

@@ -7,13 +7,19 @@ namespace ffsva::runtime {
 void Watchdog::start(std::chrono::milliseconds tick, std::function<void()> check) {
   stop();
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = false;
   }
   thread_ = std::thread([this, tick, check = std::move(check)] {
-    std::unique_lock lk(mu_);
+    UniqueLock lk(mu_);
     for (;;) {
-      if (cv_.wait_for(lk, tick, [&] { return stopping_; })) return;
+      // One tick: sleep until the deadline or a stop request, whichever
+      // comes first (explicit loop; see runtime/annotations.hpp).
+      const auto deadline = std::chrono::steady_clock::now() + tick;
+      while (!stopping_) {
+        if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+      }
+      if (stopping_) return;
       lk.unlock();
       check();
       lk.lock();
@@ -23,7 +29,7 @@ void Watchdog::start(std::chrono::milliseconds tick, std::function<void()> check
 
 void Watchdog::stop() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = true;
   }
   cv_.notify_all();

@@ -21,12 +21,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "runtime/annotations.hpp"
 
 namespace ffsva::runtime {
 
@@ -82,16 +82,17 @@ class Watchdog {
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
 
-  void start(std::chrono::milliseconds tick, std::function<void()> check);
-  void stop();
+  void start(std::chrono::milliseconds tick, std::function<void()> check)
+      FFSVA_EXCLUDES(mu_);
+  void stop() FFSVA_EXCLUDES(mu_);
 
   bool running() const { return thread_.joinable(); }
 
  private:
-  std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::thread thread_;  ///< Managed by start()/stop() on the owner's thread.
+  Mutex mu_;
+  CondVar cv_;
+  bool stopping_ FFSVA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ffsva::runtime

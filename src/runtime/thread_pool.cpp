@@ -16,7 +16,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (stopping_) return false;
     tasks_.push_back(std::move(task));
   }
@@ -25,13 +25,13 @@ bool ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  idle_.wait(lk, [&] { return tasks_.empty() && active_ == 0; });
+  UniqueLock lk(mu_);
+  while (!tasks_.empty() || active_ != 0) idle_.wait(lk);
 }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (stopping_) {
       // Already shut down by a previous call; workers may be joined.
     }
@@ -47,8 +47,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lk(mu_);
-      work_available_.wait(lk, [&] { return stopping_ || !tasks_.empty(); });
+      UniqueLock lk(mu_);
+      while (!stopping_ && tasks_.empty()) work_available_.wait(lk);
       if (tasks_.empty()) {
         // stopping_ and drained
         return;
@@ -59,7 +59,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_.notify_all();
     }

@@ -8,13 +8,13 @@
 // queues, not return values.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/annotations.hpp"
 
 namespace ffsva::runtime {
 
@@ -27,26 +27,29 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Returns false if the pool is shutting down.
-  bool submit(std::function<void()> task);
+  bool submit(std::function<void()> task) FFSVA_EXCLUDES(mu_);
 
   /// Block until every submitted task has finished and the queue is empty.
-  void wait_idle();
+  void wait_idle() FFSVA_EXCLUDES(mu_);
 
   /// Stop accepting tasks, finish queued work, join workers. Idempotent.
-  void shutdown();
+  void shutdown() FFSVA_EXCLUDES(mu_);
 
   std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() FFSVA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> tasks_;
-  std::vector<std::thread> workers_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  CondVar idle_;
+  // bounded-ok: the pool's own task queue; producers are the engine's
+  // bounded stages and fork-join loops, whose outstanding submits are
+  // bounded by chunk counts, not an inter-thread frame channel.
+  std::deque<std::function<void()>> tasks_ FFSVA_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< Written by ctor/shutdown only.
+  std::size_t active_ FFSVA_GUARDED_BY(mu_) = 0;
+  bool stopping_ FFSVA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ffsva::runtime

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ffsva::sim {
@@ -7,15 +8,15 @@ namespace ffsva::sim {
 void SimEngine::at(double t, Event fn) {
   assert(t >= now_ - 1e-12);
   if (t < now_) t = now_;
-  queue_.push(Entry{t, seq_++, std::move(fn)});
+  queue_.push_back(Entry{t, seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
 }
 
 bool SimEngine::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the entry must be copied out before
-  // pop. Move via const_cast is the standard idiom for move-only payloads.
-  Entry e = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  Entry e = std::move(queue_.back());
+  queue_.pop_back();
   now_ = e.t;
   ++executed_;
   e.fn();
@@ -23,7 +24,7 @@ bool SimEngine::step() {
 }
 
 void SimEngine::run(double until) {
-  while (!queue_.empty() && queue_.top().t <= until) {
+  while (!queue_.empty() && queue_.front().t <= until) {
     step();
   }
 }

@@ -17,7 +17,6 @@
 #include <functional>
 #include <limits>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -52,7 +51,10 @@ class SimEngine {
       return t > o.t || (t == o.t && seq > o.seq);
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  /// Min-heap on (t, seq) kept with std::push_heap/pop_heap rather than
+  /// std::priority_queue: pop_heap hands back a mutable element, so the
+  /// move-only Event payload moves out without the const_cast-of-top idiom.
+  std::vector<Entry> queue_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -89,6 +91,8 @@ class KServerResource {
   std::string name_;
   int busy_ = 0;
   double busy_time_ = 0.0;
+  // bounded-ok: virtual-time simulation state driven by one engine thread;
+  // backlog growth here is the congestion being modeled, not a leak.
   std::deque<Job> pending_;
 };
 
@@ -259,6 +263,9 @@ class SimQueue {
 
   std::size_t capacity_;
   bool closed_ = false;
+  // bounded-ok: single-threaded virtual-time queue — items_ is capped by
+  // capacity_ above, and the parked producer/consumer lists are bounded by
+  // the simulation's stream count, not a live inter-thread channel.
   std::deque<T> items_;
   std::deque<ParkedProducer> producers_;
   std::deque<std::function<void(std::optional<T>)>> consumers_;

@@ -491,7 +491,6 @@ SimResult simulate_baseline(const SimSetup& setup) {
 
   int open_streams = setup.num_streams;
   for (int i = 0; i < setup.num_streams; ++i) {
-    auto& st = result.streams[static_cast<std::size_t>(i)];
     if (setup.online) {
       const double interval = 1.0 / setup.config.online_fps;
       const double phase = interval * (static_cast<double>(i) /

@@ -1,8 +1,8 @@
 // ffsva_sim: command-line front end for the discrete-event FFS-VA
 // simulator, with live-telemetry export.
 //
-//   ffsva_sim --streams 16 --frames 2000 --offline \
-//             --metrics-out metrics.jsonl --metrics-interval-ms 100 \
+//   ffsva_sim --streams 16 --frames 2000 --offline
+//             --metrics-out metrics.jsonl --metrics-interval-ms 100
 //             --trace-out trace.json
 //
 // --metrics-out appends one JSONL row per (virtual) interval — the same

@@ -1,3 +1,5 @@
+// relaxed-ok: see telemetry/export.hpp — samples_ is a monotonic progress
+// counter; everything else is ordered by the sampler thread's join.
 #include "telemetry/export.hpp"
 
 #include <algorithm>
@@ -110,21 +112,29 @@ void MetricsExporter::start_stream(std::ostream* sink, int interval_ms,
 
 void MetricsExporter::start(int interval_ms, std::string label) {
   label_ = std::move(label);
-  stopping_ = false;
+  {
+    runtime::MutexLock lk(mu_);
+    stopping_ = false;
+  }
   samples_ = 0;
   have_prev_ = false;
   prev_t_sec_ = 0.0;
   t0_ = std::chrono::steady_clock::now();
+  // thread-ok: the sampler thread; stop() joins it before the sink closes.
   thread_ = std::thread([this, interval_ms] { loop(std::max(1, interval_ms)); });
 }
 
 void MetricsExporter::loop(int interval_ms) {
-  std::unique_lock lk(mu_);
+  runtime::UniqueLock lk(mu_);
   for (;;) {
-    if (cv_.wait_for(lk, std::chrono::milliseconds(interval_ms),
-                     [&] { return stopping_; })) {
-      return;  // final sample is taken by stop() after the join
+    // One sampling interval: sleep until the deadline or a stop request
+    // (explicit wait loop; see runtime/annotations.hpp).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(interval_ms);
+    while (!stopping_) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
     }
+    if (stopping_) return;  // final sample is taken by stop() after the join
     lk.unlock();
     sample_once();
     lk.lock();
@@ -150,7 +160,7 @@ void MetricsExporter::sample_once() {
 void MetricsExporter::stop() {
   if (thread_.joinable()) {
     {
-      std::lock_guard lk(mu_);
+      runtime::MutexLock lk(mu_);
       stopping_ = true;
     }
     cv_.notify_all();

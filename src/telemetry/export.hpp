@@ -11,19 +11,22 @@
 // The exporter owns no metric state — it is safe to start before the
 // pipeline's threads and must be stopped before the Registry (or anything
 // its gauge callbacks read) is destroyed.
+//
+// relaxed-ok: samples_ is a monotonic progress counter polled by tests;
+// the sampler's state is otherwise confined to its thread and the
+// start/stop join edges.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 
+#include "runtime/annotations.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace ffsva::telemetry {
@@ -65,13 +68,16 @@ class MetricsExporter {
   void sample_once();
 
   Registry& registry_;
+  // Sink plumbing and sample history are written by start()/stop() and the
+  // sampler thread, ordered by the thread create/join edges — the mutex
+  // below exists only for the stop handshake.
   std::ofstream file_;
   std::ostream* sink_ = nullptr;
   std::string label_;
-  std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::thread thread_;  // thread-ok: sampler thread, joined in stop()
+  runtime::Mutex mu_;
+  runtime::CondVar cv_;
+  bool stopping_ FFSVA_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> samples_{0};
   bool have_prev_ = false;
   MetricsSnapshot prev_;

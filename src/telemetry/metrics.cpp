@@ -1,3 +1,5 @@
+// relaxed-ok: see telemetry/metrics.hpp — sharded accumulators whose
+// snapshots are approximate-until-quiesce by contract.
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
@@ -85,14 +87,14 @@ const HistogramSnapshot* MetricsSnapshot::histogram(std::string_view name) const
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard lk(mu_);
+  runtime::MutexLock lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name, Gauge::Fn fn) {
-  std::lock_guard lk(mu_);
+  runtime::MutexLock lk(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   if (fn) slot->set_fn(std::move(fn));
@@ -100,14 +102,14 @@ Gauge& Registry::gauge(const std::string& name, Gauge::Fn fn) {
 }
 
 AtomicHistogram& Registry::histogram(const std::string& name) {
-  std::lock_guard lk(mu_);
+  runtime::MutexLock lk(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<AtomicHistogram>();
   return *slot;
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  std::lock_guard lk(mu_);
+  runtime::MutexLock lk(mu_);
   MetricsSnapshot s;
   s.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());

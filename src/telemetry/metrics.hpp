@@ -26,6 +26,11 @@
 // may allocate; callers hold the returned reference, which stays valid for
 // the registry's lifetime. snapshot() walks everything under the same mutex
 // and returns plain merged values.
+//
+// relaxed-ok: counter shards, histogram buckets, and min/max cells are
+// independent monotonic accumulators; snapshot() is documented approximate
+// while writers run and exact once they quiesce (a join edge, not an
+// ordering edge, makes it exact).
 #pragma once
 
 #include <array>
@@ -34,11 +39,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "runtime/annotations.hpp"
 #include "runtime/stats.hpp"
 
 namespace ffsva::telemetry {
@@ -151,20 +156,22 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name, Gauge::Fn fn = nullptr);
-  AtomicHistogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) FFSVA_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name, Gauge::Fn fn = nullptr)
+      FFSVA_EXCLUDES(mu_);
+  AtomicHistogram& histogram(const std::string& name) FFSVA_EXCLUDES(mu_);
 
   /// Merge every metric into plain values. Safe concurrently with recording
   /// (counters/histograms are relaxed reads); gauge callbacks run on the
   /// calling thread and must themselves be thread-safe.
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const FFSVA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<AtomicHistogram>> histograms_;
+  mutable runtime::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ FFSVA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FFSVA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<AtomicHistogram>> histograms_
+      FFSVA_GUARDED_BY(mu_);
 };
 
 }  // namespace ffsva::telemetry

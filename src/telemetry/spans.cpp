@@ -1,3 +1,5 @@
+// relaxed-ok: see telemetry/spans.hpp — single-writer ring heads and the
+// enable flag; exactness comes from quiesce edges, not ordering.
 #include "telemetry/spans.hpp"
 
 #include <algorithm>
@@ -60,7 +62,7 @@ TraceBuffer::TraceBuffer(std::size_t ring_capacity)
 TraceBuffer::~TraceBuffer() = default;
 
 void TraceBuffer::enable() {
-  std::lock_guard lk(mu_);
+  runtime::MutexLock lk(mu_);
   for (auto& r : rings_) r->head.store(0, std::memory_order_relaxed);
   epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
@@ -74,7 +76,7 @@ std::int64_t TraceBuffer::now_us() const {
 
 TraceBuffer::Ring* TraceBuffer::ring_for_this_thread() {
   const std::uint32_t tid = thread_slot();
-  std::lock_guard lk(mu_);
+  runtime::MutexLock lk(mu_);
   // A thread that alternated to another buffer and back finds its old ring.
   for (auto& r : rings_) {
     if (r->tid == tid) return r.get();
@@ -104,7 +106,7 @@ void TraceBuffer::record(const Span& span) {
 std::vector<Span> TraceBuffer::collect() const {
   std::vector<Span> out;
   {
-    std::lock_guard lk(mu_);
+    runtime::MutexLock lk(mu_);
     for (const auto& r : rings_) {
       const std::uint64_t head = r->head.load(std::memory_order_acquire);
       const std::uint64_t n =

@@ -16,6 +16,10 @@
 // otherwise may miss or skip in-flight records, never crash. Timestamps are
 // microseconds since enable(); the simulator records spans with *virtual*
 // timestamps through the same record() call.
+//
+// relaxed-ok: the enabled flag and ring heads are single-writer cells whose
+// exactness contract is quiesce-then-read (enable() before recorders start,
+// collect() after they join); release/acquire pairs order the slot writes.
 #pragma once
 
 #include <atomic>
@@ -23,9 +27,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "runtime/annotations.hpp"
 
 namespace ffsva::telemetry {
 
@@ -64,7 +69,7 @@ class TraceBuffer {
 
   /// Arm recording: resets every ring and the timestamp epoch. Must not
   /// race with recorders.
-  void enable();
+  void enable() FFSVA_EXCLUDES(mu_);
   /// Disarm recording; subsequent record() calls return immediately.
   void disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -77,7 +82,7 @@ class TraceBuffer {
   void record(const Span& span);
 
   /// All recorded spans, oldest first. Exact after recorders quiesce.
-  std::vector<Span> collect() const;
+  std::vector<Span> collect() const FFSVA_EXCLUDES(mu_);
 
   /// Write the spans as a chrome://tracing "traceEvents" JSON document
   /// (load in chrome://tracing or https://ui.perfetto.dev).
@@ -95,14 +100,16 @@ class TraceBuffer {
   struct Ring;
 
  private:
-  Ring* ring_for_this_thread();
+  Ring* ring_for_this_thread() FFSVA_EXCLUDES(mu_);
 
   const std::size_t ring_capacity_;
   std::uint64_t id_ = 0;  ///< Process-unique identity for thread ring caches.
   std::atomic<bool> enabled_{false};
   std::atomic<std::int64_t> epoch_ns_{0};
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable runtime::Mutex mu_;
+  /// Ring registration is guarded; the rings' *contents* are the recorder
+  /// threads' own atomics (see Ring::head), read by collect() via acquire.
+  std::vector<std::unique_ptr<Ring>> rings_ FFSVA_GUARDED_BY(mu_);
 };
 
 /// RAII span: stamps start at construction, records at destruction. All

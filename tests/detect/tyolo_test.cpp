@@ -80,7 +80,9 @@ TEST(TYolo, CoarseResolutionMissesWhatReferenceSees) {
     const bool t = tyolo.detect(frame).any_target(video::ObjectClass::kCar);
     if (r && !t) ++gap_widths;
     if (r && t) ++both_widths;
-    if (!r) EXPECT_FALSE(t) << "T-YOLO must not out-resolve the reference";
+    if (!r) {
+      EXPECT_FALSE(t) << "T-YOLO must not out-resolve the reference";
+    }
   }
   EXPECT_GT(gap_widths, 0) << "some partial widths must fall in the fidelity gap";
   EXPECT_GT(both_widths, 0) << "full cars must be seen by both";

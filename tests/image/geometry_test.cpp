@@ -85,7 +85,9 @@ TEST(Iou, PropertiesHoldOnRandomBoxes) {
     ASSERT_LE(v, 1.0);
     ASSERT_DOUBLE_EQ(v, iou(b, a));                 // symmetry
     ASSERT_DOUBLE_EQ(iou(a, a), 1.0);               // reflexivity
-    if (a.intersect(b).empty()) ASSERT_EQ(v, 0.0);  // disjoint -> 0
+    if (a.intersect(b).empty()) {
+      ASSERT_EQ(v, 0.0);  // disjoint -> 0
+    }
   }
 }
 

@@ -1,0 +1,8 @@
+// Seeded violation for ffsva_lint --self-test: a naked .detach() outside
+// supervision. thread-ok: the fixture needs a thread object to detach.
+#include <thread>
+
+void fixture_detach() {
+  std::thread t([] {});
+  t.detach();
+}

@@ -1,0 +1,13 @@
+// Seeded violation for ffsva_lint --self-test: a marker with no reason.
+// A bare marker is worse than none — it silences the rule while recording
+// nothing. Every other construct here is correctly marked so that
+// bare-marker is the single finding.
+#include <thread>
+
+void fixture_marked_spawn() {
+  // thread-ok: fixture thread, joined right below.
+  std::thread t([] {});
+  t.join();
+}
+
+// bounded-ok:

@@ -1,0 +1,10 @@
+// Seeded violation for ffsva_lint --self-test: an unmarked std::deque
+// member looking exactly like an unbounded inter-thread channel.
+#pragma once
+#include <deque>
+#include <mutex>
+
+struct FixtureChannel {
+  std::mutex mu;
+  std::deque<int> inbox;
+};

@@ -1,0 +1,7 @@
+// Seeded violation for ffsva_lint --self-test: memory_order_relaxed in a
+// file whose header carries no relaxed-ok audit paragraph.
+#include <atomic>
+
+int fixture_load(const std::atomic<int>& a) {
+  return a.load(std::memory_order_relaxed);
+}

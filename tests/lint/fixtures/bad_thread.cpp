@@ -1,0 +1,9 @@
+// Seeded violation for ffsva_lint --self-test: a raw std::thread outside
+// src/runtime/ with no thread-ok marker. The self-test also scans this file
+// under a pretend src/runtime/ path, where it must pass.
+#include <thread>
+
+void fixture_spawn() {
+  std::thread t([] {});
+  t.join();
+}

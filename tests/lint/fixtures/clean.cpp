@@ -1,0 +1,21 @@
+// Clean fixture for ffsva_lint --self-test: every rule's token appears,
+// each correctly marked, so the whole file must produce zero findings.
+//
+// relaxed-ok: fixture counter is a statistic only; no ordering is claimed.
+#include <atomic>
+#include <deque>
+#include <thread>
+
+struct CleanFixture {
+  // bounded-ok: pruned to a fixed window by the (pretend) caller.
+  std::deque<int> window;
+  std::atomic<int> hits{0};
+};
+
+void fixture_clean_run(CleanFixture& f) {
+  f.hits.fetch_add(1, std::memory_order_relaxed);
+  // thread-ok: fixture thread, joined or detached right below.
+  std::thread t([] {});
+  // detach-ok: fixture demonstrating a correctly-audited detach.
+  t.detach();
+}

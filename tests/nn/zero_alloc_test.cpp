@@ -48,10 +48,16 @@ void* operator new[](std::size_t size) {
   throw std::bad_alloc();
 }
 
+// GCC's -Wmismatched-new-delete pairs an inlined free() with the new
+// expression that produced the pointer; it cannot see that the replacement
+// operator new above is itself malloc-backed, which makes the pairing valid.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 #include "detect/snm.hpp"
 #include "nn/layers.hpp"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Format gate: clang-format --dry-run --Werror over every tracked C++ file.
+#
+# Exit codes: 0 clean, 1 violations, 77 clang-format unavailable (ctest's
+# SKIP_RETURN_CODE — containers without the LLVM toolchain skip, not fail).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+clang_format=""
+for cand in "${CLANG_FORMAT:-}" clang-format clang-format-18 clang-format-17 \
+            clang-format-16; do
+  if [ -n "$cand" ] && command -v "$cand" >/dev/null 2>&1; then
+    clang_format="$cand"
+    break
+  fi
+done
+if [ -z "$clang_format" ]; then
+  echo "check_format: clang-format not found on PATH — skipping (77)"
+  exit 77
+fi
+
+# Tracked C++ sources only; fall back to find when not in a git checkout.
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  files=$(git ls-files -- 'src/**/*.[ch]pp' 'tests/**/*.[ch]pp' \
+          'bench/**/*.[ch]pp' 'examples/**/*.[ch]pp')
+else
+  files=$(find src tests bench examples -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
+fi
+if [ -z "$files" ]; then
+  echo "check_format: no C++ sources found" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+if "$clang_format" --dry-run --Werror $files; then
+  echo "check_format: $(echo "$files" | wc -l) files clean"
+  exit 0
+else
+  echo "check_format: formatting violations (run: $clang_format -i <files>)" >&2
+  exit 1
+fi

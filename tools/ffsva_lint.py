@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Project-specific concurrency lint for the FFS-VA tree.
+
+Four rules, each enforcing a structural invariant the compiler cannot:
+
+  raw-thread         std::thread may only appear under src/runtime/ (the
+                     supervised-thread vocabulary lives there). Elsewhere a
+                     site must carry a `// thread-ok: <reason>` marker — the
+                     per-stream prefetch threads and the baseline harness in
+                     core/pipeline.cpp are the intended users.
+
+  relaxed-order      std::memory_order_relaxed is only legal in files whose
+                     header carries a `// relaxed-ok: <reason>` audit
+                     paragraph explaining where the happens-before edge
+                     comes from instead.
+
+  unbounded-channel  std::queue / std::deque declarations must carry a
+                     `// bounded-ok: <reason>` marker saying why the
+                     container cannot grow without bound (or is not an
+                     inter-thread channel at all). Back-pressure is the
+                     paper's central mechanism; an unbounded channel would
+                     silently defeat it.
+
+  naked-detach       .detach() may only appear under src/runtime/supervision
+                     or with a `// detach-ok: <reason>` marker. The only
+                     sanctioned use is the watchdog's quarantine of a wedged
+                     prefetch thread (DESIGN.md Section 9).
+
+A marker counts when it appears on the flagged line or within the
+MARKER_WINDOW preceding lines, and must be followed by a non-empty reason.
+Markers without a reason are themselves violations (bare-marker).
+
+Usage:
+  tools/ffsva_lint.py [--root DIR] [paths...]   # default: scan DIR/src
+  tools/ffsva_lint.py --self-test               # verify rules on fixtures
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+MARKER_WINDOW = 6  # lines above a site in which a marker still applies
+RELAXED_HEADER_LINES = 40  # relaxed-ok must appear this early in the file
+
+CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".inl")
+
+MARKER_RE = {
+    "thread-ok": re.compile(r"//.*\bthread-ok:\s*(\S.*)?"),
+    "relaxed-ok": re.compile(r"//.*\brelaxed-ok:\s*(\S.*)?"),
+    "bounded-ok": re.compile(r"//.*\bbounded-ok:\s*(\S.*)?"),
+    "detach-ok": re.compile(r"//.*\bdetach-ok:\s*(\S.*)?"),
+}
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_line_comment(line: str) -> str:
+    """Code portion of a line (before any // comment). Good enough for lint:
+    the tree does not put the flagged tokens inside string literals."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def has_marker(lines: list[str], idx: int, marker: str) -> bool:
+    """True when `marker` (with a reason) covers line index `idx` (0-based)."""
+    pat = MARKER_RE[marker]
+    lo = max(0, idx - MARKER_WINDOW)
+    for probe in lines[lo : idx + 1]:
+        m = pat.search(probe)
+        if m and m.group(1):
+            return True
+    return False
+
+
+def marker_without_reason(lines: list[str]) -> list[tuple[int, str]]:
+    """(line_index, marker) pairs for markers that carry no reason."""
+    out = []
+    for i, line in enumerate(lines):
+        for marker, pat in MARKER_RE.items():
+            m = pat.search(line)
+            if m and not m.group(1):
+                out.append((i, marker))
+    return out
+
+
+THREAD_RE = re.compile(r"\bstd::thread\b(?!::)")  # ::hardware_concurrency ok
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+CHANNEL_RE = re.compile(r"\bstd::(?:queue|deque)\s*<")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+
+
+def scan_file(relpath: str, text: str) -> list[Violation]:
+    """Lint one file. `relpath` is the repo-relative path (forward slashes);
+    path-based exemptions key off it."""
+    relpath = relpath.replace(os.sep, "/")
+    lines = text.splitlines()
+    out: list[Violation] = []
+
+    in_runtime = relpath.startswith("src/runtime/")
+    in_supervision = relpath.startswith("src/runtime/supervision")
+
+    relaxed_headered = any(
+        MARKER_RE["relaxed-ok"].search(line) for line in lines[:RELAXED_HEADER_LINES]
+    )
+
+    for i, raw in enumerate(lines):
+        code = strip_line_comment(raw)
+        lineno = i + 1
+
+        if not in_runtime and THREAD_RE.search(code):
+            if not has_marker(lines, i, "thread-ok"):
+                out.append(
+                    Violation(
+                        relpath,
+                        lineno,
+                        "raw-thread",
+                        "std::thread outside src/runtime/ without a "
+                        "'// thread-ok: <reason>' marker",
+                    )
+                )
+
+        if RELAXED_RE.search(code) and not relaxed_headered:
+            out.append(
+                Violation(
+                    relpath,
+                    lineno,
+                    "relaxed-order",
+                    "memory_order_relaxed in a file without a "
+                    f"'// relaxed-ok: <reason>' header (first "
+                    f"{RELAXED_HEADER_LINES} lines)",
+                )
+            )
+
+        if CHANNEL_RE.search(code) and not has_marker(lines, i, "bounded-ok"):
+            out.append(
+                Violation(
+                    relpath,
+                    lineno,
+                    "unbounded-channel",
+                    "std::queue/std::deque without a "
+                    "'// bounded-ok: <reason>' marker",
+                )
+            )
+
+        if not in_supervision and DETACH_RE.search(code):
+            if not has_marker(lines, i, "detach-ok"):
+                out.append(
+                    Violation(
+                        relpath,
+                        lineno,
+                        "naked-detach",
+                        ".detach() outside supervision without a "
+                        "'// detach-ok: <reason>' marker",
+                    )
+                )
+
+    for i, marker in marker_without_reason(lines):
+        out.append(
+            Violation(
+                relpath,
+                i + 1,
+                "bare-marker",
+                f"'{marker}:' marker with no reason — say why",
+            )
+        )
+
+    return out
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of C++ sources."""
+    found: list[str] = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            found.append(full)
+        elif os.path.isdir(full):
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(CPP_EXTENSIONS):
+                        found.append(os.path.join(dirpath, name))
+        else:
+            raise FileNotFoundError(p)
+    return found
+
+
+def run_lint(root: str, paths: list[str]) -> int:
+    violations: list[Violation] = []
+    for path in collect_files(root, paths):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            violations.extend(scan_file(rel, fh.read()))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"ffsva_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: every rule must fire on its seeded fixture and stay silent on
+# the clean fixture. Fixture files live in tests/lint/fixtures/ and are
+# scanned under fake src/-relative paths so the path exemptions engage.
+
+
+def self_test(root: str) -> int:
+    fixtures = os.path.join(root, "tests", "lint", "fixtures")
+    # fixture file -> (pretend relpath, exactly-expected rule ids)
+    cases = {
+        "bad_thread.cpp": ("src/core/bad_thread.cpp", {"raw-thread"}),
+        "bad_relaxed.cpp": ("src/core/bad_relaxed.cpp", {"relaxed-order"}),
+        "bad_queue.hpp": ("src/core/bad_queue.hpp", {"unbounded-channel"}),
+        "bad_detach.cpp": ("src/core/bad_detach.cpp", {"naked-detach"}),
+        "bad_marker.cpp": ("src/core/bad_marker.cpp", {"bare-marker"}),
+        "clean.cpp": ("src/core/clean.cpp", set()),
+        # The same thread fixture under src/runtime/ must pass: the rule is
+        # a location rule, not a token ban.
+        "bad_thread.cpp#runtime": ("src/runtime/bad_thread.cpp", set()),
+    }
+    failures = 0
+    for key, (relpath, expected) in cases.items():
+        fname = key.split("#")[0]
+        with open(os.path.join(fixtures, fname), encoding="utf-8") as fh:
+            got = {v.rule for v in scan_file(relpath, fh.read())}
+        if got != expected:
+            print(
+                f"self-test FAILED: {fname} as {relpath}: "
+                f"expected rules {sorted(expected)}, got {sorted(got)}",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        return 1
+    print(f"ffsva_lint self-test: {len(cases)} fixture cases ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=None, help="repo root (default: parent of tools/)"
+    )
+    parser.add_argument(
+        "--self-test", action="store_true", help="verify the rules on fixtures"
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to scan (default: src)"
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return self_test(root)
+    try:
+        return run_lint(root, args.paths or ["src"])
+    except FileNotFoundError as exc:
+        print(f"ffsva_lint: no such path: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy driver over a CMake compile_commands.json.
+
+Runs the repo's curated .clang-tidy profile (WarningsAsErrors: '*') across
+every first-party translation unit and fails on any diagnostic. Third-party
+and generated code (anything outside src/, tests/, bench/, examples/,
+tools/) is skipped.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir BUILD] [--jobs N] [--clang-tidy BIN]
+
+Exit codes:
+  0   clean
+  1   diagnostics found
+  2   usage error (no compile_commands.json)
+  77  clang-tidy not available — automatic-skip convention, consumed by
+      ctest's SKIP_RETURN_CODE so environments without the LLVM toolchain
+      (like the default build container) skip instead of fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+FIRST_PARTY = ("src/", "tests/", "bench/", "examples/", "tools/")
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17", "clang-tidy-16"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def first_party_sources(build_dir: str, root: str) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(
+            f"run_clang_tidy: {db_path} not found — configure with "
+            "CMAKE_EXPORT_COMPILE_COMMANDS=ON (the lint preset does)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as fh:
+        db = json.load(fh)
+    sources = []
+    for entry in db:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", "."), entry["file"])
+        )
+        rel = os.path.relpath(path, root)
+        if rel.startswith(FIRST_PARTY):
+            sources.append(path)
+    return sorted(set(sources))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build-lint")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    parser.add_argument("--clang-tidy", default=None)
+    args = parser.parse_args(argv)
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    build_dir = (
+        args.build_dir
+        if os.path.isabs(args.build_dir)
+        else os.path.join(root, args.build_dir)
+    )
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not found on PATH — skipping (77)")
+        return SKIP
+
+    sources = first_party_sources(build_dir, root)
+    if not sources:
+        print("run_clang_tidy: no first-party sources in the compile database",
+              file=sys.stderr)
+        return 2
+    print(f"run_clang_tidy: {len(sources)} translation units, -j{args.jobs}")
+
+    def run_one(src: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [tidy, "-p", build_dir, "--quiet", src],
+            capture_output=True,
+            text=True,
+            cwd=root,
+            check=False,
+        )
+        return src, proc.returncode, proc.stdout + proc.stderr
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for src, rc, output in pool.map(run_one, sources):
+            rel = os.path.relpath(src, root)
+            if rc != 0:
+                failures += 1
+                print(f"--- {rel} (exit {rc})")
+                print(output.rstrip())
+            else:
+                print(f"ok  {rel}")
+    if failures:
+        print(f"run_clang_tidy: {failures} file(s) with diagnostics",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
