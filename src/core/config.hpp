@@ -30,6 +30,22 @@ enum class DegradePolicy : std::uint8_t { kDrop = 0, kBypass = 1 };
 
 const char* to_string(DegradePolicy p);
 
+/// How the GPU1 reference stage consumes its queue:
+///  * kSingle   — one frame per detect() call (the paper's deployment; the
+///                pre-batching engine behaviour).
+///  * kBatch    — drain ref_q in cross-stream micro-batches of up to
+///                ref_batch_size frames under the shared BatchPolicy and
+///                evaluate them together (detect_batch), amortizing setup
+///                and exploiting the device's internal parallelism.
+///  * kCropPack — object-level consolidation (Rivas et al.): pack padded
+///                candidate crops (T-YOLO's boxes) from many streams into
+///                mosaic canvases and run the reference model once per
+///                mosaic, falling back to full-frame detection for frames
+///                whose candidate area exceeds crop_coverage_threshold.
+enum class RefMode : std::uint8_t { kSingle = 0, kBatch = 1, kCropPack = 2 };
+
+const char* to_string(RefMode m);
+
 struct FfsVaConfig {
   // --- user-facing event definition (Section 4.2) -------------------------
   double filter_degree = 0.5;   ///< Aggressiveness of SNM filtering in [0,1].
@@ -56,6 +72,33 @@ struct FfsVaConfig {
   /// Max frames T-YOLO extracts from one stream's queue per service cycle
   /// (inter-stream load balancing, Section 3.2.3 / 4.3.1).
   int num_tyolo = 4;
+
+  // --- GPU1 reference stage: micro-batching + crop consolidation -----------
+  /// How the reference loop consumes ref_q (see RefMode). kBatch preserves
+  /// the single-frame path's outputs bit-for-bit (same per-frame model, same
+  /// per-stream FIFO order, same drop-on-error contract); kCropPack trades a
+  /// bounded detection delta for running the expensive model on candidate
+  /// pixels only.
+  RefMode ref_mode = RefMode::kBatch;
+  /// Micro-batch cap for the reference stage (mirrors batch_size for SNM).
+  int ref_batch_size = 8;
+  /// Queue threshold handed to the reference DynamicBatcher (the analogue
+  /// of snm_queue_depth under BatchPolicy::kFeedback). Bounded above by
+  /// ref_queue_depth, which stays the physical queue capacity.
+  int ref_queue_threshold = 16;
+  /// Context padding (frame pixels) around each candidate box before crop
+  /// extraction — gives the full-resolution segmentation the local
+  /// neighbourhood the blur/morphology kernels need.
+  int crop_pad = 6;
+  /// Blank separation between packed crops (and to the canvas border) in
+  /// mosaic pixels. Must exceed twice the blur radius so blur spill from two
+  /// facing crops can never bridge a seam (detect/crop_pack.hpp).
+  int crop_gutter = 7;
+  /// Mosaic canvas edge (square canvases of crop_canvas_edge^2 pixels).
+  int crop_canvas_edge = 256;
+  /// Candidate-area fraction of a frame above which crop packing stops
+  /// paying and the frame falls back to one full-frame detect call.
+  double crop_coverage_threshold = 0.45;
 
   // --- engine sizing --------------------------------------------------------
   /// SDD worker-pool size. The engine runs a fixed pool of CPU workers over

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "detect/crop_pack.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/rate_limiter.hpp"
@@ -33,6 +34,17 @@ struct Item {
   Clock::time_point ingest;
 };
 
+/// A survivor bound for the reference stage: the frame plus the candidate
+/// boxes T-YOLO detected in it (frame coordinates). The candidates are what
+/// RefMode::kCropPack consolidates; an empty list (e.g. a kBypass-degraded
+/// frame that was never actually detected) routes the frame to the
+/// full-frame fallback, so it is still fully vetted.
+struct RefEntry {
+  int stream = 0;
+  Item item;
+  std::vector<image::Box> candidates;
+};
+
 telemetry::TraceBuffer& trace() { return telemetry::TraceBuffer::global(); }
 }  // namespace
 
@@ -49,6 +61,15 @@ const char* to_string(DegradePolicy p) {
   switch (p) {
     case DegradePolicy::kDrop: return "drop";
     case DegradePolicy::kBypass: return "bypass";
+  }
+  return "?";
+}
+
+const char* to_string(RefMode m) {
+  switch (m) {
+    case RefMode::kSingle: return "single";
+    case RefMode::kBatch: return "batch";
+    case RefMode::kCropPack: return "crop_pack";
   }
   return "?";
 }
@@ -155,6 +176,12 @@ struct FfsVaInstance::Stream {
   runtime::Histogram lat_snm;
   runtime::Histogram lat_tyolo;
   runtime::Histogram lat_ref;
+  /// Ingest-to-drop latency of frames the reference stage dropped on error.
+  /// Separate from lat_ref so the reference-stage latency distribution
+  /// describes only frames the model actually evaluated and emitted; still
+  /// merged into stats.latency_ms (every ingested frame terminates exactly
+  /// once). Written by the reference thread only.
+  runtime::Histogram lat_drop;
 
   Stream(int id_, std::unique_ptr<video::FrameSource> src, detect::StreamModels m,
          const FfsVaConfig& cfg_)
@@ -169,7 +196,7 @@ struct FfsVaInstance::Stream {
 };
 
 struct FfsVaInstance::TYoloShared {
-  runtime::BoundedQueue<std::pair<int, Item>> ref_q;  ///< (stream id, item)
+  runtime::BoundedQueue<RefEntry> ref_q;
   AdmissionController admission;
   explicit TYoloShared(const FfsVaConfig& cfg)
       : ref_q(static_cast<std::size_t>(cfg.capacity(cfg.ref_queue_depth))),
@@ -248,6 +275,13 @@ void FfsVaInstance::wire_metrics() {
   hot_.batch_size = &metrics_.histogram("executor.batch_size");
   hot_.tyolo_take = &metrics_.histogram("executor.tyolo_take");
   hot_.output_latency_ms = &metrics_.histogram("latency.output_ms");
+  hot_.ref_batches = &metrics_.counter("executor.ref_batches");
+  hot_.ref_batch_size = &metrics_.histogram("executor.ref_batch_size");
+  hot_.crops_per_mosaic = &metrics_.histogram("ref.crops_per_mosaic");
+  hot_.mosaic_fill = &metrics_.histogram("ref.mosaic_fill");
+  hot_.ref_full_frame = &metrics_.counter("ref.full_frame_fallbacks");
+  hot_.ref_seam_suppressed = &metrics_.counter("ref.seam_suppressed");
+  hot_.drop_latency_ms = &metrics_.histogram("latency.drop_ms");
 
   // Prefetch/fault/supervision state lives in Stream atomics (the detached
   // quarantined prefetch thread must never touch this registry), so it is
@@ -567,12 +601,21 @@ void FfsVaInstance::gpu0_loop() {
       }
       s.tyolo_in.fetch_add(1, std::memory_order_relaxed);
       hot_.tyolo_in->add();
+      // Keep the detections, not just the verdict: the boxes are the
+      // candidate regions the reference stage consolidates under
+      // RefMode::kCropPack. pass() is detect() + this count, so the
+      // predicate is unchanged.
       bool pass;
+      detect::DetectionResult det;
+      bool have_det = false;
       try {
         gpu0_hb_.busy();
-        pass = s.models.tyolo->pass(item->frame.image, s.models.target,
-                                    config_.number_of_objects);
+        det = s.models.tyolo->detect(item->frame.image);
         gpu0_hb_.idle();
+        pass = det.count_target(s.models.target,
+                                s.models.tyolo->config().confidence_threshold) >=
+               config_.number_of_objects;
+        have_det = true;
       } catch (...) {
         gpu0_hb_.idle();
         s.degraded.fetch_add(1, std::memory_order_relaxed);
@@ -582,7 +625,12 @@ void FfsVaInstance::gpu0_loop() {
       if (pass) {
         s.tyolo_passed.fetch_add(1, std::memory_order_relaxed);
         hot_.tyolo_passed->add();
-        if (!tyolo_shared_->ref_q.push({s.id, std::move(*item)})) running = false;
+        auto candidates =
+            have_det ? det.boxes() : std::vector<image::Box>{};
+        if (!tyolo_shared_->ref_q.push(
+                {s.id, std::move(*item), std::move(candidates)})) {
+          running = false;
+        }
       } else {
         hot_.drop_tyolo->add();
         s.lat_tyolo.add(ms_since(item->ingest));
@@ -714,34 +762,32 @@ void FfsVaInstance::gpu0_loop() {
 }
 
 void FfsVaInstance::reference_loop() {
-  while (auto entry = tyolo_shared_->ref_q.pop()) {
-    auto& [stream_id, item] = *entry;
-    Stream& s = *streams_[static_cast<std::size_t>(stream_id)];
-    if (s.quarantined.load(std::memory_order_acquire)) {
-      s.discarded.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    s.ref_in.fetch_add(1, std::memory_order_relaxed);
-    hot_.ref_in->add();
-    // GPU1 is owned by this thread — the paper's device placement, held by
-    // construction rather than a lock.
-    detect::DetectionResult result;
-    try {
-      ref_hb_.busy();
-      telemetry::ScopedSpan sp(trace(), "ref.detect", telemetry::Stage::kRef,
-                               s.id, item.frame.index);
-      result = s.models.reference->detect(item.frame.image);
-      ref_hb_.idle();
-    } catch (...) {
-      ref_hb_.idle();
-      // The reference model is the last vetting stage: a frame it cannot
-      // evaluate is always dropped (never emitted unvetted), whatever the
-      // degrade policy says about the cheap filters.
-      s.degraded.fetch_add(1, std::memory_order_relaxed);
-      hot_.drop_ref->add();
-      s.lat_ref.add(ms_since(item.ingest));
-      continue;
-    }
+  auto& ref_q = tyolo_shared_->ref_q;
+
+  // The three ways a frame leaves the reference stage. Emission order is
+  // pop order in every mode, so per-stream FIFO holds batched or not.
+  const auto discard = [&](Stream& s, const Item& item) {
+    // Quarantine drain-and-discard. These frames used to vanish with no
+    // latency record at all; they now feed the drop-latency histogram
+    // (telemetry only — per-stream stats freeze at quarantine, as before).
+    s.discarded.fetch_add(1, std::memory_order_relaxed);
+    hot_.drop_latency_ms->record(ms_since(item.ingest));
+  };
+  const auto drop = [&](Stream& s, const Item& item) {
+    // The reference model is the last vetting stage: a frame it cannot
+    // evaluate is always dropped (never emitted unvetted), whatever the
+    // degrade policy says about the cheap filters. Dropped frames feed
+    // lat_drop, NOT lat_ref — the reference-stage latency distribution
+    // describes emitted frames only; lat_drop still merges into
+    // stats.latency_ms, so every ingested frame terminates exactly once.
+    s.degraded.fetch_add(1, std::memory_order_relaxed);
+    hot_.drop_ref->add();
+    const double ms = ms_since(item.ingest);
+    s.lat_drop.add(ms);
+    hot_.drop_latency_ms->record(ms);
+  };
+  const auto emit = [&](Stream& s, Item&& item,
+                        detect::DetectionResult&& result) {
     s.ref_passed.fetch_add(1, std::memory_order_relaxed);
     hot_.ref_passed->add();
     outputs_count_.fetch_add(1, std::memory_order_relaxed);
@@ -755,6 +801,167 @@ void FfsVaInstance::reference_loop() {
       runtime::MutexLock lk(outputs_mu_);
       outputs_.push_back(std::move(ev));
     }
+  };
+
+  if (config_.ref_mode == RefMode::kSingle) {
+    // One frame per detect() call — the paper's deployment. GPU1 is owned
+    // by this thread — device placement held by construction, not a lock.
+    while (auto entry = ref_q.pop()) {
+      Stream& s = *streams_[static_cast<std::size_t>(entry->stream)];
+      if (s.quarantined.load(std::memory_order_acquire)) {
+        discard(s, entry->item);
+        continue;
+      }
+      s.ref_in.fetch_add(1, std::memory_order_relaxed);
+      hot_.ref_in->add();
+      detect::DetectionResult result;
+      try {
+        ref_hb_.busy();
+        telemetry::ScopedSpan sp(trace(), "ref.detect", telemetry::Stage::kRef,
+                                 s.id, entry->item.frame.index);
+        result = s.models.reference->detect(entry->item.frame.image);
+        ref_hb_.idle();
+      } catch (...) {
+        ref_hb_.idle();
+        drop(s, entry->item);
+        continue;
+      }
+      emit(s, std::move(entry->item), std::move(result));
+    }
+    return;
+  }
+
+  // Micro-batched modes: drain ref_q under a second DynamicBatcher (via
+  // BatchDrain, reusing the run's BatchPolicy) into cross-stream batches,
+  // then evaluate each batch in one go — detect_batch under kBatch,
+  // crop-consolidated mosaics under kCropPack. Per-frame outcomes are
+  // applied in batch order = pop order (per-stream FIFO preserved), and a
+  // frame whose evaluation throws is dropped alone (RefBatchItem::ok) —
+  // batch-mates are unaffected.
+  const BatchDrain drain(config_.batch_policy, config_.ref_batch_size,
+                         config_.ref_queue_threshold);
+  const detect::CropPackConfig pack_cfg{config_.crop_pad, config_.crop_gutter,
+                                        config_.crop_canvas_edge,
+                                        config_.crop_coverage_threshold};
+  // bounded-ok: pending never exceeds ref_batch_size entries — the top-up
+  // loop stops at the batch cap and the blocking pop adds one only when the
+  // policy is still waiting below the cap.
+  std::vector<RefEntry> pending;
+  pending.reserve(static_cast<std::size_t>(drain.batch_size()));
+  std::vector<RefEntry*> batch;  // eligible entries, in batch order
+  std::vector<const detect::ReferenceDetector*> detectors;
+  std::vector<const image::Image*> imgs;
+  std::vector<detect::CropRequest> requests;
+  bool ended = false;
+
+  for (;;) {
+    // Non-blocking top-up to the batch cap. Observe close *before* the
+    // failed pop so an empty pop on a closed queue means end-of-stream.
+    while (static_cast<int>(pending.size()) < drain.batch_size() && !ended) {
+      const bool closed = ref_q.closed();
+      auto e = ref_q.try_pop();
+      if (!e) {
+        if (closed) ended = true;
+        break;
+      }
+      pending.push_back(std::move(*e));
+    }
+    const auto step = drain.next(static_cast<int>(pending.size()), ended);
+    if (step.block) {
+      // The policy wants a fuller batch: sleep on the queue, never poll.
+      auto e = ref_q.pop();
+      if (!e) {
+        ended = true;
+        continue;
+      }
+      pending.push_back(std::move(*e));
+      continue;
+    }
+    if (step.take <= 0) break;  // closed, drained, nothing pending: done
+
+    // Quarantine drain-and-discard per entry; the rest form the batch.
+    batch.clear();
+    for (int i = 0; i < step.take; ++i) {
+      RefEntry& e = pending[static_cast<std::size_t>(i)];
+      Stream& s = *streams_[static_cast<std::size_t>(e.stream)];
+      if (s.quarantined.load(std::memory_order_acquire)) {
+        discard(s, e.item);
+        continue;
+      }
+      s.ref_in.fetch_add(1, std::memory_order_relaxed);
+      hot_.ref_in->add();
+      batch.push_back(&e);
+    }
+
+    if (!batch.empty()) {
+      hot_.ref_batches->add();
+      hot_.ref_batch_size->record(static_cast<double>(batch.size()));
+      std::vector<detect::RefBatchItem> results;
+      bool whole_batch_failed = false;
+      try {
+        ref_hb_.busy();
+        telemetry::ScopedSpan sp(trace(), "ref.batch", telemetry::Stage::kRef,
+                                 /*stream=*/-1, /*index=*/-1,
+                                 static_cast<int>(batch.size()));
+        if (config_.ref_mode == RefMode::kCropPack) {
+          requests.clear();
+          requests.reserve(batch.size());
+          for (const RefEntry* e : batch) {
+            const auto& ref =
+                *streams_[static_cast<std::size_t>(e->stream)]->models.reference;
+            requests.push_back(detect::CropRequest{
+                &e->item.frame.image, &ref.background(), e->candidates});
+          }
+          // Reference-model parameters are deployment-wide; the per-stream
+          // state (the background) travels inside each request.
+          auto consolidated = detect::consolidate_detect(
+              requests,
+              streams_[static_cast<std::size_t>(batch.front()->stream)]
+                  ->models.reference->config(),
+              pack_cfg);
+          results = std::move(consolidated.items);
+          const auto& cs = consolidated.stats;
+          for (const double f : cs.fill_ratio) hot_.mosaic_fill->record(f);
+          for (const int c : cs.crops_per_mosaic) {
+            hot_.crops_per_mosaic->record(static_cast<double>(c));
+          }
+          hot_.ref_full_frame->add(
+              static_cast<std::uint64_t>(cs.full_frame_fallbacks));
+          hot_.ref_seam_suppressed->add(
+              static_cast<std::uint64_t>(cs.seam_suppressed));
+        } else {  // RefMode::kBatch
+          detectors.clear();
+          imgs.clear();
+          detectors.reserve(batch.size());
+          imgs.reserve(batch.size());
+          for (const RefEntry* e : batch) {
+            detectors.push_back(
+                streams_[static_cast<std::size_t>(e->stream)]->models.reference.get());
+            imgs.push_back(&e->item.frame.image);
+          }
+          results = detect::detect_batch(detectors, imgs);
+        }
+        ref_hb_.idle();
+      } catch (...) {
+        // detect_batch / consolidate_detect isolate per-frame errors
+        // internally; only a batch-setup failure (e.g. allocation) lands
+        // here, and it fails just this batch, not the stage.
+        ref_hb_.idle();
+        whole_batch_failed = true;
+      }
+
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        RefEntry& e = *batch[i];
+        Stream& s = *streams_[static_cast<std::size_t>(e.stream)];
+        if (whole_batch_failed || !results[i].ok) {
+          drop(s, e.item);
+        } else {
+          emit(s, std::move(e.item), std::move(results[i].result));
+        }
+      }
+    }
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(step.take));
   }
 }
 
@@ -928,6 +1135,7 @@ InstanceStats FfsVaInstance::run(bool online) {
     s.stats.latency_ms.merge(s.lat_snm);
     s.stats.latency_ms.merge(s.lat_tyolo);
     s.stats.latency_ms.merge(s.lat_ref);
+    s.stats.latency_ms.merge(s.lat_drop);
     const double iw = s.ingest_wall_sec.load(std::memory_order_relaxed);
     if (iw > 0.0) {
       s.stats.ingest_fps = static_cast<double>(s.stats.prefetch.passed) / iw;

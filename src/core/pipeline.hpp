@@ -16,7 +16,13 @@
 //    SNM, and interleaves T-YOLO micro-batches under the round-robin
 //    TYoloScheduler with the per-stream `num_tyolo` cap. Device
 //    exclusivity holds by construction — no GPU0 mutex, no contention,
-//  * one reference-model thread (GPU1) draining the survivors.
+//  * one reference-model thread (GPU1) draining the survivors. Under
+//    RefMode::kBatch it consumes ref_q in cross-stream micro-batches
+//    (BatchDrain + detect_batch, work spread over the compute pool); under
+//    RefMode::kCropPack it consolidates T-YOLO's candidate boxes from many
+//    streams into mosaic canvases first (detect/crop_pack.hpp). Both keep
+//    GPU1 single-owner and preserve per-stream FIFO order and the per-frame
+//    drop-on-error contract.
 //
 // Stage workers sleep on QueueWaiter eventcounts wired to their input
 // queues (runtime/bounded_queue.hpp) and are woken by queue activity — the
@@ -318,6 +324,18 @@ class FfsVaInstance {
     telemetry::AtomicHistogram* batch_size = nullptr;
     telemetry::AtomicHistogram* tyolo_take = nullptr;
     telemetry::AtomicHistogram* output_latency_ms = nullptr;
+    // GPU1 reference-stage batching/consolidation (one schema, same
+    // registry: these are just more handles resolved in wire_metrics()).
+    telemetry::Counter* ref_batches = nullptr;
+    telemetry::AtomicHistogram* ref_batch_size = nullptr;  ///< Occupancy.
+    telemetry::AtomicHistogram* crops_per_mosaic = nullptr;
+    telemetry::AtomicHistogram* mosaic_fill = nullptr;
+    telemetry::Counter* ref_full_frame = nullptr;
+    telemetry::Counter* ref_seam_suppressed = nullptr;
+    /// Ingest-to-drop latency of frames the reference stage dropped or
+    /// quarantine-discarded — kept OUT of latency.output_ms so the output
+    /// distribution describes only emitted frames.
+    telemetry::AtomicHistogram* drop_latency_ms = nullptr;
   };
   Hot hot_;
 };

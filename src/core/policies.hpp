@@ -76,6 +76,38 @@ class DynamicBatcher {
   int queue_threshold_;
 };
 
+/// Drain driver for a batched single-consumer stage fed by one bounded
+/// queue — the GPU1 reference loop. The consumer keeps a pending buffer of
+/// already-popped items and asks next() what to do; the DynamicBatcher
+/// decision is translated into the only two moves a queue consumer has:
+/// consume `take` buffered items now, or blocking-pop one more item first
+/// (which is how a kStatic/kFeedback policy waits for a fuller batch
+/// without polling). Pure logic, shared with tests.
+class BatchDrain {
+ public:
+  BatchDrain(BatchPolicy policy, int batch_size, int queue_threshold)
+      : batcher_(policy, batch_size, queue_threshold) {}
+
+  struct Step {
+    int take = 0;       ///< Consume this many pending items now.
+    bool block = false; ///< Blocking-pop one more item before re-deciding.
+  };
+
+  /// `pending`: items buffered by the consumer; `ended`: the queue is
+  /// closed and drained (no more items will ever arrive). take == 0 and
+  /// block == false together mean the stage is done.
+  Step next(int pending, bool ended) const {
+    const auto d = batcher_.next_batch(pending, ended);
+    if (d.wait) return {0, true};
+    return {d.take, false};
+  }
+
+  int batch_size() const { return batcher_.batch_size(); }
+
+ private:
+  DynamicBatcher batcher_;
+};
+
 /// Feedback-queue throttle (Section 4.3.1): a stage must pause pushing when
 /// its downstream queue is at or above the threshold. With bounded queues
 /// this emerges naturally from a blocking push; the explicit predicate is

@@ -1,0 +1,157 @@
+// Cross-stream object-level crop consolidation for the GPU1 reference model
+// (Rivas et al., "Object-Level Consolidation" — PAPERS.md).
+//
+// The cascade's cheap filters already localize the interesting pixels:
+// T-YOLO's boxes (and SDD's difference mask behind them) say where the
+// candidate objects are, yet the reference model still segments every
+// background pixel of every surviving frame. This layer makes the expensive
+// model's work proportional to *candidate* area instead of frame area:
+//
+//  1. candidate boxes are padded (local context for the blur/morphology
+//     kernels), clipped, and merged when they overlap — one object, one crop;
+//  2. crops from MANY frames (many streams) are shelf-packed into mosaic
+//     canvases, every crop separated from its neighbours and the border by
+//     a `gutter` of blank pixels;
+//  3. a matching background mosaic is built from each crop's own stream
+//     background, so one segmentation pass over the canvas pair evaluates
+//     every crop against its correct per-stream reference — gutter pixels
+//     are identical in both canvases, so no foreground can bridge a seam as
+//     long as gutter exceeds the blur radius;
+//  4. detected components are mapped back to per-frame native coordinates by
+//     pure translation (crops are placed 1:1, never resampled — the
+//     mosaic→frame round trip is exact), classified against their own
+//     frame's geometry. Segmentation blurs the diff map, so a blob hugging a
+//     crop edge bleeds up to the blur radius into the zero gutter; such
+//     overhang is clipped back to the blob's placement. Only a component
+//     whose centre lands in a gutter is suppressed and counted (a seam
+//     artefact, not an object).
+//
+// Fallback policy: a frame with no candidates, with candidate coverage
+// above `coverage_threshold`, or with a crop that cannot fit a canvas is
+// detected full-frame through exactly the single-frame code path —
+// consolidation never produces a *worse* answer than refusing to
+// consolidate. Error isolation is per frame: a full-frame evaluation that
+// throws fails only its own slot; a (never observed in practice) mosaic
+// segmentation failure fails only the slots packed into that canvas.
+//
+// Everything here is pure, single-threaded-callable logic over caller-owned
+// images; consolidate_detect() spreads mosaic/fallback work across the
+// shared compute pool but shares no mutable state between chunks.
+#pragma once
+
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "detect/reference.hpp"
+#include "image/geometry.hpp"
+#include "image/image.hpp"
+
+namespace ffsva::detect {
+
+struct CropPackConfig {
+  /// Context padding (frame pixels) added around each candidate box before
+  /// extraction.
+  int pad = 6;
+  /// Blank separation between packed crops and to the canvas border. Must
+  /// exceed TWICE the segmentation blur radius (~3·blur_sigma each side) or
+  /// blur spill from two facing crops could meet mid-gutter and bridge their
+  /// blobs into one component. 7 covers the default blur_sigma = 1.0.
+  int gutter = 7;
+  /// Square mosaic canvas edge.
+  int canvas_edge = 256;
+  /// Candidate-area fraction of the frame above which packing stops paying
+  /// and the frame falls back to one full-frame detect.
+  double coverage_threshold = 0.45;
+};
+
+/// One frame's consolidation request. `candidates` are boxes in frame
+/// coordinates (e.g. the T-YOLO detections that passed the frame); an empty
+/// candidate list routes the frame to the full-frame fallback — a frame the
+/// cheap filters could not localize must still be fully vetted.
+struct CropRequest {
+  const image::Image* frame = nullptr;
+  const image::Image* background = nullptr;
+  std::vector<image::Box> candidates;
+};
+
+/// One crop's placement inside a mosaic canvas (1:1, no resampling).
+struct CropPlacement {
+  int slot = -1;     ///< Index into the request vector.
+  image::Box src;    ///< Crop rect in frame coordinates.
+  int canvas = 0;    ///< Which mosaic canvas.
+  int dx = 0, dy = 0;///< Top-left of the crop inside the canvas.
+
+  image::Box dst() const {
+    return image::Box{dx, dy, dx + src.width(), dy + src.height()};
+  }
+};
+
+struct PackPlan {
+  std::vector<CropPlacement> placements;
+  std::vector<int> full_frame;  ///< Slots routed to full-frame fallback.
+  int num_canvases = 0;
+  int canvas_w = 0, canvas_h = 0;
+  int channels = 0;                ///< Channel count of the canvases.
+  std::vector<double> fill_ratio;  ///< Per canvas: crop pixels / canvas pixels.
+  std::vector<int> crops_per_canvas;
+};
+
+/// Pad candidate boxes by `pad`, clip to the frame, and merge transitively
+/// overlapping boxes until none overlap — one object straddling several
+/// candidate boxes becomes one crop. Degenerate (empty after clipping)
+/// boxes are dropped.
+std::vector<image::Box> consolidate_candidates(std::vector<image::Box> boxes,
+                                               int frame_w, int frame_h, int pad);
+
+/// Decide fallbacks and shelf-pack the remaining crops into canvases.
+PackPlan plan_pack(const std::vector<CropRequest>& requests,
+                   const CropPackConfig& cfg);
+
+/// The rendered mosaic pair per canvas: frame pixels and the matching
+/// per-stream background pixels, gutters zero in both.
+struct MosaicCanvases {
+  std::vector<image::Image> frame;
+  std::vector<image::Image> background;
+};
+
+MosaicCanvases render_pack(const std::vector<CropRequest>& requests,
+                           const PackPlan& plan);
+
+/// Map a mosaic-space box on `canvas` back to frame coordinates. A box
+/// centred inside a placement belongs to it; any overhang into the gutter
+/// (blur spill of the diff map) is clipped to the placement before the
+/// translation. slot == -1 means the box is centred in a gutter and must be
+/// suppressed as a seam artefact.
+struct MapResult {
+  int slot = -1;
+  image::Box frame_box;
+};
+
+MapResult map_back(const PackPlan& plan, int canvas, const image::Box& mosaic_box);
+
+struct ConsolidatedStats {
+  int mosaics = 0;
+  int packed_crops = 0;
+  int full_frame_fallbacks = 0;
+  int seam_suppressed = 0;
+  std::vector<double> fill_ratio;     ///< Per mosaic.
+  std::vector<int> crops_per_mosaic;  ///< Per mosaic.
+};
+
+struct ConsolidatedBatch {
+  std::vector<RefBatchItem> items;  ///< Aligned with the request vector.
+  ConsolidatedStats stats;
+};
+
+/// Run the reference model over a consolidated batch: plan, render, one
+/// segmentation per mosaic, map-back + per-frame classification, full-frame
+/// fallbacks through the single-frame code path. `cfg` is the deployment's
+/// (shared) reference-model configuration — per-stream state enters through
+/// each request's background image; segmentation/classifier parameters are
+/// assumed homogeneous across the batch, which is how the engine deploys
+/// the reference model.
+ConsolidatedBatch consolidate_detect(const std::vector<CropRequest>& requests,
+                                     const ReferenceConfig& cfg,
+                                     const CropPackConfig& pack);
+
+}  // namespace ffsva::detect

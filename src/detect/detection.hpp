@@ -53,6 +53,20 @@ struct DetectionResult {
   bool any_target(video::ObjectClass target, double min_conf = 0.2) const {
     return count_target(target, min_conf) > 0;
   }
+
+  /// Boxes of every detection (any class) with confidence >= min_conf — the
+  /// candidate regions a downstream consolidation stage packs into mosaics
+  /// (detect/crop_pack.hpp). All classes are included: the reference model
+  /// re-vets candidates, and suppressing non-target boxes here would hide
+  /// objects its full-frame output would contain.
+  std::vector<image::Box> boxes(double min_conf = 0.0) const {
+    std::vector<image::Box> out;
+    out.reserve(detections.size());
+    for (const auto& d : detections) {
+      if (d.confidence >= min_conf && !d.box.empty()) out.push_back(d.box);
+    }
+    return out;
+  }
 };
 
 }  // namespace ffsva::detect

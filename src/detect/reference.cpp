@@ -1,5 +1,9 @@
 #include "detect/reference.hpp"
 
+#include <cassert>
+
+#include "runtime/parallel_for.hpp"
+
 namespace ffsva::detect {
 
 DetectionResult ReferenceDetector::detect(const image::Image& frame) const {
@@ -11,6 +15,36 @@ DetectionResult ReferenceDetector::detect(const image::Image& frame) const {
         c, frame.width(), frame.height(), config_.segmentation.min_pixels,
         config_.classifier));
   }
+  return out;
+}
+
+std::vector<RefBatchItem> ReferenceDetector::detect_batch(
+    std::span<const image::Image* const> frames) const {
+  std::vector<const ReferenceDetector*> detectors(frames.size(), this);
+  return ffsva::detect::detect_batch(detectors, frames);
+}
+
+std::vector<RefBatchItem> detect_batch(
+    std::span<const ReferenceDetector* const> detectors,
+    std::span<const image::Image* const> frames) {
+  assert(detectors.size() == frames.size());
+  std::vector<RefBatchItem> out(frames.size());
+  // Grain 1: one frame's full-resolution segmentation dwarfs the fork-join
+  // overhead, and batch sizes are small (ref_batch_size). Each index writes
+  // only its own slot, so the chunks share no mutable state. Exceptions are
+  // captured per frame — parallel_for would otherwise rethrow the first one
+  // and abandon the remaining chunks, dropping innocent batch-mates.
+  runtime::parallel_for(0, static_cast<std::int64_t>(frames.size()), 1,
+                        [&](std::int64_t b, std::int64_t e) {
+                          for (std::int64_t i = b; i < e; ++i) {
+                            const auto idx = static_cast<std::size_t>(i);
+                            try {
+                              out[idx].result = detectors[idx]->detect(*frames[idx]);
+                            } catch (...) {
+                              out[idx].ok = false;
+                            }
+                          }
+                        });
   return out;
 }
 

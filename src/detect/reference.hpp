@@ -6,7 +6,20 @@
 // the reference model YOLOv2", Section 5.3); we use it the same way — both
 // as the last pipeline stage and as the labeling oracle when specializing
 // SDD/SNM for a stream (Section 4.1).
+//
+// detect_batch() is the GPU1 micro-batch entry point: one call evaluates a
+// whole cross-stream batch, amortizing per-invocation setup and running the
+// per-image segmentation/classification through the shared compute pool
+// (runtime/parallel_for). Each frame is still evaluated by its own stream's
+// detector against its own background, so detect_batch(frames)[i].result is
+// bit-for-bit what detect(frames[i]) returns — batching changes the
+// schedule, never the output. Per-frame error isolation: a frame whose
+// evaluation throws is reported with ok = false instead of poisoning its
+// batch-mates (the engine's drop-on-error contract is per frame).
 #pragma once
+
+#include <span>
+#include <vector>
 
 #include "detect/detection.hpp"
 #include "detect/segmentation.hpp"
@@ -25,12 +38,26 @@ struct ReferenceConfig {
   double confidence_threshold = 0.45;
 };
 
+/// One frame's outcome inside a batched reference invocation. ok == false
+/// means this frame's evaluation threw; its result is empty and the caller
+/// must apply its drop-on-error policy to this frame alone.
+struct RefBatchItem {
+  DetectionResult result;
+  bool ok = true;
+};
+
 class ReferenceDetector {
  public:
   ReferenceDetector(ReferenceConfig config, image::Image background)
       : config_(config), background_(std::move(background)) {}
 
   DetectionResult detect(const image::Image& frame) const;
+
+  /// Micro-batch over this stream's detector: equivalent to calling
+  /// detect() per frame, with per-image work spread across the compute
+  /// pool and per-frame exception capture (see RefBatchItem).
+  std::vector<RefBatchItem> detect_batch(
+      std::span<const image::Image* const> frames) const;
 
   const image::Image& background() const { return background_; }
   const ReferenceConfig& config() const { return config_; }
@@ -39,5 +66,13 @@ class ReferenceDetector {
   ReferenceConfig config_;
   image::Image background_;
 };
+
+/// Cross-stream micro-batch: frames[i] is evaluated by detectors[i] (its
+/// own stream's reference model). The spans must have equal length. This is
+/// the entry point the GPU1 reference loop batches through; the member
+/// detect_batch forwards here with a uniform detector list.
+std::vector<RefBatchItem> detect_batch(
+    std::span<const ReferenceDetector* const> detectors,
+    std::span<const image::Image* const> frames);
 
 }  // namespace ffsva::detect

@@ -54,6 +54,44 @@ TEST(Batcher, DegenerateSizesClamped) {
   EXPECT_EQ(b.next_batch(5, false).take, 1);
 }
 
+// ----------------------------------------------------------- BatchDrain --
+
+TEST(BatchDrain, DynamicConsumesPendingImmediately) {
+  BatchDrain d(BatchPolicy::kDynamic, 8, 16);
+  EXPECT_EQ(d.batch_size(), 8);
+  auto s = d.next(3, false);
+  EXPECT_EQ(s.take, 3);
+  EXPECT_FALSE(s.block);
+  s = d.next(20, false);
+  EXPECT_EQ(s.take, 8);  // capped at the batch size
+}
+
+TEST(BatchDrain, EmptyPendingBlocksUntilEnded) {
+  BatchDrain d(BatchPolicy::kDynamic, 8, 16);
+  auto s = d.next(0, false);
+  EXPECT_TRUE(s.block);
+  EXPECT_EQ(s.take, 0);
+  // Queue closed and drained: take == 0 && !block means the stage is done.
+  s = d.next(0, true);
+  EXPECT_FALSE(s.block);
+  EXPECT_EQ(s.take, 0);
+}
+
+TEST(BatchDrain, StaticBlocksForFullBatchThenDrainsShortAtEnd) {
+  BatchDrain d(BatchPolicy::kStatic, 8, 16);
+  EXPECT_TRUE(d.next(7, false).block);   // wait -> blocking-pop one more
+  EXPECT_EQ(d.next(8, false).take, 8);
+  const auto s = d.next(3, true);        // ended: drain what is left
+  EXPECT_FALSE(s.block);
+  EXPECT_EQ(s.take, 3);
+}
+
+TEST(BatchDrain, FeedbackTargetIsMinOfBatchAndThreshold) {
+  BatchDrain d(BatchPolicy::kFeedback, 12, 4);
+  EXPECT_TRUE(d.next(3, false).block);
+  EXPECT_EQ(d.next(4, false).take, 4);
+}
+
 // ------------------------------------------------------ FeedbackController --
 
 TEST(FeedbackController, ThrottlesAtThreshold) {

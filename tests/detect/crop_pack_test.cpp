@@ -1,0 +1,346 @@
+// Property-style tests for the crop-consolidation geometry (detect/crop_pack)
+// and the batched reference entry points (detect_batch): packing never
+// overlaps, the mosaic->frame coordinate round trip is exact, seam
+// suppression fires only on straddlers, the full-frame fallback and the
+// micro-batch are bit-for-bit the single-frame path, and a throwing frame
+// fails alone.
+#include "detect/crop_pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "image/draw.hpp"
+
+namespace ffsva::detect {
+namespace {
+
+image::Image flat_bg(int w, int h, std::uint8_t v = 70) {
+  return image::Image(w, h, 3, v);
+}
+
+void expect_same_detections(const DetectionResult& a, const DetectionResult& b) {
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i].cls, b.detections[i].cls);
+    EXPECT_EQ(a.detections[i].box, b.detections[i].box);
+    EXPECT_DOUBLE_EQ(a.detections[i].confidence, b.detections[i].confidence);
+    EXPECT_EQ(a.detections[i].instances, b.detections[i].instances);
+    EXPECT_EQ(a.detections[i].pixels, b.detections[i].pixels);
+  }
+}
+
+TEST(ConsolidateCandidates, PadsClipsAndMergesOverlaps) {
+  // Two boxes 2*pad apart merge once padded; a third far away stays alone;
+  // a degenerate box disappears.
+  const auto out = consolidate_candidates(
+      {image::Box{10, 10, 20, 20}, image::Box{22, 10, 30, 20},
+       image::Box{100, 100, 120, 118}, image::Box{5, 5, 5, 9}},
+      160, 120, /*pad=*/4);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (image::Box{6, 6, 34, 24}));
+  EXPECT_EQ(out[1], (image::Box{96, 96, 124, 120}));  // clipped to the frame
+  for (const auto& b : out) EXPECT_FALSE(b.empty());
+}
+
+TEST(ConsolidateCandidates, TransitiveChainCollapsesToOneCrop) {
+  // a overlaps b, b overlaps c, a does not overlap c: still one crop.
+  const auto out = consolidate_candidates({image::Box{0, 0, 12, 10},
+                                           image::Box{10, 0, 24, 10},
+                                           image::Box{22, 0, 36, 10}},
+                                          200, 100, /*pad=*/0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (image::Box{0, 0, 36, 10}));
+}
+
+std::vector<CropRequest> random_requests(const std::vector<image::Image>& frames,
+                                         const image::Image& bg, std::mt19937& rng) {
+  std::uniform_int_distribution<int> nd(1, 5);
+  std::uniform_int_distribution<int> xd(0, 150);
+  std::uniform_int_distribution<int> yd(0, 110);
+  std::uniform_int_distribution<int> wd(4, 40);
+  std::vector<CropRequest> reqs;
+  for (const auto& f : frames) {
+    CropRequest r;
+    r.frame = &f;
+    r.background = &bg;
+    const int n = nd(rng);
+    for (int i = 0; i < n; ++i) {
+      const int x = xd(rng), y = yd(rng);
+      r.candidates.push_back(
+          image::Box{x, y, x + wd(rng), y + wd(rng)}.clip(160, 120));
+    }
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+TEST(PlanPack, PropertyPackedCropsNeverOverlapAndRespectGutter) {
+  std::mt19937 rng(42);
+  const auto bg = flat_bg(160, 120);
+  const std::vector<image::Image> frames(12, bg);
+  CropPackConfig cfg;
+  cfg.coverage_threshold = 0.9;  // keep most slots on the packed path
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto reqs = random_requests(frames, bg, rng);
+    const auto plan = plan_pack(reqs, cfg);
+    // Every slot is routed exactly once: packed (>=1 placement) xor fallback.
+    std::vector<int> placed(reqs.size(), 0);
+    for (const auto& p : plan.placements) placed[static_cast<std::size_t>(p.slot)]++;
+    for (const int slot : plan.full_frame) {
+      EXPECT_EQ(placed[static_cast<std::size_t>(slot)], 0);
+      placed[static_cast<std::size_t>(slot)] = -1;
+    }
+    for (const int n : placed) EXPECT_NE(n, 0);
+
+    for (const auto& p : plan.placements) {
+      // In bounds with the gutter border.
+      EXPECT_GE(p.dx, cfg.gutter);
+      EXPECT_GE(p.dy, cfg.gutter);
+      EXPECT_LE(p.dx + p.src.width() + cfg.gutter, plan.canvas_w);
+      EXPECT_LE(p.dy + p.src.height() + cfg.gutter, plan.canvas_h);
+      EXPECT_GE(p.canvas, 0);
+      EXPECT_LT(p.canvas, plan.num_canvases);
+    }
+    // Pairwise: crops on one canvas are separated by >= gutter on an axis.
+    for (std::size_t i = 0; i < plan.placements.size(); ++i) {
+      for (std::size_t j = i + 1; j < plan.placements.size(); ++j) {
+        const auto& a = plan.placements[i];
+        const auto& b = plan.placements[j];
+        if (a.canvas != b.canvas) continue;
+        const auto da = a.dst(), db = b.dst();
+        const bool separated =
+            da.x1 + cfg.gutter <= db.x0 || db.x1 + cfg.gutter <= da.x0 ||
+            da.y1 + cfg.gutter <= db.y0 || db.y1 + cfg.gutter <= da.y0;
+        EXPECT_TRUE(separated) << "crops " << i << "," << j << " touch";
+      }
+    }
+  }
+}
+
+TEST(RenderPack, MosaicRoundTripIsExactAndGuttersAreBlank) {
+  // Distinct per-frame pixel patterns so a misplaced copy cannot pass.
+  std::vector<image::Image> frames;
+  for (int f = 0; f < 6; ++f) {
+    image::Image img(160, 120, 3, 0);
+    for (int y = 0; y < 120; ++y) {
+      for (int x = 0; x < 160; ++x) {
+        img.at(x, y, 0) = static_cast<std::uint8_t>((x + 17 * f) & 0xff);
+        img.at(x, y, 1) = static_cast<std::uint8_t>((y + 31 * f) & 0xff);
+        img.at(x, y, 2) = static_cast<std::uint8_t>((x ^ y) & 0xff);
+      }
+    }
+    frames.push_back(std::move(img));
+  }
+  const auto bg = flat_bg(160, 120);
+  std::mt19937 rng(7);
+  const auto reqs = random_requests(frames, bg, rng);
+  CropPackConfig cfg;
+  cfg.coverage_threshold = 0.9;
+  const auto plan = plan_pack(reqs, cfg);
+  ASSERT_GT(plan.placements.size(), 0u);
+  const auto canvases = render_pack(reqs, plan);
+
+  std::vector<std::vector<bool>> covered(
+      static_cast<std::size_t>(plan.num_canvases),
+      std::vector<bool>(static_cast<std::size_t>(plan.canvas_w * plan.canvas_h),
+                        false));
+  for (const auto& p : plan.placements) {
+    const auto& frame = *reqs[static_cast<std::size_t>(p.slot)].frame;
+    const auto& cf = canvases.frame[static_cast<std::size_t>(p.canvas)];
+    const auto& cb = canvases.background[static_cast<std::size_t>(p.canvas)];
+    for (int y = 0; y < p.src.height(); ++y) {
+      for (int x = 0; x < p.src.width(); ++x) {
+        for (int ch = 0; ch < 3; ++ch) {
+          ASSERT_EQ(cf.at(p.dx + x, p.dy + y, ch),
+                    frame.at(p.src.x0 + x, p.src.y0 + y, ch));
+          ASSERT_EQ(cb.at(p.dx + x, p.dy + y, ch),
+                    bg.at(p.src.x0 + x, p.src.y0 + y, ch));
+        }
+        covered[static_cast<std::size_t>(p.canvas)]
+               [static_cast<std::size_t>((p.dy + y) * plan.canvas_w + p.dx + x)] =
+                   true;
+      }
+    }
+    // Round trip: a box inside this placement maps back to the exact
+    // frame-coordinate translation of itself.
+    const image::Box inner{p.dx, p.dy, p.dx + p.src.width(),
+                           p.dy + p.src.height()};
+    const auto m = map_back(plan, p.canvas, inner);
+    ASSERT_EQ(m.slot, p.slot);
+    EXPECT_EQ(m.frame_box, p.src);
+  }
+  // Uncovered canvas pixels (gutters) are zero in BOTH canvases: no
+  // frame/background difference can originate outside a crop.
+  for (int c = 0; c < plan.num_canvases; ++c) {
+    for (int y = 0; y < plan.canvas_h; ++y) {
+      for (int x = 0; x < plan.canvas_w; ++x) {
+        if (covered[static_cast<std::size_t>(c)]
+                   [static_cast<std::size_t>(y * plan.canvas_w + x)]) {
+          continue;
+        }
+        for (int ch = 0; ch < 3; ++ch) {
+          ASSERT_EQ(canvases.frame[static_cast<std::size_t>(c)].at(x, y, ch), 0);
+          ASSERT_EQ(canvases.background[static_cast<std::size_t>(c)].at(x, y, ch),
+                    0);
+        }
+      }
+    }
+  }
+}
+
+TEST(MapBack, ClipsGutterSpillAndSuppressesOnlyGutterCentredBoxes) {
+  const auto bg = flat_bg(160, 120);
+  std::vector<CropRequest> reqs(2);
+  reqs[0].frame = &bg;
+  reqs[0].background = &bg;
+  reqs[0].candidates = {image::Box{20, 20, 60, 50}};
+  reqs[1].frame = &bg;
+  reqs[1].background = &bg;
+  reqs[1].candidates = {image::Box{80, 60, 130, 100}};
+  CropPackConfig cfg;
+  cfg.pad = 0;
+  const auto plan = plan_pack(reqs, cfg);
+  ASSERT_EQ(plan.placements.size(), 2u);
+  ASSERT_TRUE(plan.full_frame.empty());
+  for (const auto& p : plan.placements) {
+    const auto d = p.dst();
+    // Fully inside: mapped, and to the right slot.
+    const image::Box inside{d.x0 + 1, d.y0 + 1, d.x1 - 1, d.y1 - 1};
+    EXPECT_EQ(map_back(plan, p.canvas, inside).slot, p.slot);
+    // Exactly the placement: still inside (closed fit), mapped.
+    EXPECT_EQ(map_back(plan, p.canvas, d).slot, p.slot);
+    // Overhang into the gutter (blur spill of the diff map) with the centre
+    // still inside: mapped, and the overhang clipped to the placement — the
+    // mapped box equals the full crop in frame coordinates.
+    const image::Box frame_crop = map_back(plan, p.canvas, d).frame_box;
+    for (const image::Box spilled :
+         {image::Box{d.x0 - 1, d.y0, d.x1, d.y1},
+          image::Box{d.x0, d.y0, d.x1 + 1, d.y1},
+          image::Box{d.x0, d.y0 - 1, d.x1, d.y1 + 1}}) {
+      const auto m = map_back(plan, p.canvas, spilled);
+      EXPECT_EQ(m.slot, p.slot);
+      EXPECT_EQ(m.frame_box, frame_crop);
+    }
+  }
+  // A box floating in a gutter (no placement owns its centre): suppressed.
+  EXPECT_EQ(map_back(plan, 0, image::Box{0, 0, 2, 2}).slot, -1);
+}
+
+TEST(ConsolidateDetect, FallbackPathIsBitForBitSingleFrame) {
+  const auto bg = flat_bg(320, 240);
+  auto frame = bg;
+  image::fill_rect(frame, image::Box{80, 100, 130, 122}, image::Rgb{220, 50, 50});
+  image::fill_rect(frame, image::Box{200, 100, 214, 136}, image::Rgb{40, 180, 220});
+  const ReferenceConfig rc;
+  const ReferenceDetector ref(rc, bg);
+  const auto oracle = ref.detect(frame);
+  ASSERT_EQ(oracle.detections.size(), 2u);
+
+  // Route 1 to fallback by coverage, route 2 by an empty candidate list.
+  CropPackConfig cfg;
+  cfg.coverage_threshold = 0.0;
+  std::vector<CropRequest> reqs(2);
+  reqs[0].frame = &frame;
+  reqs[0].background = &bg;
+  reqs[0].candidates = {image::Box{60, 80, 240, 160}};
+  reqs[1].frame = &frame;
+  reqs[1].background = &bg;
+  const auto out = consolidate_detect(reqs, rc, cfg);
+  EXPECT_EQ(out.stats.full_frame_fallbacks, 2);
+  EXPECT_EQ(out.stats.mosaics, 0);
+  for (const auto& item : out.items) {
+    ASSERT_TRUE(item.ok);
+    expect_same_detections(item.result, oracle);
+  }
+}
+
+TEST(ConsolidateDetect, PackedPathFindsTheObjectsWithFrameGeometry) {
+  // Two streams, distinct backgrounds, one car-sized object each; candidates
+  // are loose boxes around the objects (as T-YOLO would give). The packed
+  // path must classify against each frame's own geometry, so the wide blob
+  // in the SECOND frame is a bus exactly as the single-frame path says.
+  const auto bg0 = flat_bg(320, 240, 70);
+  const auto bg1 = flat_bg(320, 240, 110);
+  auto f0 = bg0;
+  image::fill_rect(f0, image::Box{80, 100, 130, 122}, image::Rgb{220, 50, 50});
+  auto f1 = bg1;
+  image::fill_rect(f1, image::Box{50, 100, 150, 134}, image::Rgb{230, 200, 40});
+  const ReferenceConfig rc;
+  const ReferenceDetector ref0(rc, bg0);
+  const ReferenceDetector ref1(rc, bg1);
+  const auto o0 = ref0.detect(f0);
+  const auto o1 = ref1.detect(f1);
+  ASSERT_EQ(o0.detections.size(), 1u);
+  ASSERT_EQ(o1.detections.size(), 1u);
+  ASSERT_EQ(o1.detections[0].cls, video::ObjectClass::kBus);
+
+  std::vector<CropRequest> reqs(2);
+  reqs[0] = {&f0, &bg0, {image::Box{75, 95, 135, 127}}};
+  reqs[1] = {&f1, &bg1, {image::Box{45, 95, 155, 139}}};
+  const auto out = consolidate_detect(reqs, rc, CropPackConfig{});
+  EXPECT_EQ(out.stats.full_frame_fallbacks, 0);
+  EXPECT_GE(out.stats.mosaics, 1);
+  EXPECT_EQ(out.stats.packed_crops, 2);
+  ASSERT_TRUE(out.items[0].ok);
+  ASSERT_TRUE(out.items[1].ok);
+  expect_same_detections(out.items[0].result, o0);
+  expect_same_detections(out.items[1].result, o1);
+}
+
+TEST(DetectBatch, MatchesSingleFrameBitForBit) {
+  const auto bg = flat_bg(320, 240);
+  std::vector<image::Image> frames;
+  for (int i = 0; i < 5; ++i) {
+    auto f = bg;
+    image::fill_rect(f, image::Box{40 + 30 * i, 100, 90 + 30 * i, 122},
+                     image::Rgb{220, 50, 50});
+    frames.push_back(std::move(f));
+  }
+  const ReferenceDetector ref(ReferenceConfig{}, bg);
+  std::vector<const image::Image*> ptrs;
+  for (const auto& f : frames) ptrs.push_back(&f);
+  const auto batch = ref.detect_batch(ptrs);
+  ASSERT_EQ(batch.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok);
+    expect_same_detections(batch[i].result, ref.detect(frames[i]));
+  }
+}
+
+TEST(DetectBatch, CrossStreamUsesEachFramesOwnDetector) {
+  const auto bg0 = flat_bg(320, 240, 70);
+  const auto bg1 = flat_bg(320, 240, 140);
+  auto f0 = bg0;
+  image::fill_rect(f0, image::Box{80, 100, 130, 122}, image::Rgb{220, 50, 50});
+  auto f1 = bg1;
+  image::fill_rect(f1, image::Box{80, 100, 130, 122}, image::Rgb{220, 50, 50});
+  const ReferenceDetector ref0(ReferenceConfig{}, bg0);
+  const ReferenceDetector ref1(ReferenceConfig{}, bg1);
+  const std::vector<const ReferenceDetector*> dets{&ref0, &ref1};
+  const std::vector<const image::Image*> imgs{&f0, &f1};
+  const auto batch = detect_batch(dets, imgs);
+  ASSERT_EQ(batch.size(), 2u);
+  expect_same_detections(batch[0].result, ref0.detect(f0));
+  expect_same_detections(batch[1].result, ref1.detect(f1));
+}
+
+TEST(DetectBatch, ThrowingFrameFailsAloneAndDropsNoBatchMates) {
+  const auto bg = flat_bg(320, 240);
+  auto good = bg;
+  image::fill_rect(good, image::Box{80, 100, 130, 122}, image::Rgb{220, 50, 50});
+  const image::Image truncated(320, 200, 3, 70);  // shape mismatch: throws
+  const ReferenceDetector ref(ReferenceConfig{}, bg);
+  const std::vector<const image::Image*> imgs{&good, &truncated, &good};
+  const auto batch = ref.detect_batch(imgs);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].ok);
+  EXPECT_FALSE(batch[1].ok);
+  EXPECT_TRUE(batch[2].ok);
+  const auto oracle = ref.detect(good);
+  expect_same_detections(batch[0].result, oracle);
+  expect_same_detections(batch[2].result, oracle);
+}
+
+}  // namespace
+}  // namespace ffsva::detect
