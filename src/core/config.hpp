@@ -46,6 +46,19 @@ enum class RefMode : std::uint8_t { kSingle = 0, kBatch = 1, kCropPack = 2 };
 
 const char* to_string(RefMode m);
 
+/// How the prefetch stage reconstructs frames from a stored bitstream:
+///  * kFull   — decode every frame before SDD (default; bit-for-bit the
+///              pre-hint engine behaviour).
+///  * kHinted — consult the codec's per-frame residual summary first
+///              (detect::CompressedSdd) and skip reconstruction entirely
+///              for frames the hint proves SDD would drop, falling back to
+///              full decode + pixel SDD for borderline frames
+///              (DESIGN.md §13). Applies to offline streams whose source
+///              carries hints; everything else decodes as kFull.
+enum class DecodePolicy : std::uint8_t { kFull = 0, kHinted = 1 };
+
+const char* to_string(DecodePolicy p);
+
 struct FfsVaConfig {
   // --- user-facing event definition (Section 4.2) -------------------------
   double filter_degree = 0.5;   ///< Aggressiveness of SNM filtering in [0,1].
@@ -110,6 +123,21 @@ struct FfsVaConfig {
   /// rescanning: bounds how long a busy stream can monopolize a worker when
   /// streams outnumber workers.
   int sdd_run_length = 32;
+
+  // --- ingest: codec-aware decode + worker pinning (DESIGN.md §13) ---------
+  /// Compressed-domain fast path through prefetch (see DecodePolicy).
+  DecodePolicy decode_policy = DecodePolicy::kFull;
+  /// Conservative band of the hint decision, in (0, 1]: a hint may skip a
+  /// frame only when its distance bracket stays below
+  /// delta_diff * sdd_hint_relax, and pass one only above
+  /// delta_diff / sdd_hint_relax; everything between falls back to pixel
+  /// SDD. 1.0 = no band (trust the bound exactly); lower = safer + slower.
+  double sdd_hint_relax = 0.9;
+  /// Base CPU for pinning ingest (prefetch/decode) threads: stream i pins
+  /// to CPU (ingest_affinity + i) mod cpu_count. Negative = no pinning
+  /// (default). The FFSVA_AFFINITY environment variable overrides this
+  /// knob (integer base, or "off"); see runtime::resolve_ingest_affinity.
+  int ingest_affinity = -1;
 
   // --- online mode ----------------------------------------------------------
   double online_fps = 30.0;

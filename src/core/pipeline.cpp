@@ -1,7 +1,9 @@
-// relaxed-ok: per-stream frame/fault counters are single-logical-writer
-// cells snapshotted mid-run (approximate by contract) and frozen after the
-// stage joins; the claim/quarantine edges that need ordering use acq_rel —
-// see the Stream struct comments below.
+// relaxed-ok: per-stream frame/fault counters — including the codec-aware
+// ingest counters of the hinted fast path (decode_full/decode_skipped/
+// hint_passes/hint_fallbacks) — are single-logical-writer cells snapshotted
+// mid-run (approximate by contract) and frozen after the stage joins; the
+// claim/quarantine edges that need ordering use acq_rel — see the Stream
+// struct comments below.
 #include "core/pipeline.hpp"
 
 #include <algorithm>
@@ -13,10 +15,12 @@
 #include <thread>
 
 #include "detect/crop_pack.hpp"
+#include "detect/sdd.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/rate_limiter.hpp"
 #include "runtime/stopwatch.hpp"
+#include "runtime/thread_pool.hpp"
 #include "telemetry/spans.hpp"
 
 namespace ffsva::core {
@@ -74,6 +78,14 @@ const char* to_string(RefMode m) {
   return "?";
 }
 
+const char* to_string(DecodePolicy p) {
+  switch (p) {
+    case DecodePolicy::kFull: return "full";
+    case DecodePolicy::kHinted: return "hinted";
+  }
+  return "?";
+}
+
 StreamStats InstanceStats::aggregate() const {
   StreamStats agg;
   for (const auto& s : streams) {
@@ -90,6 +102,13 @@ StreamStats InstanceStats::aggregate() const {
     agg.dropped_at_ingest += s.dropped_at_ingest;
     agg.latency_ms.merge(s.latency_ms);
     agg.ingest_fps += s.ingest_fps;
+    agg.ingest.decode_full += s.ingest.decode_full;
+    agg.ingest.decode_skipped += s.ingest.decode_skipped;
+    agg.ingest.hint_passes += s.ingest.hint_passes;
+    agg.ingest.hint_fallbacks += s.ingest.hint_fallbacks;
+    agg.ingest.compression_ratio =
+        std::max(agg.ingest.compression_ratio, s.ingest.compression_ratio);
+    agg.ingest.decode_ms.merge(s.ingest.decode_ms);
     agg.fault.decode_errors += s.fault.decode_errors;
     agg.fault.retries += s.fault.retries;
     agg.fault.restarts += s.fault.restarts;
@@ -123,6 +142,29 @@ struct FfsVaInstance::Stream {
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::uint64_t> restarts{0};
   std::atomic<double> ingest_wall_sec{0.0};
+
+  /// Codec-aware ingest (DecodePolicy::kHinted, DESIGN.md §13). When
+  /// `fused_ingest` is set — decided in run() before any thread starts,
+  /// read-only afterwards — this stream's prefetch thread owns the whole
+  /// SDD stage: it consults the source's residual hints, decodes only the
+  /// frames the hint could not decide, runs pixel SDD on the fallbacks,
+  /// and feeds snm_q directly (closing it on exit). The SDD worker pool
+  /// never serves a fused stream (sdd_done is pre-set), so the done/close
+  /// handshake keeps exactly one closer. The counters below follow the
+  /// prefetch-thread contract above: relaxed Stream atomics surfaced as
+  /// gauges, because the thread may be detached by quarantine and must
+  /// never touch the instance registry. decode_full/decode_ms also move on
+  /// the kFull path, so the decode schema reads consistently across
+  /// policies.
+  bool fused_ingest = false;
+  std::atomic<std::uint64_t> decode_full{0};
+  std::atomic<std::uint64_t> decode_skipped{0};
+  std::atomic<std::uint64_t> hint_passes{0};
+  std::atomic<std::uint64_t> hint_fallbacks{0};
+  /// Decode-stage latency. AtomicHistogram (not runtime::Histogram): the
+  /// recorder is the possibly-detached prefetch thread while snapshot
+  /// gauges read it live, so recording must be lock-free and thread-safe.
+  telemetry::AtomicHistogram decode_ms;
 
   /// Degrade / quarantine accounting, written by whichever stage thread
   /// observes the event (SDD worker, GPU0 executor, reference thread).
@@ -225,12 +267,11 @@ void FfsVaInstance::set_output_sink(std::function<void(const OutputEvent&)> sink
   sink_ = std::move(sink);
 }
 
-int FfsVaInstance::sdd_pool_size() const {
-  const int n = static_cast<int>(streams_.size());
-  if (n == 0) return 0;
+int FfsVaInstance::sdd_pool_size(int eligible_streams) const {
+  if (eligible_streams <= 0) return 0;
   const int w = config_.sdd_workers > 0 ? config_.sdd_workers
                                         : runtime::compute_parallelism();
-  return std::clamp(w, 1, n);
+  return std::clamp(w, 1, eligible_streams);
 }
 
 bool FfsVaInstance::enable_metrics_export(const std::string& path,
@@ -298,6 +339,21 @@ void FfsVaInstance::wire_metrics() {
   metrics_.gauge("prefetch.in", sum(&Stream::prefetch_in));
   metrics_.gauge("prefetch.passed", sum(&Stream::prefetch_passed));
   metrics_.gauge("drop.ingest", sum(&Stream::dropped_ingest));
+  // Codec-aware ingest (same schema, same registry; gauges because the
+  // writer is the possibly-detached prefetch thread — see above).
+  metrics_.gauge("decode.full", sum(&Stream::decode_full));
+  metrics_.gauge("decode.skipped", sum(&Stream::decode_skipped));
+  metrics_.gauge("sdd.hint_pass", sum(&Stream::hint_passes));
+  metrics_.gauge("sdd.hint_fallback", sum(&Stream::hint_fallbacks));
+  const auto decode_quantile = [this](double q) {
+    return [this, q]() {
+      telemetry::HistogramSnapshot merged;
+      for (const auto& s : streams_) merged.merge(s->decode_ms.snapshot());
+      return merged.count ? merged.quantile(q) : 0.0;
+    };
+  };
+  metrics_.gauge("latency.decode_p50_ms", decode_quantile(0.5));
+  metrics_.gauge("latency.decode_p99_ms", decode_quantile(0.99));
   metrics_.gauge("fault.decode_errors", sum(&Stream::decode_errors));
   metrics_.gauge("fault.retries", sum(&Stream::retries));
   metrics_.gauge("fault.restarts", sum(&Stream::restarts));
@@ -357,6 +413,13 @@ InstanceSnapshot FfsVaInstance::snapshot() const {
     ss.sdd_queue_depth = s.sdd_q.depth();
     ss.snm_queue_depth = s.snm_q.depth();
     ss.tyolo_queue_depth = s.tyolo_q.depth();
+    ss.decode_full = s.decode_full.load(std::memory_order_relaxed);
+    ss.decode_skipped = s.decode_skipped.load(std::memory_order_relaxed);
+    ss.hint_passes = s.hint_passes.load(std::memory_order_relaxed);
+    ss.hint_fallbacks = s.hint_fallbacks.load(std::memory_order_relaxed);
+    if (const auto cs = s.source->codec_stats()) {
+      ss.compression_ratio = cs->compression_ratio();
+    }
     ss.fault.decode_errors = s.decode_errors.load(std::memory_order_relaxed);
     ss.fault.retries = s.retries.load(std::memory_order_relaxed);
     ss.fault.restarts = s.restarts.load(std::memory_order_relaxed);
@@ -391,16 +454,36 @@ void FfsVaInstance::stop() {
   stop_.request_stop();
   // Closing the ingest queues unblocks every prefetch thread (a blocked
   // push fails fast on a closed queue); the close cascades down the stages
-  // as each drains, so in-flight frames still complete.
-  for (auto& s : streams_) s->sdd_q.close();
+  // as each drains, so in-flight frames still complete. A fused stream's
+  // prefetch thread pushes into snm_q instead, so that is the queue whose
+  // close unblocks it (its sdd_q is unused but closed for uniformity).
+  for (auto& s : streams_) {
+    s->sdd_q.close();
+    if (s->fused_ingest) s->snm_q.close();
+  }
 }
 
-void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online) {
+void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
+                                  int affinity_base) {
   const FfsVaConfig& cfg = s->cfg;
+  if (affinity_base >= 0) {
+    // Pin ingest to its own core so decode stops migrating across — and
+    // fighting with — the compute pool. Best effort: on failure the thread
+    // simply stays unpinned.
+    runtime::pin_current_thread(affinity_base + s->id);
+  }
   runtime::RateLimiter limiter(cfg.online_fps, /*burst=*/2.0);
   runtime::Stopwatch watch;
   const auto frame_interval =
       std::chrono::duration<double>(1.0 / cfg.online_fps);
+
+  // Compressed-domain fast path (fused ingest only): every piece of hint
+  // state lives on this thread; pixel-SDD fallbacks re-anchor the chain.
+  std::optional<detect::CompressedSdd> csdd;
+  if (s->fused_ingest) {
+    csdd.emplace(s->models.sdd->config().metric,
+                 s->models.sdd->config().delta_diff, cfg.sdd_hint_relax);
+  }
 
   const auto aborted = [&s] {
     return s->stop.stop_requested() ||
@@ -420,7 +503,31 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online) {
   int consecutive_retries = 0;
   int restarts_used = 0;
   while (!aborted()) {
+    // Consult the hint *before* paying any decode: a frame the hint proves
+    // SDD would drop is skipped outright — the reader only moves its
+    // cursor; reconstruction re-syncs lazily at the next materialized
+    // frame (video/codec.hpp). The skipped frame still terminates exactly
+    // once, with the same conservation accounting as a pixel-SDD drop.
+    auto hint_decision = detect::HintDecision::kFallback;
+    if (csdd) {
+      if (const video::FrameHint* hint = s->source->peek_hint()) {
+        hint_decision = csdd->decide(*hint);
+      }
+      if (hint_decision == detect::HintDecision::kSkip) {
+        const auto t0 = Clock::now();
+        if (!s->source->skip_next()) break;  // end of stream
+        s->decode_skipped.fetch_add(1, std::memory_order_relaxed);
+        s->prefetch_in.fetch_add(1, std::memory_order_relaxed);
+        s->prefetch_passed.fetch_add(1, std::memory_order_relaxed);
+        s->sdd_in.fetch_add(1, std::memory_order_relaxed);
+        const double ms = ms_since(t0);
+        s->decode_ms.record(ms);
+        s->lat_sdd.add(ms);
+        continue;
+      }
+    }
     std::optional<video::Frame> f;
+    const auto decode_t0 = Clock::now();
     try {
       s->hb.busy();  // a hung decode is what the watchdog must see
       {
@@ -457,8 +564,51 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online) {
     }
     if (!f) break;  // normal end of stream
     consecutive_retries = 0;
+    s->decode_full.fetch_add(1, std::memory_order_relaxed);
+    s->decode_ms.record(ms_since(decode_t0));
     s->prefetch_in.fetch_add(1, std::memory_order_relaxed);
     Item item{std::move(*f), Clock::now()};
+    if (csdd) {
+      // Fused SDD stage: the hint either decided kPass outright or fell
+      // back to the pixel SDD, whose distance re-anchors the chain. The
+      // frame was ingested either way; survivors go straight to snm_q.
+      s->sdd_in.fetch_add(1, std::memory_order_relaxed);
+      bool pass = true;
+      if (hint_decision == detect::HintDecision::kPass) {
+        s->hint_passes.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        s->hint_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        try {
+          telemetry::ScopedSpan sp(trace(), "sdd.filter", telemetry::Stage::kSdd,
+                                   s->id, item.frame.index);
+          const double dist = s->models.sdd->distance(item.frame.image);
+          csdd->anchor(dist);
+          pass = dist > s->models.sdd->config().delta_diff;
+        } catch (...) {
+          // Same per-frame degrade contract as the SDD worker pool; an
+          // unmeasured frame leaves the chain unanchored.
+          csdd->invalidate();
+          s->degraded.fetch_add(1, std::memory_order_relaxed);
+          pass = cfg.degrade_policy == DegradePolicy::kBypass;
+        }
+      }
+      if (pass) {
+        s->sdd_passed.fetch_add(1, std::memory_order_relaxed);
+        // Blocking push: the SNM feedback-queue threshold throttles ingest
+        // directly — with SDD fused into prefetch, this IS the feedback
+        // edge the paper's bounded queues implement.
+        if (!s->snm_q.push(std::move(item))) {
+          // Closed under us (stop/quarantine) — same accounting as the
+          // SDD worker's failed handoff.
+          s->discarded.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      } else {
+        s->lat_sdd.add(ms_since(item.ingest));
+      }
+      s->prefetch_passed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (online) {
       limiter.acquire();
       // Overload behaviour: a live camera cannot block — if the pipeline
@@ -476,6 +626,10 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online) {
   }
   s->ingest_wall_sec.store(watch.elapsed_sec(), std::memory_order_relaxed);
   s->sdd_q.close();
+  // A fused stream's SDD stage ends with its prefetch thread, so the
+  // end-of-stream edge the executor waits for is snm_q's close — exactly
+  // what the SDD pool would have published for a non-fused stream.
+  if (s->fused_ingest) s->snm_q.close();
   {
     runtime::MutexLock lk(s->exit_mu);
     s->prefetch_exited = true;
@@ -1036,15 +1190,35 @@ InstanceStats FfsVaInstance::run(bool online) {
     s->sdd_q.set_waiter(sdd_work_.get());
     s->snm_q.set_waiter(gpu0_work_.get());
   }
-  const int workers = sdd_pool_size();
+  // Resolve which streams take the fused hinted-ingest path (DESIGN.md §13)
+  // before any thread starts: the flag and its sdd_done pre-set are read by
+  // the SDD pool, the prefetch loop, and stop(), all unsynchronized after
+  // this point. A fused stream's prefetch thread owns the whole SDD stage,
+  // so the worker pool only needs to cover the remaining streams.
+  const bool hinted = config_.decode_policy == DecodePolicy::kHinted && !online;
+  int unfused = 0;
+  for (auto& s : streams_) {
+    s->fused_ingest = hinted && s->source->has_hints();
+    if (s->fused_ingest) {
+      // Pre-retire the stream from the pool's perspective: workers scan
+      // sdd_done and never claim it, making the fused prefetch loop the
+      // single closer of snm_q.
+      s->sdd_done.store(true, std::memory_order_release);
+    } else {
+      ++unfused;
+    }
+  }
+  const int workers = sdd_pool_size(unfused);
   sdd_hb_ = std::vector<runtime::Heartbeat>(static_cast<std::size_t>(workers));
+  const int affinity = runtime::resolve_ingest_affinity(config_.ingest_affinity);
 
   // thread-ok: per-stream prefetch threads — a camera/decoder is inherently
   // per-stream; joined (or quarantine-detached) below.
   std::vector<std::thread> prefetch_threads;
   prefetch_threads.reserve(streams_.size());
   for (auto& s : streams_) {
-    prefetch_threads.emplace_back(&FfsVaInstance::prefetch_loop, s, online);
+    prefetch_threads.emplace_back(&FfsVaInstance::prefetch_loop, s, online,
+                                  affinity);
   }
   // thread-ok: the fixed stage set (SDD pool, GPU0 executor, reference
   // thread) — O(workers), not O(streams); all joined below.
@@ -1128,6 +1302,18 @@ InstanceStats FfsVaInstance::run(bool online) {
     s.stats.fault.degraded_frames = s.degraded.load(std::memory_order_relaxed);
     s.stats.fault.discarded_frames = s.discarded.load(std::memory_order_relaxed);
     s.stats.fault.quarantined = s.quarantined.load(std::memory_order_acquire);
+    // Ingest accounting: decode work actually performed vs skipped via the
+    // compressed-domain hint, plus the decode-stage latency distribution.
+    s.stats.ingest.decode_full = s.decode_full.load(std::memory_order_relaxed);
+    s.stats.ingest.decode_skipped =
+        s.decode_skipped.load(std::memory_order_relaxed);
+    s.stats.ingest.hint_passes = s.hint_passes.load(std::memory_order_relaxed);
+    s.stats.ingest.hint_fallbacks =
+        s.hint_fallbacks.load(std::memory_order_relaxed);
+    s.stats.ingest.decode_ms = s.decode_ms.snapshot();
+    if (const auto cs = s.source->codec_stats()) {
+      s.stats.ingest.compression_ratio = cs->compression_ratio();
+    }
     // Merge the per-stage terminal-latency histograms now that every stage
     // thread is joined; keeping them separate during the run is what makes
     // concurrent recording race-free.

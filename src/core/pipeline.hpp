@@ -78,6 +78,18 @@ struct FaultStats {
   }
 };
 
+/// Codec-aware ingest accounting (DecodePolicy, DESIGN.md §13). decode_full
+/// ticks on every policy (it is simply "frames reconstructed"); the other
+/// counters move only on the hinted fast path.
+struct IngestStats {
+  std::uint64_t decode_full = 0;     ///< Frames fully reconstructed.
+  std::uint64_t decode_skipped = 0;  ///< Hint-dropped frames never decoded.
+  std::uint64_t hint_passes = 0;     ///< Hint-decided SDD passes (no pixel SDD).
+  std::uint64_t hint_fallbacks = 0;  ///< Borderline frames: pixel SDD ran.
+  double compression_ratio = 0.0;    ///< Source bitstream raw/encoded (0 = n/a).
+  telemetry::HistogramSnapshot decode_ms;  ///< Decode-stage latency (per frame).
+};
+
 struct StreamStats {
   runtime::StageCounters prefetch;  ///< in = source frames, passed = ingested.
   runtime::StageCounters sdd;
@@ -87,6 +99,7 @@ struct StreamStats {
   std::uint64_t dropped_at_ingest = 0;
   runtime::Histogram latency_ms;    ///< Terminal latency of every ingested frame.
   double ingest_fps = 0.0;          ///< Realized ingest rate.
+  IngestStats ingest;
   FaultStats fault;
 };
 
@@ -136,6 +149,12 @@ struct StreamSnapshot {
   std::size_t sdd_queue_depth = 0;
   std::size_t snm_queue_depth = 0;
   std::size_t tyolo_queue_depth = 0;
+  /// Codec-aware ingest counters (see IngestStats for field semantics).
+  std::uint64_t decode_full = 0;
+  std::uint64_t decode_skipped = 0;
+  std::uint64_t hint_passes = 0;
+  std::uint64_t hint_fallbacks = 0;
+  double compression_ratio = 0.0;  ///< Source bitstream raw/encoded (0 = n/a).
   FaultStats fault;
 };
 
@@ -245,7 +264,10 @@ class FfsVaInstance {
   /// Static + shared_ptr: a prefetch thread whose source hung is detached
   /// at join time (quarantine), so everything it may still touch after
   /// run() returns must live in the Stream it co-owns, not in `this`.
-  static void prefetch_loop(std::shared_ptr<Stream> s, bool online);
+  /// `affinity_base` >= 0 pins the thread to CPU (base + stream id) mod
+  /// cpu_count before the first decode (runtime::pin_current_thread).
+  static void prefetch_loop(std::shared_ptr<Stream> s, bool online,
+                            int affinity_base);
   void sdd_worker_loop(int worker);
   void gpu0_loop();
   void reference_loop();
@@ -256,8 +278,10 @@ class FfsVaInstance {
   void quarantine(Stream& s);
 
   /// Resolved SDD pool size: config.sdd_workers, or the FFSVA_THREADS
-  /// compute parallelism, capped by the stream count.
-  int sdd_pool_size() const;
+  /// compute parallelism, capped by `eligible_streams` (the streams the
+  /// pool actually serves — fused hinted-ingest streams run their SDD on
+  /// their own prefetch thread and never touch the pool).
+  int sdd_pool_size(int eligible_streams) const;
 
   /// Register the run's gauges (queue depths, fault counters, supervision
   /// state) and cache the hot-path counter/histogram handles.

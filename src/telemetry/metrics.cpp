@@ -28,6 +28,20 @@ double HistogramSnapshot::quantile(double q) const {
   return max;
 }
 
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  if (buckets.size() < other.buckets.size()) buckets.resize(other.buckets.size(), 0);
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
 AtomicHistogram::AtomicHistogram()
     : buckets_(runtime::Histogram::kBuckets) {}
 

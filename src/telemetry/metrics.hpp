@@ -111,6 +111,9 @@ struct HistogramSnapshot {
   /// Same semantics as runtime::Histogram::quantile (bucket representative
   /// clamped into [min, max]).
   double quantile(double q) const;
+  /// Fold another snapshot into this one (same bucketing scheme by
+  /// construction). Used to aggregate per-stream histograms at report time.
+  void merge(const HistogramSnapshot& other);
 };
 
 /// Log-bucketed histogram over shared atomic buckets. record() is lock-free

@@ -53,6 +53,22 @@ class FrameSource {
   /// camera, reopen the file). Returns false when the source does not
   /// support restart (the default) or the revival failed.
   virtual bool restart() { return false; }
+
+  // --- compressed-domain fast path (DecodePolicy::kHinted; DESIGN.md §13) --
+  /// Whether this source can describe upcoming frames without decoding
+  /// them. Only sources returning true ever see peek_hint()/skip_next().
+  virtual bool has_hints() const { return false; }
+  /// Residual summary of the frame the following next() would return, or
+  /// nullptr (end of stream / no hints). The pointer aliases immutable
+  /// source data and stays valid for the source's lifetime.
+  virtual const FrameHint* peek_hint() const { return nullptr; }
+  /// Advance past the upcoming frame without decoding it. Returns false at
+  /// end of stream or when the source cannot skip (the default).
+  virtual bool skip_next() { return false; }
+  /// Compression statistics of the underlying bitstream, when there is one.
+  /// Must be safe to call concurrently with next() (immutable data only) —
+  /// the engine reads it from snapshot() while the prefetch thread decodes.
+  virtual std::optional<CodecStats> codec_stats() const { return std::nullopt; }
 };
 
 /// Renders frames from a shared scene simulator (a "camera").
@@ -83,6 +99,11 @@ class StoredSource final : public FrameSource {
   std::optional<Frame> next() override { return reader_.next(); }
 
   std::int64_t total_frames() const override { return video_->frame_count(); }
+
+  bool has_hints() const override { return video_->frame_count() > 0; }
+  const FrameHint* peek_hint() const override { return reader_.peek_hint(); }
+  bool skip_next() override { return reader_.skip_next(); }
+  std::optional<CodecStats> codec_stats() const override { return video_->stats(); }
 
  private:
   std::shared_ptr<const StoredVideo> video_;

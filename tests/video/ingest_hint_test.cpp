@@ -1,0 +1,291 @@
+// Codec residual hints + lazy reconstruction (DESIGN.md §13).
+//
+// The compressed-domain ingest path rests on three properties vetted here:
+// the per-frame FrameHint really describes the reconstruction delta a
+// decoder would observe; random access and hint-driven skips reproduce the
+// sequential decode bit-for-bit (the predictive chain survives cursor
+// moves); and the CompressedSdd decision machine agrees with pixel SDD on
+// >= 99% of frames while actually skipping work.
+#include "video/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/sdd.hpp"
+#include "video/profiles.hpp"
+#include "video/scene.hpp"
+
+namespace ffsva::video {
+namespace {
+
+std::vector<Frame> make_frames(int count, double tor = 0.4) {
+  SceneConfig cfg = jackson_profile();
+  cfg.width = 96;
+  cfg.height = 72;
+  cfg.tor = tor;
+  SceneSimulator sim(cfg, 7, count);
+  std::vector<Frame> frames;
+  for (int i = 0; i < count; ++i) frames.push_back(sim.render(i));
+  return frames;
+}
+
+/// Recompute what summarize_delta should have recorded, from the decoded
+/// reconstructions themselves (prev = zero canvas for frame 0).
+struct DeltaStats {
+  double mse = 0.0, sad = 0.0, zero_frac = 0.0;
+};
+
+DeltaStats stats_of(const image::Image& prev, const image::Image& cur) {
+  DeltaStats s;
+  const std::size_t n = cur.size_bytes();
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int d = static_cast<int>(cur.data()[i]) - static_cast<int>(prev.data()[i]);
+    s.mse += static_cast<double>(d) * d;
+    s.sad += std::abs(d);
+    if (d == 0) ++zeros;
+  }
+  s.mse /= static_cast<double>(n);
+  s.sad /= static_cast<double>(n);
+  s.zero_frac = static_cast<double>(zeros) / static_cast<double>(n);
+  return s;
+}
+
+TEST(FrameHints, DescribeReconstructionDeltas) {
+  const auto frames = make_frames(24, 0.5);
+  const StoredVideo video = StoredVideo::encode(frames, /*keyframe_interval=*/8,
+                                                /*deadzone=*/4);
+  ASSERT_EQ(video.hints().size(), 24u);
+
+  VideoReader reader(video);
+  image::Image prev(96, 72, 3);  // zero canvas: frame 0's hint baseline
+  for (std::int64_t i = 0; i < video.frame_count(); ++i) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value());
+    const auto& h = video.hint(i);
+    EXPECT_EQ(h.keyframe, i % 8 == 0) << "frame " << i;
+    EXPECT_EQ(h.grid_w, (96 + kHintBlockEdge - 1) / kHintBlockEdge);
+    EXPECT_EQ(h.grid_h, (72 + kHintBlockEdge - 1) / kHintBlockEdge);
+    ASSERT_EQ(h.blocks.size(), static_cast<std::size_t>(h.grid_w) * h.grid_h);
+    const DeltaStats want = stats_of(prev, got->image);
+    EXPECT_NEAR(h.mse, want.mse, 1e-3 * (1.0 + want.mse)) << "frame " << i;
+    EXPECT_NEAR(h.sad, want.sad, 1e-3 * (1.0 + want.sad)) << "frame " << i;
+    EXPECT_NEAR(h.zero_frac, want.zero_frac, 1e-4) << "frame " << i;
+    prev = got->image;
+  }
+}
+
+TEST(FrameHints, KeyframeHintsDescribeInterFrameChangeNotResync) {
+  // The keyframe packet is coded against a zero frame, but its hint must
+  // describe rec(f) - rec(f-1): on a quiet scene a mid-sequence keyframe's
+  // hint stays small, while frame 0 (genuinely "appearing" on a black
+  // canvas) is enormous.
+  const auto frames = make_frames(20, 0.0);
+  const StoredVideo video = StoredVideo::encode(frames, 8, 4);
+  EXPECT_GT(video.hint(0).mse, 100.0f);
+  EXPECT_LT(video.hint(8).mse, video.hint(0).mse / 10.0f);
+  EXPECT_LT(video.hint(16).mse, video.hint(0).mse / 10.0f);
+}
+
+TEST(FrameHints, MaxBlockEnergyBoundsFrameMse) {
+  const auto frames = make_frames(16, 0.6);
+  const StoredVideo video = StoredVideo::encode(frames, 8);
+  for (std::int64_t i = 0; i < video.frame_count(); ++i) {
+    const auto& h = video.hint(i);
+    // The frame mean cannot exceed the largest block mean.
+    EXPECT_GE(h.max_block_energy(), h.mse) << "frame " << i;
+  }
+}
+
+TEST(ReaderRandomAccess, EveryKeyframeOffsetMatchesSequential) {
+  const auto frames = make_frames(40, 0.5);
+  const StoredVideo video = StoredVideo::encode(frames, 8, 3);
+  // Sequential ground truth (deadzone makes it differ from `frames`).
+  std::vector<image::Image> truth;
+  {
+    VideoReader r(video);
+    while (auto f = r.next()) truth.push_back(f->image);
+  }
+  ASSERT_EQ(truth.size(), 40u);
+  for (std::int64_t start = 0; start < 40; ++start) {
+    VideoReader r(video);
+    r.seek(start);
+    for (std::int64_t i = start; i < 40; ++i) {
+      const auto got = r.next();
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->image, truth[static_cast<std::size_t>(i)])
+          << "seek(" << start << ") then frame " << i;
+    }
+  }
+}
+
+TEST(ReaderRandomAccess, SkipsMidGopStayBitExact) {
+  const auto frames = make_frames(40, 0.5);
+  const StoredVideo video = StoredVideo::encode(frames, 8, 3);
+  std::vector<image::Image> truth;
+  {
+    VideoReader r(video);
+    while (auto f = r.next()) truth.push_back(f->image);
+  }
+  // Decode, then skip runs that land mid-GOP, straddle a keyframe, and
+  // cover whole GOPs — after each, next() must still match sequential.
+  VideoReader r(video);
+  std::int64_t pos = 0;
+  const auto expect_next = [&] {
+    const auto got = r.next();
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(got->image, truth[static_cast<std::size_t>(pos)]) << "frame " << pos;
+    ++pos;
+  };
+  const auto skip = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(r.skip_next());
+      ++pos;
+    }
+  };
+  expect_next();      // 0
+  skip(3);            // mid-GOP skip: state behind in same GOP
+  expect_next();      // 4 (replayed 1..4)
+  skip(6);            // crosses the keyframe at 8
+  expect_next();      // 11 (re-synced at 8)
+  skip(17);           // two whole GOPs with zero pixel work
+  expect_next();      // 29
+  while (pos < 40) expect_next();
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.skip_next());
+}
+
+TEST(ReaderRandomAccess, PeekHintTracksCursorAndEndsNull) {
+  const auto frames = make_frames(10, 0.4);
+  const StoredVideo video = StoredVideo::encode(frames, 4);
+  VideoReader r(video);
+  ASSERT_NE(r.peek_hint(), nullptr);
+  EXPECT_EQ(r.peek_hint(), &video.hint(0));
+  r.next();
+  EXPECT_EQ(r.peek_hint(), &video.hint(1));
+  r.skip_next();
+  EXPECT_EQ(r.peek_hint(), &video.hint(2));
+  r.seek(9);
+  EXPECT_EQ(r.peek_hint(), &video.hint(9));
+  r.next();
+  EXPECT_EQ(r.peek_hint(), nullptr);
+}
+
+}  // namespace
+}  // namespace ffsva::video
+
+namespace ffsva::detect {
+namespace {
+
+video::StoredVideo store_scene(double tor, int count, std::uint64_t seed = 11) {
+  video::SceneConfig cfg = video::jackson_profile();
+  cfg.width = 128;
+  cfg.height = 96;
+  cfg.tor = tor;
+  video::SceneSimulator sim(cfg, seed, count);
+  std::vector<video::Frame> frames;
+  for (int i = 0; i < count; ++i) frames.push_back(sim.render(i));
+  return video::StoredVideo::encode(frames, 32, /*deadzone=*/4);
+}
+
+TEST(CompressedSdd, FallsBackUntilAnchored) {
+  CompressedSdd csdd(SddMetric::kSad, /*delta_diff=*/10.0, /*hint_relax=*/0.9);
+  video::FrameHint quiet;  // zero residual: the most skippable hint possible
+  EXPECT_EQ(csdd.decide(quiet), HintDecision::kFallback);
+  csdd.anchor(1.0);
+  EXPECT_EQ(csdd.decide(quiet), HintDecision::kSkip);
+  csdd.invalidate();
+  EXPECT_EQ(csdd.decide(quiet), HintDecision::kFallback);
+}
+
+TEST(CompressedSdd, BracketsDecideSkipPassFallback) {
+  // kSad's norm is the distance itself, so thresholds are easy to read:
+  // skip below 9, pass above ~11.1, fall back between.
+  video::FrameHint small;
+  small.sad = 0.5f;
+  small.blocks.resize(1);
+  small.blocks[0].sad = 0.5f;
+
+  CompressedSdd csdd(SddMetric::kSad, 10.0, 0.9);
+  csdd.anchor(2.0);
+  EXPECT_EQ(csdd.decide(small), HintDecision::kSkip);   // hi = 2.5 < 9
+  csdd.anchor(20.0);
+  EXPECT_EQ(csdd.decide(small), HintDecision::kPass);   // lo = 19.5 > 11.1
+  csdd.anchor(10.0);
+  EXPECT_EQ(csdd.decide(small), HintDecision::kFallback);  // straddles
+}
+
+TEST(CompressedSdd, DriftAccumulatesUntilFallback) {
+  video::FrameHint step;
+  step.sad = 2.0f;
+  step.blocks.resize(1);
+  step.blocks[0].sad = 2.0f;
+  CompressedSdd csdd(SddMetric::kSad, 10.0, 0.9);
+  csdd.anchor(1.0);
+  // hi = 1 + drift + 2 crosses thr_skip = 9 once drift reaches 6.
+  EXPECT_EQ(csdd.decide(step), HintDecision::kSkip);      // drift -> 2
+  EXPECT_EQ(csdd.decide(step), HintDecision::kSkip);      // drift -> 4
+  EXPECT_EQ(csdd.decide(step), HintDecision::kSkip);      // drift -> 6
+  EXPECT_EQ(csdd.decide(step), HintDecision::kFallback);  // hi = 9, not < 9
+  csdd.anchor(1.0);  // re-anchoring resets the drift
+  EXPECT_EQ(csdd.decide(step), HintDecision::kSkip);
+}
+
+TEST(CompressedSdd, PeakBlockTermForcesCaution) {
+  // A change concentrated in one block must widen the bracket even when the
+  // frame-level mean stays tiny (the resize-aliasing guard).
+  video::FrameHint concentrated;
+  concentrated.sad = 0.1f;
+  concentrated.blocks.resize(48);
+  concentrated.blocks[0].sad = 30.0f;
+  CompressedSdd csdd(SddMetric::kSad, 10.0, 0.9);
+  csdd.anchor(1.0);
+  EXPECT_EQ(csdd.decide(concentrated), HintDecision::kFallback);
+}
+
+TEST(CompressedSdd, AgreementOnStoredSceneAtLeast99Percent) {
+  const auto video = store_scene(0.25, 300);
+  // A mid-scene reference + a threshold in the scene's dynamic range, so
+  // both verdicts actually occur.
+  video::VideoReader probe(video);
+  probe.seek(0);
+  const auto ref = probe.next();
+  ASSERT_TRUE(ref.has_value());
+  SddConfig sc;
+  sc.metric = SddMetric::kMse;
+  SddFilter sdd(sc, ref->image);
+  std::vector<double> dists;
+  {
+    video::VideoReader r(video);
+    while (auto f = r.next()) dists.push_back(sdd.distance(f->image));
+  }
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2, dists.end());
+  sdd.set_delta(dists[dists.size() / 2]);  // median: maximally contentious
+
+  const auto report = compressed_sdd_agreement(video, sdd, 0.9);
+  EXPECT_EQ(report.frames, 300u);
+  EXPECT_EQ(report.skipped + report.hint_passes + report.fallbacks, 300u);
+  EXPECT_GE(report.agreement(), 0.99);
+  // The fast path must actually decide something, or it is just pixel SDD
+  // with extra steps.
+  EXPECT_GT(report.skipped + report.hint_passes, 0u);
+}
+
+TEST(CompressedSdd, QuietSceneSkipsMostFrames) {
+  const auto video = store_scene(0.0, 200);
+  video::VideoReader probe(video);
+  const auto ref = probe.next();
+  ASSERT_TRUE(ref.has_value());
+  SddConfig sc;
+  sc.metric = SddMetric::kMse;
+  sc.delta_diff = 200.0;  // well above a static scene's flicker
+  SddFilter sdd(sc, ref->image);
+  const auto report = compressed_sdd_agreement(video, sdd, 0.9);
+  EXPECT_GE(report.agreement(), 0.99);
+  EXPECT_GT(report.skipped, 100u) << "static scene should mostly skip decode";
+}
+
+}  // namespace
+}  // namespace ffsva::detect
