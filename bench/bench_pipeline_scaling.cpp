@@ -39,10 +39,19 @@
 // compression ratio, the offline pixel-SDD agreement of the hint chain
 // (compressed_sdd_agreement), and the fps speedup over the kFull best.
 //
+// A model-fault series (--model-faults) measures the escalation layer
+// (DESIGN.md Section 14) end-to-end: a 16-stream offline run with the
+// per-call watchdog armed, clean vs with deterministic in-model wedges
+// (FaultHook kStall) seeded at all four stages. The wedged row archives the
+// supervision counters (cancels, stage restarts, poisoned frames, recovery
+// p99) and its throughput ratio against the clean best — the "survives
+// wedges at >=0.8x fault-free throughput" budget the layer commits to.
+//
 // Usage: bench_pipeline_scaling [--json out.json] [--label prefix]
 //                               [--frames N] [--online-frames N]
 //                               [--streams a,b,c]
 //                               [--decode-policy full|hinted|both|off]
+//                               [--model-faults on|off]
 //                               [--metrics-out m.jsonl] [--trace-out t.json]
 //                               [--metrics-interval-ms N]
 // `--label` prefixes every series name, which is how pre/post engine runs
@@ -59,7 +68,9 @@
 #include <thread>
 
 #include "core/pipeline.hpp"
+#include "detect/fault_hook.hpp"
 #include "detect/sdd.hpp"
+#include "detect/snm.hpp"
 #include "runtime/stopwatch.hpp"
 #include "video/fault_injection.hpp"
 #include "video/source.hpp"
@@ -102,12 +113,14 @@ int main(int argc, char** argv) {
   std::vector<int> stream_counts = {1, 4, 16, 64};
   std::string metrics_out, trace_out;
   std::string decode_policy = "both";
+  std::string model_faults = "on";
   int metrics_interval_ms = 100;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--label") == 0) label = std::string(argv[i + 1]) + "/";
     if (std::strcmp(argv[i], "--frames") == 0) frames_per_stream = std::atol(argv[i + 1]);
     if (std::strcmp(argv[i], "--online-frames") == 0) online_frames = std::atol(argv[i + 1]);
     if (std::strcmp(argv[i], "--decode-policy") == 0) decode_policy = argv[i + 1];
+    if (std::strcmp(argv[i], "--model-faults") == 0) model_faults = argv[i + 1];
     if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
     if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
     if (std::strcmp(argv[i], "--metrics-interval-ms") == 0) {
@@ -577,6 +590,134 @@ int main(int argc, char** argv) {
       report.add(name, stats.total_throughput_fps, agg.latency_ms.p50(),
                  agg.latency_ms.p99(), std::move(extras));
     }
+  }
+
+  // --- model-fault recovery: wedged model calls vs clean ------------------
+  // Escalation end-to-end (DESIGN.md Section 14): the same 16-stream
+  // offline workload, run clean and with deterministic kStall wedges seeded
+  // at every stage, both with the per-call watchdog armed so the engine is
+  // identical and only the faults differ. This is the last series in the
+  // run, so the cheap filters can be relaxed in place: SDD passes every
+  // frame, SNM's t_pre drops to 0 and T-YOLO forwards unconditionally
+  // (number_of_objects = 0), which keeps the deep stages under real load so
+  // wedges at SNM / T-YOLO / reference actually land on traffic.
+  if (model_faults != "off") {
+    const int n = 16;
+    const int reps = 2;
+    models.sdd->set_delta(-1.0);
+    models.snm->set_thresholds(0.0, 0.0);
+    // Wedges are rare events amortized over a long run, so the series
+    // replays the scaling window three times per stream: the wedge burst
+    // (12 stalls, each ~model_call_timeout_ms to cancel) is measured
+    // against a deployment-scale window, not a 2-second sprint.
+    std::vector<video::Frame> rec_window;
+    rec_window.reserve(window.size() * 3);
+    for (int pass = 0; pass < 3; ++pass) {
+      rec_window.insert(rec_window.end(), window.begin(), window.end());
+    }
+
+    struct RecoveryRun {
+      double fps = 0.0, p50 = 0.0, p99 = 0.0;
+      std::uint64_t cancels = 0, stage_restarts = 0, poisoned = 0, degraded = 0;
+      double recovery_p99_ms = 0.0;
+      int wedges = 0;
+      std::int64_t cancelled_stalls = 0;
+    };
+    const auto run_recovery = [&](bool wedged) {
+      std::unique_ptr<detect::FaultHook> hook;
+      if (wedged) {
+        // Three sparse periodic wedges per stage. duration_ms is only the
+        // fallback cap for a run without escalation; with the watchdog
+        // armed each stall is cancelled at ~model_call_timeout_ms.
+        hook = std::make_unique<detect::FaultHook>(
+            std::vector<detect::ModelFaultSpec>{
+                {detect::FaultStage::kSdd, detect::ModelFaultSpec::Kind::kStall,
+                 /*offset=*/100, /*period=*/700, /*max_triggers=*/3,
+                 /*duration_ms=*/10'000},
+                {detect::FaultStage::kSnm, detect::ModelFaultSpec::Kind::kStall,
+                 5, 40, 3, 10'000},
+                {detect::FaultStage::kTyolo,
+                 detect::ModelFaultSpec::Kind::kStall, 9, 150, 3, 10'000},
+                {detect::FaultStage::kRef, detect::ModelFaultSpec::Kind::kStall,
+                 7, 120, 3, 10'000},
+            });
+        hook->install();
+      }
+      core::FfsVaConfig cfg;
+      cfg.model_call_timeout_ms = 150;
+      cfg.number_of_objects = 0;
+      core::FfsVaInstance instance(cfg);
+      instance.set_output_sink([](const core::OutputEvent&) {});
+      for (int s = 0; s < n; ++s) {
+        instance.add_stream(std::make_unique<ReplaySource>(&rec_window, s),
+                            models);
+      }
+      const auto stats = instance.run(/*online=*/false);
+      if (hook) detect::FaultHook::uninstall();
+      const auto agg = stats.aggregate();
+      RecoveryRun r;
+      r.fps = stats.total_throughput_fps;
+      r.p50 = agg.latency_ms.p50();
+      r.p99 = agg.latency_ms.p99();
+      r.cancels = stats.health.cancels;
+      r.stage_restarts = stats.health.stage_restarts;
+      r.poisoned = stats.health.poisoned_frames;
+      r.degraded = stats.health.degraded_frames;
+      r.recovery_p99_ms =
+          instance.metrics().histogram("latency.recovery_ms").snapshot().quantile(
+              0.99);
+      if (hook) {
+        for (std::size_t i = 0; i < 4; ++i) r.wedges += hook->triggered(i);
+        r.cancelled_stalls = hook->cancelled_stalls();
+      }
+      return r;
+    };
+
+    // Interleaved reps, best-of per variant (the process is warm from the
+    // preceding series, so no separate warmup run).
+    std::printf("\nmodel-fault recovery (%d streams, offline, full-cascade "
+                "traffic, watchdog 150 ms, best of %d)\n", n, reps);
+    std::printf("%-10s %12s %12s %12s %8s %8s %8s\n", "variant", "total FPS",
+                "p50 lat(ms)", "p99 lat(ms)", "cancels", "restarts", "poisoned");
+    bench::print_rule();
+    RecoveryRun best[2];
+    for (int rep = 0; rep < reps; ++rep) {
+      for (int v = 0; v < 2; ++v) {
+        const RecoveryRun r = run_recovery(v == 1);
+        if (r.fps > best[v].fps) best[v] = r;
+      }
+    }
+    for (int v = 0; v < 2; ++v) {
+      std::printf("%-10s %12.1f %12.1f %12.1f %8llu %8llu %8llu\n",
+                  v == 1 ? "wedged" : "clean", best[v].fps, best[v].p50,
+                  best[v].p99, static_cast<unsigned long long>(best[v].cancels),
+                  static_cast<unsigned long long>(best[v].stage_restarts),
+                  static_cast<unsigned long long>(best[v].poisoned));
+    }
+    const double ratio = best[0].fps > 0.0 ? best[1].fps / best[0].fps : 0.0;
+    std::printf("%10s wedges=%d cancelled_stalls=%lld recovery_p99=%.1fms "
+                "throughput ratio %.2fx (budget >=0.80x)\n", "",
+                best[1].wedges,
+                static_cast<long long>(best[1].cancelled_stalls),
+                best[1].recovery_p99_ms, ratio);
+
+    char cname[64], wname[64];
+    std::snprintf(cname, sizeof(cname), "%soffline_model_faults_off/streams=%d",
+                  label.c_str(), n);
+    std::snprintf(wname, sizeof(wname), "%soffline_model_faults_on/streams=%d",
+                  label.c_str(), n);
+    report.add(cname, best[0].fps, best[0].p50, best[0].p99);
+    bench::JsonReport::Extras extras{
+        {"fps_vs_clean", ratio},
+        {"wedges_fired", static_cast<double>(best[1].wedges)},
+        {"cancelled_stalls", static_cast<double>(best[1].cancelled_stalls)},
+        {"cancels", static_cast<double>(best[1].cancels)},
+        {"stage_restarts", static_cast<double>(best[1].stage_restarts)},
+        {"poisoned_frames", static_cast<double>(best[1].poisoned)},
+        {"degraded_frames", static_cast<double>(best[1].degraded)},
+        {"recovery_p99_ms", best[1].recovery_p99_ms},
+    };
+    report.add(wname, best[1].fps, best[1].p50, best[1].p99, std::move(extras));
   }
   return 0;
 }

@@ -167,6 +167,21 @@ struct FfsVaConfig {
   /// Base backoff between retries/restarts; doubles per consecutive
   /// attempt, capped at 100 ms, and aborts early on stop or quarantine.
   int source_backoff_ms = 1;
+  /// A model call (SDD distance, SNM/T-YOLO forward, reference
+  /// segmentation, source decode) in flight for longer than this is
+  /// cancelled by the watchdog: the call unwinds via CancelledError at its
+  /// next tile boundary, the frame follows degrade_policy, and the stage
+  /// restarts under the budgets below (DESIGN.md Section 14). 0 disables
+  /// cancellation — a wedged call is then only observed via
+  /// health.stage_stall_ticks, the pre-escalation behavior.
+  int model_call_timeout_ms = 0;
+  /// Stage restarts (SDD worker, GPU0 executor, reference stage) after
+  /// cancelled calls before the stage stops restarting and handles further
+  /// cancels inline (degrade the frame, keep serving).
+  int stage_max_restarts = 3;
+  /// Backoff before a stage re-enters its loop after a cancelled call;
+  /// doubles per consecutive restart, capped at 100 ms, aborts on stop.
+  int stage_restart_backoff_ms = 1;
 
   // --- telemetry -----------------------------------------------------------
   /// Sampling period of the live metrics exporter (JSONL rows): queue

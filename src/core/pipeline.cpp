@@ -36,21 +36,26 @@ double ms_since(Clock::time_point t0) {
 struct Item {
   video::Frame frame;
   Clock::time_point ingest;
+  /// Stages this frame wedged (its model call was cancelled by the
+  /// watchdog). A frame that wedges two stages is poisoned: it is dropped
+  /// regardless of the degrade policy, so one pathological input cannot
+  /// keep restarting stage after stage (DESIGN.md Section 14).
+  int wedges = 0;
 };
+
+telemetry::TraceBuffer& trace() { return telemetry::TraceBuffer::global(); }
+}  // namespace
 
 /// A survivor bound for the reference stage: the frame plus the candidate
 /// boxes T-YOLO detected in it (frame coordinates). The candidates are what
 /// RefMode::kCropPack consolidates; an empty list (e.g. a kBypass-degraded
 /// frame that was never actually detected) routes the frame to the
 /// full-frame fallback, so it is still fully vetted.
-struct RefEntry {
+struct FfsVaInstance::RefEntry {
   int stream = 0;
   Item item;
   std::vector<image::Box> candidates;
 };
-
-telemetry::TraceBuffer& trace() { return telemetry::TraceBuffer::global(); }
-}  // namespace
 
 const char* to_string(BatchPolicy p) {
   switch (p) {
@@ -114,6 +119,8 @@ StreamStats InstanceStats::aggregate() const {
     agg.fault.restarts += s.fault.restarts;
     agg.fault.degraded_frames += s.fault.degraded_frames;
     agg.fault.discarded_frames += s.fault.discarded_frames;
+    agg.fault.cancelled_calls += s.fault.cancelled_calls;
+    agg.fault.poisoned_frames += s.fault.poisoned_frames;
     agg.fault.quarantined = agg.fault.quarantined || s.fault.quarantined;
   }
   return agg;
@@ -123,7 +130,7 @@ struct FfsVaInstance::Stream {
   int id = 0;
   std::unique_ptr<video::FrameSource> source;
   detect::StreamModels models;
-  FfsVaConfig cfg;  ///< Copy: the prefetch thread may outlive the instance.
+  FfsVaConfig cfg;  ///< Copy: the prefetch loop reads config without touching `this`.
 
   runtime::BoundedQueue<Item> sdd_q;
   runtime::BoundedQueue<Item> snm_q;
@@ -131,10 +138,9 @@ struct FfsVaInstance::Stream {
 
   StreamStats stats;
 
-  /// Everything the prefetch thread writes lives here as relaxed atomics,
-  /// snapshotted into `stats` when run() builds its report: a quarantined
-  /// stream's prefetch thread is *detached*, so its writes have no join
-  /// edge ordering them before the stats reads.
+  /// Everything the prefetch thread writes lives here as relaxed atomics:
+  /// snapshot() reads them mid-run (approximate by contract) and run()
+  /// freezes them into `stats` once the thread is joined.
   std::atomic<std::uint64_t> prefetch_in{0};
   std::atomic<std::uint64_t> prefetch_passed{0};
   std::atomic<std::uint64_t> dropped_ingest{0};
@@ -152,18 +158,17 @@ struct FfsVaInstance::Stream {
   /// never serves a fused stream (sdd_done is pre-set), so the done/close
   /// handshake keeps exactly one closer. The counters below follow the
   /// prefetch-thread contract above: relaxed Stream atomics surfaced as
-  /// gauges, because the thread may be detached by quarantine and must
-  /// never touch the instance registry. decode_full/decode_ms also move on
-  /// the kFull path, so the decode schema reads consistently across
-  /// policies.
+  /// gauges, keeping the loop free of instance coupling.
+  /// decode_full/decode_ms also move on the kFull path, so the decode
+  /// schema reads consistently across policies.
   bool fused_ingest = false;
   std::atomic<std::uint64_t> decode_full{0};
   std::atomic<std::uint64_t> decode_skipped{0};
   std::atomic<std::uint64_t> hint_passes{0};
   std::atomic<std::uint64_t> hint_fallbacks{0};
-  /// Decode-stage latency. AtomicHistogram (not runtime::Histogram): the
-  /// recorder is the possibly-detached prefetch thread while snapshot
-  /// gauges read it live, so recording must be lock-free and thread-safe.
+  /// Decode-stage latency. AtomicHistogram (not runtime::Histogram):
+  /// snapshot gauges read it live while the prefetch thread records, so
+  /// recording must be lock-free and thread-safe.
   telemetry::AtomicHistogram decode_ms;
 
   /// Degrade / quarantine accounting, written by whichever stage thread
@@ -171,6 +176,19 @@ struct FfsVaInstance::Stream {
   std::atomic<std::uint64_t> degraded{0};
   std::atomic<std::uint64_t> discarded{0};
   std::atomic<bool> quarantined{false};
+
+  /// Escalation accounting (DESIGN.md Section 14): model calls serving this
+  /// stream that the watchdog cancelled (written by the watchdog thread)
+  /// and frames of this stream dropped as poisoned after wedging two
+  /// stages (written by the stage thread that observed the second wedge).
+  std::atomic<std::uint64_t> cancels{0};
+  std::atomic<std::uint64_t> poisoned{0};
+
+  /// The decode call currently in flight on this stream's prefetch thread.
+  /// The watchdog cancels it when it overruns model_call_timeout_ms, and
+  /// quarantine cancels it unconditionally — that cancel is what makes the
+  /// prefetch join bounded (the thread is joined, never detached).
+  runtime::InflightCall prefetch_call;
 
   /// Per-stage frame counters as relaxed atomics so snapshot() can read
   /// them while the stage threads run. Each is still written by one logical
@@ -186,20 +204,6 @@ struct FfsVaInstance::Stream {
   /// the SDD feedback queue is healthy backpressure and reads as idle.
   runtime::Heartbeat hb;
   runtime::StopToken stop;  ///< Copy of the instance token.
-
-  /// Quarantine-aware join handshake: run() waits for `prefetch_exited` OR
-  /// quarantine, then joins or detaches. Lives in the Stream (not the
-  /// instance) because a detached thread signals through it after the
-  /// instance may be gone.
-  runtime::Mutex exit_mu;
-  runtime::CondVar exit_cv;
-  bool prefetch_exited FFSVA_GUARDED_BY(exit_mu) = false;
-
-  /// Keep the stage waiters alive for a detached prefetch thread: its
-  /// final sdd_q.close() notifies the SDD waiter, which must not have been
-  /// destroyed with the instance.
-  std::shared_ptr<runtime::QueueWaiter> sdd_waiter_keepalive;
-  std::shared_ptr<runtime::QueueWaiter> gpu0_waiter_keepalive;
 
   /// SDD worker-pool coordination: at most one worker serves this stream at
   /// a time (claim), which both preserves per-stream FIFO order into the
@@ -246,10 +250,7 @@ struct FfsVaInstance::TYoloShared {
 };
 
 FfsVaInstance::FfsVaInstance(FfsVaConfig config)
-    : config_(config),
-      sdd_work_(std::make_shared<runtime::QueueWaiter>()),
-      gpu0_work_(std::make_shared<runtime::QueueWaiter>()),
-      tyolo_shared_(std::make_unique<TYoloShared>(config)) {}
+    : config_(config), tyolo_shared_(std::make_unique<TYoloShared>(config)) {}
 
 FfsVaInstance::~FfsVaInstance() = default;
 
@@ -258,8 +259,6 @@ void FfsVaInstance::add_stream(std::unique_ptr<video::FrameSource> source,
   auto s = std::make_shared<Stream>(static_cast<int>(streams_.size()),
                                     std::move(source), std::move(models), config_);
   s->stop = stop_;
-  s->sdd_waiter_keepalive = sdd_work_;
-  s->gpu0_waiter_keepalive = gpu0_work_;
   streams_.push_back(std::move(s));
 }
 
@@ -323,10 +322,11 @@ void FfsVaInstance::wire_metrics() {
   hot_.ref_full_frame = &metrics_.counter("ref.full_frame_fallbacks");
   hot_.ref_seam_suppressed = &metrics_.counter("ref.seam_suppressed");
   hot_.drop_latency_ms = &metrics_.histogram("latency.drop_ms");
+  hot_.recovery_ms = &metrics_.histogram("latency.recovery_ms");
 
-  // Prefetch/fault/supervision state lives in Stream atomics (the detached
-  // quarantined prefetch thread must never touch this registry), so it is
-  // surfaced as gauges polled only at snapshot time.
+  // Prefetch/fault/supervision state lives in Stream and instance atomics
+  // (single-writer cells the prefetch loop and watchdog tick without
+  // touching the registry), surfaced as gauges polled at snapshot time.
   const auto sum = [this](auto member) {
     return [this, member]() {
       std::uint64_t total = 0;
@@ -339,8 +339,9 @@ void FfsVaInstance::wire_metrics() {
   metrics_.gauge("prefetch.in", sum(&Stream::prefetch_in));
   metrics_.gauge("prefetch.passed", sum(&Stream::prefetch_passed));
   metrics_.gauge("drop.ingest", sum(&Stream::dropped_ingest));
-  // Codec-aware ingest (same schema, same registry; gauges because the
-  // writer is the possibly-detached prefetch thread — see above).
+  // Codec-aware ingest (same schema, same registry; gauges so the prefetch
+  // loop stays registry-free and its facts live in stream atomics — see
+  // above).
   metrics_.gauge("decode.full", sum(&Stream::decode_full));
   metrics_.gauge("decode.skipped", sum(&Stream::decode_skipped));
   metrics_.gauge("sdd.hint_pass", sum(&Stream::hint_passes));
@@ -359,6 +360,8 @@ void FfsVaInstance::wire_metrics() {
   metrics_.gauge("fault.restarts", sum(&Stream::restarts));
   metrics_.gauge("fault.degraded_frames", sum(&Stream::degraded));
   metrics_.gauge("fault.discarded_frames", sum(&Stream::discarded));
+  metrics_.gauge("fault.cancelled_calls", sum(&Stream::cancels));
+  metrics_.gauge("fault.poisoned_frames", sum(&Stream::poisoned));
   metrics_.gauge("streams.quarantined", [this] {
     double n = 0;
     for (const auto& s : streams_) {
@@ -369,6 +372,16 @@ void FfsVaInstance::wire_metrics() {
   metrics_.gauge("supervise.stall_ticks", [this] {
     return static_cast<double>(
         stage_stall_ticks_.load(std::memory_order_relaxed));
+  });
+  // Escalation rollups (DESIGN.md Section 14) — same schema, same registry.
+  metrics_.gauge("supervision.cancels", [this] {
+    return static_cast<double>(cancels_.load(std::memory_order_relaxed));
+  });
+  metrics_.gauge("supervision.stage_restarts", [this] {
+    return static_cast<double>(stage_restarts_.load(std::memory_order_relaxed));
+  });
+  metrics_.gauge("supervision.poisoned_frames", [this] {
+    return static_cast<double>(poisoned_frames_.load(std::memory_order_relaxed));
   });
   const auto depth_sum = [this](runtime::BoundedQueue<Item> Stream::* q) {
     return [this, q]() {
@@ -425,6 +438,8 @@ InstanceSnapshot FfsVaInstance::snapshot() const {
     ss.fault.restarts = s.restarts.load(std::memory_order_relaxed);
     ss.fault.degraded_frames = s.degraded.load(std::memory_order_relaxed);
     ss.fault.discarded_frames = s.discarded.load(std::memory_order_relaxed);
+    ss.fault.cancelled_calls = s.cancels.load(std::memory_order_relaxed);
+    ss.fault.poisoned_frames = s.poisoned.load(std::memory_order_relaxed);
     ss.fault.quarantined = s.quarantined.load(std::memory_order_acquire);
 
     if (ss.fault.quarantined) {
@@ -443,6 +458,9 @@ InstanceSnapshot FfsVaInstance::snapshot() const {
   }
   snap.ref_queue_depth = tyolo_shared_->ref_q.depth();
   snap.outputs = outputs_count_.load(std::memory_order_relaxed);
+  snap.health.cancels = cancels_.load(std::memory_order_relaxed);
+  snap.health.stage_restarts = stage_restarts_.load(std::memory_order_relaxed);
+  snap.health.poisoned_frames = poisoned_frames_.load(std::memory_order_relaxed);
   snap.health.stage_stall_ticks =
       stage_stall_ticks_.load(std::memory_order_relaxed);
   snap.health.stopped = stop_.stop_requested();
@@ -531,15 +549,38 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
     try {
       s->hb.busy();  // a hung decode is what the watchdog must see
       {
-        // Spans go to the process-global buffer, never the instance: this
-        // thread may be detached (quarantine) and outlive the instance.
+        // Spans go to the process-global buffer, never the instance: the
+        // prefetch loop touches only its Stream (see prefetch_loop's decl).
         telemetry::ScopedSpan sp(
             trace(), "decode", telemetry::Stage::kPrefetch, s->id,
+            static_cast<std::int64_t>(
+                s->prefetch_in.load(std::memory_order_relaxed)));
+        // Register the decode as this stream's in-flight call so the
+        // watchdog can cancel it if it wedges (model_call_timeout_ms, or
+        // unconditionally at quarantine to keep the join bounded).
+        runtime::ModelCallGuard guard(
+            s->prefetch_call, s->id,
             static_cast<std::int64_t>(
                 s->prefetch_in.load(std::memory_order_relaxed)));
         f = s->source->next();
       }
       s->hb.idle();
+    } catch (const runtime::CancelledError&) {
+      // The watchdog cancelled a wedged decode. Quarantine means the stream
+      // is already being torn down — just exit. Otherwise escalate like a
+      // non-transient decode fault: restart the source under the restart
+      // budget, and past it end the stream. (The cancel itself was counted
+      // by the watchdog that issued it.)
+      s->hb.idle();
+      if (aborted()) break;
+      s->decode_errors.fetch_add(1, std::memory_order_relaxed);
+      if (restarts_used < cfg.source_max_restarts && s->source->restart()) {
+        s->restarts.fetch_add(1, std::memory_order_relaxed);
+        backoff(restarts_used++);
+        consecutive_retries = 0;
+        continue;
+      }
+      break;
     } catch (const video::SourceError& e) {
       s->hb.idle();
       s->decode_errors.fetch_add(1, std::memory_order_relaxed);
@@ -581,9 +622,19 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
         try {
           telemetry::ScopedSpan sp(trace(), "sdd.filter", telemetry::Stage::kSdd,
                                    s->id, item.frame.index);
+          runtime::ModelCallGuard guard(s->prefetch_call, s->id,
+                                        item.frame.index);
           const double dist = s->models.sdd->distance(item.frame.image);
           csdd->anchor(dist);
           pass = dist > s->models.sdd->config().delta_diff;
+        } catch (const runtime::CancelledError&) {
+          // A wedged fused pixel-SDD the watchdog cancelled: same per-frame
+          // degrade contract as a throwing SDD, plus the wedge mark — the
+          // frame is poisoned if it wedges a second stage downstream.
+          csdd->invalidate();
+          ++item.wedges;
+          s->degraded.fetch_add(1, std::memory_order_relaxed);
+          pass = cfg.degrade_policy == DegradePolicy::kBypass;
         } catch (...) {
           // Same per-frame degrade contract as the SDD worker pool; an
           // unmeasured frame leaves the chain unanchored.
@@ -630,21 +681,36 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
   // end-of-stream edge the executor waits for is snm_q's close — exactly
   // what the SDD pool would have published for a non-fused stream.
   if (s->fused_ingest) s->snm_q.close();
-  {
-    runtime::MutexLock lk(s->exit_mu);
-    s->prefetch_exited = true;
-  }
-  s->exit_cv.notify_all();
 }
 
-void FfsVaInstance::sdd_worker_loop(int worker) {
+void FfsVaInstance::sdd_worker_entry(int worker) {
+  int restarts = 0;
+  for (;;) {
+    if (sdd_worker_loop(worker, restarts < config_.stage_max_restarts)) return;
+    // A watchdog cancel unwound this worker mid-call. Re-enter after a
+    // bounded backoff; the time from the cancel to serving again is the
+    // recovery latency.
+    ++restarts;
+    stage_restarts_.fetch_add(1, std::memory_order_relaxed);
+    stage_backoff(restarts);
+    const std::int64_t cancelled_at =
+        sdd_call_[static_cast<std::size_t>(worker)].cancelled_at_ms();
+    if (cancelled_at >= 0) {
+      hot_.recovery_ms->record(
+          static_cast<double>(runtime::steady_now_ms() - cancelled_at));
+    }
+  }
+}
+
+bool FfsVaInstance::sdd_worker_loop(int worker, bool allow_restart) {
   const int n = static_cast<int>(streams_.size());
-  if (n == 0) return;
+  if (n == 0) return true;
   const int run_length = std::max(1, config_.sdd_run_length);
   runtime::Heartbeat& hb = sdd_hb_[static_cast<std::size_t>(worker)];
+  runtime::InflightCall& call = sdd_call_[static_cast<std::size_t>(worker)];
   int cursor = worker % n;  // stagger workers across streams
   for (;;) {
-    const auto ticket = sdd_work_->prepare();
+    const auto ticket = sdd_work_.prepare();
     bool all_done = true;
     bool did_work = false;
     for (int step = 0; step < n; ++step) {
@@ -656,6 +722,7 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
         continue;  // another worker is serving this stream
       }
       int processed = 0;
+      bool restart_requested = false;
       while (processed < run_length) {
         // Order matters: observe close *before* the failed pop, so an empty
         // pop on a closed queue really means end-of-stream (a push cannot
@@ -666,7 +733,7 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
           if (closed) {
             s.sdd_done.store(true, std::memory_order_release);
             s.snm_q.close();
-            sdd_work_->notify();  // wake workers idling on this last stream
+            sdd_work_.notify();  // wake workers idling on this last stream
           }
           break;
         }
@@ -680,12 +747,30 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
         s.sdd_in.fetch_add(1, std::memory_order_relaxed);
         hot_.sdd_in->add();
         bool pass;
+        bool cancelled = false;
         try {
           hb.busy();
           telemetry::ScopedSpan sp(trace(), "sdd.filter", telemetry::Stage::kSdd,
                                    s.id, item->frame.index);
+          runtime::ModelCallGuard guard(call, s.id, item->frame.index);
           pass = s.models.sdd->pass(item->frame.image);
           hb.idle();
+        } catch (const runtime::CancelledError&) {
+          // The watchdog cancelled this call (it overran
+          // model_call_timeout_ms). First wedge: the frame follows the
+          // degrade policy like any per-frame model fault. Second wedge:
+          // the frame is poisoned and dropped regardless of policy.
+          hb.idle();
+          cancelled = true;
+          ++item->wedges;
+          if (item->wedges >= 2) {
+            s.poisoned.fetch_add(1, std::memory_order_relaxed);
+            poisoned_frames_.fetch_add(1, std::memory_order_relaxed);
+            pass = false;
+          } else {
+            s.degraded.fetch_add(1, std::memory_order_relaxed);
+            pass = config_.degrade_policy == DegradePolicy::kBypass;
+          }
         } catch (...) {
           hb.idle();
           // Degrade per frame, never per stream: drop terminates the frame
@@ -706,19 +791,47 @@ void FfsVaInstance::sdd_worker_loop(int worker) {
           hot_.drop_sdd->add();
           s.lat_sdd.add(ms_since(item->ingest));
         }
+        if (cancelled && allow_restart) {
+          // The frame is fully accounted (routed or dropped above); now
+          // restart this worker under the stage budget.
+          restart_requested = true;
+          break;
+        }
       }
       s.sdd_claimed.store(false, std::memory_order_release);
+      if (restart_requested) return false;
       if (processed > 0) {
         did_work = true;
         cursor = idx;  // keep draining near the stream we just served
       }
     }
-    if (all_done) return;
-    if (!did_work) sdd_work_->wait(ticket);
+    if (all_done) return true;
+    if (!did_work) sdd_work_.wait(ticket);
   }
 }
 
-void FfsVaInstance::gpu0_loop() {
+void FfsVaInstance::gpu0_entry() {
+  int restarts = 0;
+  for (;;) {
+    if (gpu0_loop(restarts < config_.stage_max_restarts)) break;
+    // A watchdog cancel unwound the executor. Every popped frame was
+    // accounted before the loop returned, so re-entry resumes cleanly from
+    // the queues.
+    ++restarts;
+    stage_restarts_.fetch_add(1, std::memory_order_relaxed);
+    stage_backoff(restarts);
+    const std::int64_t cancelled_at = gpu0_call_.cancelled_at_ms();
+    if (cancelled_at >= 0) {
+      hot_.recovery_ms->record(
+          static_cast<double>(runtime::steady_now_ms() - cancelled_at));
+    }
+  }
+  // Single exit: the reference stage always sees end-of-stream, whatever
+  // path brought the executor down — and never before its final restart.
+  tyolo_shared_->ref_q.close();
+}
+
+bool FfsVaInstance::gpu0_loop(bool allow_restart) {
   TYoloScheduler scheduler(config_.num_tyolo);
   const DynamicBatcher batcher(config_.batch_policy, config_.batch_size,
                                config_.snm_queue_depth);
@@ -729,6 +842,21 @@ void FfsVaInstance::gpu0_loop() {
   std::vector<const image::Image*> imgs;
   items.reserve(static_cast<std::size_t>(std::max(1, config_.batch_size)));
   bool running = true;
+  bool restart_requested = false;
+
+  // Per-frame wedge bookkeeping shared by the T-YOLO and SNM catch sites:
+  // first wedge follows the degrade policy, second wedge poisons the frame
+  // (dropped regardless of policy). Returns the frame's pass verdict.
+  const auto wedge_verdict = [&](Stream& s, Item& item) {
+    ++item.wedges;
+    if (item.wedges >= 2) {
+      s.poisoned.fetch_add(1, std::memory_order_relaxed);
+      poisoned_frames_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    s.degraded.fetch_add(1, std::memory_order_relaxed);
+    return config_.degrade_policy == DegradePolicy::kBypass;
+  };
 
   // One T-YOLO service pick: up to num_tyolo frames from the next non-empty
   // stream in round-robin order (Section 3.2.3). Executed directly — this
@@ -762,14 +890,20 @@ void FfsVaInstance::gpu0_loop() {
       bool pass;
       detect::DetectionResult det;
       bool have_det = false;
+      bool cancelled = false;
       try {
         gpu0_hb_.busy();
+        runtime::ModelCallGuard guard(gpu0_call_, s.id, item->frame.index);
         det = s.models.tyolo->detect(item->frame.image);
         gpu0_hb_.idle();
         pass = det.count_target(s.models.target,
                                 s.models.tyolo->config().confidence_threshold) >=
                config_.number_of_objects;
         have_det = true;
+      } catch (const runtime::CancelledError&) {
+        gpu0_hb_.idle();
+        cancelled = true;
+        pass = wedge_verdict(s, *item);
       } catch (...) {
         gpu0_hb_.idle();
         s.degraded.fetch_add(1, std::memory_order_relaxed);
@@ -789,6 +923,12 @@ void FfsVaInstance::gpu0_loop() {
         hot_.drop_tyolo->add();
         s.lat_tyolo.add(ms_since(item->ingest));
       }
+      if (cancelled && allow_restart) {
+        // The frame is accounted; stop picking and let the cycle end so the
+        // executor restarts with no frame in hand.
+        restart_requested = true;
+        break;
+      }
     }
     span.set_batch(served);
     if (served > 0) {
@@ -802,7 +942,7 @@ void FfsVaInstance::gpu0_loop() {
   };
 
   while (running) {
-    const auto ticket = gpu0_work_->prepare();
+    const auto ticket = gpu0_work_.prepare();
     bool did_work = false;
     bool all_snm_done = true;
 
@@ -853,12 +993,22 @@ void FfsVaInstance::gpu0_loop() {
       hot_.batch_size->record(static_cast<double>(items.size()));
       std::vector<double> scores;
       bool batch_degraded = false;
+      bool batch_cancelled = false;
       try {
         gpu0_hb_.busy();
         telemetry::ScopedSpan sp(trace(), "snm.batch", telemetry::Stage::kSnm,
                                  s.id, -1, static_cast<int>(items.size()));
+        runtime::ModelCallGuard guard(gpu0_call_, s.id,
+                                      items.front().frame.index);
         scores = s.models.snm->predict_batch(imgs);
         gpu0_hb_.idle();
+      } catch (const runtime::CancelledError&) {
+        // A wedged batch the watchdog cancelled: every popped frame still
+        // gets a per-frame wedge verdict below (conservation holds), then
+        // the executor restarts under the stage budget.
+        gpu0_hb_.idle();
+        batch_cancelled = true;
+        if (allow_restart) restart_requested = true;
       } catch (...) {
         gpu0_hb_.idle();
         // The device call is batched, so one unevaluable frame degrades the
@@ -870,9 +1020,12 @@ void FfsVaInstance::gpu0_loop() {
       for (std::size_t j = 0; j < items.size() && running; ++j) {
         s.snm_in.fetch_add(1, std::memory_order_relaxed);
         hot_.snm_in->add();
-        const bool pass = batch_degraded
-                              ? config_.degrade_policy == DegradePolicy::kBypass
-                              : scores[j] >= t_pre;
+        const bool pass =
+            batch_cancelled
+                ? wedge_verdict(s, items[j])
+                : (batch_degraded
+                       ? config_.degrade_policy == DegradePolicy::kBypass
+                       : scores[j] >= t_pre);
         if (pass) {
           s.snm_passed.fetch_add(1, std::memory_order_relaxed);
           hot_.snm_passed->add();
@@ -902,20 +1055,42 @@ void FfsVaInstance::gpu0_loop() {
     if (running && serve_tyolo()) did_work = true;
 
     if (!running) break;
+    // Restart at the end of the cycle: every frame popped this cycle has
+    // been routed or dropped, so the re-entered loop resumes cleanly from
+    // the queues.
+    if (restart_requested) return false;
     if (all_snm_done) {
       bool drained = true;
       for (const auto& s : streams_) drained = drained && s->tyolo_q.depth() == 0;
       if (drained) break;
       continue;  // only T-YOLO work remains; keep serving micro-batches
     }
-    if (!did_work) gpu0_work_->wait(ticket);
+    if (!did_work) gpu0_work_.wait(ticket);
   }
-  // Single exit: the reference stage always sees end-of-stream, whatever
-  // path brought the executor down.
-  tyolo_shared_->ref_q.close();
+  return true;
 }
 
-void FfsVaInstance::reference_loop() {
+void FfsVaInstance::reference_entry() {
+  int restarts = 0;
+  // Entries already popped from ref_q live here so they survive a stage
+  // restart: the re-entered loop keeps serving them in pop order (per-stream
+  // FIFO and frame conservation hold through the unwind).
+  std::vector<RefEntry> pending;
+  for (;;) {
+    if (reference_loop(restarts < config_.stage_max_restarts, pending)) return;
+    ++restarts;
+    stage_restarts_.fetch_add(1, std::memory_order_relaxed);
+    stage_backoff(restarts);
+    const std::int64_t cancelled_at = ref_call_.cancelled_at_ms();
+    if (cancelled_at >= 0) {
+      hot_.recovery_ms->record(
+          static_cast<double>(runtime::steady_now_ms() - cancelled_at));
+    }
+  }
+}
+
+bool FfsVaInstance::reference_loop(bool allow_restart,
+                                   std::vector<RefEntry>& pending) {
   auto& ref_q = tyolo_shared_->ref_q;
 
   // The three ways a frame leaves the reference stage. Emission order is
@@ -935,6 +1110,16 @@ void FfsVaInstance::reference_loop() {
     // describes emitted frames only; lat_drop still merges into
     // stats.latency_ms, so every ingested frame terminates exactly once.
     s.degraded.fetch_add(1, std::memory_order_relaxed);
+    hot_.drop_ref->add();
+    const double ms = ms_since(item.ingest);
+    s.lat_drop.add(ms);
+    hot_.drop_latency_ms->record(ms);
+  };
+  const auto poison = [&](Stream& s, const Item& item) {
+    // Second wedge: the frame is poisoned — same terminal accounting as a
+    // reference-stage drop, but counted as poisoned instead of degraded.
+    s.poisoned.fetch_add(1, std::memory_order_relaxed);
+    poisoned_frames_.fetch_add(1, std::memory_order_relaxed);
     hot_.drop_ref->add();
     const double ms = ms_since(item.ingest);
     s.lat_drop.add(ms);
@@ -973,8 +1158,23 @@ void FfsVaInstance::reference_loop() {
         ref_hb_.busy();
         telemetry::ScopedSpan sp(trace(), "ref.detect", telemetry::Stage::kRef,
                                  s.id, entry->item.frame.index);
+        runtime::ModelCallGuard guard(ref_call_, s.id, entry->item.frame.index);
         result = s.models.reference->detect(entry->item.frame.image);
         ref_hb_.idle();
+      } catch (const runtime::CancelledError&) {
+        // A wedged reference call the watchdog cancelled. The reference
+        // model is the last vetting stage, so the frame is always dropped
+        // (poisoned on its second wedge); then the stage restarts under
+        // the budget.
+        ref_hb_.idle();
+        ++entry->item.wedges;
+        if (entry->item.wedges >= 2) {
+          poison(s, entry->item);
+        } else {
+          drop(s, entry->item);
+        }
+        if (allow_restart) return false;
+        continue;
       } catch (...) {
         ref_hb_.idle();
         drop(s, entry->item);
@@ -982,7 +1182,7 @@ void FfsVaInstance::reference_loop() {
       }
       emit(s, std::move(entry->item), std::move(result));
     }
-    return;
+    return true;
   }
 
   // Micro-batched modes: drain ref_q under a second DynamicBatcher (via
@@ -999,8 +1199,8 @@ void FfsVaInstance::reference_loop() {
                                         config_.crop_coverage_threshold};
   // bounded-ok: pending never exceeds ref_batch_size entries — the top-up
   // loop stops at the batch cap and the blocking pop adds one only when the
-  // policy is still waiting below the cap.
-  std::vector<RefEntry> pending;
+  // policy is still waiting below the cap. (The vector itself lives in
+  // reference_entry so popped entries survive a stage restart.)
   pending.reserve(static_cast<std::size_t>(drain.batch_size()));
   std::vector<RefEntry*> batch;  // eligible entries, in batch order
   std::vector<const detect::ReferenceDetector*> detectors;
@@ -1052,11 +1252,17 @@ void FfsVaInstance::reference_loop() {
       hot_.ref_batch_size->record(static_cast<double>(batch.size()));
       std::vector<detect::RefBatchItem> results;
       bool whole_batch_failed = false;
+      bool batch_cancelled = false;
       try {
         ref_hb_.busy();
         telemetry::ScopedSpan sp(trace(), "ref.batch", telemetry::Stage::kRef,
                                  /*stream=*/-1, /*index=*/-1,
                                  static_cast<int>(batch.size()));
+        // The batch spans streams; attribute the in-flight call to the
+        // first entry (the watchdog only needs *a* stream to charge the
+        // cancel to).
+        runtime::ModelCallGuard guard(ref_call_, batch.front()->stream,
+                                      batch.front()->item.frame.index);
         if (config_.ref_mode == RefMode::kCropPack) {
           requests.clear();
           requests.reserve(batch.size());
@@ -1096,6 +1302,14 @@ void FfsVaInstance::reference_loop() {
           results = detect::detect_batch(detectors, imgs);
         }
         ref_hb_.idle();
+      } catch (const runtime::CancelledError&) {
+        // detect_batch re-raises a cancel after all its chunks join, so the
+        // batched device call mirrors the SNM contract: a wedged batch the
+        // watchdog cancelled wedges every frame in it (first wedge drops at
+        // this last vetting stage, second wedge poisons), then the stage
+        // restarts under the budget.
+        ref_hb_.idle();
+        batch_cancelled = true;
       } catch (...) {
         // detect_batch / consolidate_detect isolate per-frame errors
         // internally; only a batch-setup failure (e.g. allocation) lands
@@ -1107,16 +1321,32 @@ void FfsVaInstance::reference_loop() {
       for (std::size_t i = 0; i < batch.size(); ++i) {
         RefEntry& e = *batch[i];
         Stream& s = *streams_[static_cast<std::size_t>(e.stream)];
-        if (whole_batch_failed || !results[i].ok) {
+        if (batch_cancelled) {
+          ++e.item.wedges;
+          if (e.item.wedges >= 2) {
+            poison(s, e.item);
+          } else {
+            drop(s, e.item);
+          }
+        } else if (whole_batch_failed || !results[i].ok) {
           drop(s, e.item);
         } else {
           emit(s, std::move(e.item), std::move(results[i].result));
         }
       }
+      if (batch_cancelled) {
+        // Remove the processed entries first: the restarted loop must not
+        // serve them again.
+        pending.erase(pending.begin(),
+                      pending.begin() + static_cast<std::ptrdiff_t>(step.take));
+        if (allow_restart) return false;
+        continue;
+      }
     }
     pending.erase(pending.begin(),
                   pending.begin() + static_cast<std::ptrdiff_t>(step.take));
   }
+  return true;
 }
 
 void FfsVaInstance::quarantine(Stream& s) {
@@ -1126,12 +1356,16 @@ void FfsVaInstance::quarantine(Stream& s) {
   s.sdd_q.close();
   s.snm_q.close();
   s.tyolo_q.close();
-  gpu0_work_->notify();  // run the executor's drain branch promptly
-  // Un-wedge the quarantine-aware join in run(). The empty critical
-  // section orders the flag publish before the notify for the waiter's
-  // predicate re-check.
-  { runtime::MutexLock lk(s.exit_mu); }
-  s.exit_cv.notify_all();
+  gpu0_work_.notify();  // run the executor's drain branch promptly
+  // The prefetch thread is joined, never detached — so a decode wedged
+  // inside source->next() must be made to return. Cancel the in-flight
+  // call: the source unwinds via CancelledError at its next cancellation
+  // check, the loop observes the quarantine and exits, and run()'s join is
+  // bounded. (timeout -1: cancel whatever is in flight, however young.)
+  if (s.prefetch_call.try_cancel(runtime::steady_now_ms(), -1)) {
+    cancels_.fetch_add(1, std::memory_order_relaxed);
+    s.cancels.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void FfsVaInstance::supervise(Clock::time_point t0) {
@@ -1142,20 +1376,60 @@ void FfsVaInstance::supervise(Clock::time_point t0) {
     deadline_hit_.store(true, std::memory_order_relaxed);
     stop();
   }
+  const std::int64_t now = runtime::steady_now_ms();
+  // Escalation step one (DESIGN.md Section 14): a model call in flight past
+  // model_call_timeout_ms is cancelled. The call unwinds via CancelledError
+  // at its next tile boundary, the owning stage degrades (or poisons) the
+  // frame and restarts under the stage budget.
+  if (config_.model_call_timeout_ms > 0) {
+    const auto call_timeout =
+        static_cast<std::int64_t>(config_.model_call_timeout_ms);
+    const auto escalate = [&](runtime::InflightCall& call) {
+      if (!call.try_cancel(now, call_timeout)) return;
+      cancels_.fetch_add(1, std::memory_order_relaxed);
+      const int st = call.stream();
+      if (st >= 0 && st < static_cast<int>(streams_.size())) {
+        streams_[static_cast<std::size_t>(st)]->cancels.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    };
+    for (auto& c : sdd_call_) escalate(c);
+    escalate(gpu0_call_);
+    escalate(ref_call_);
+    for (auto& s : streams_) escalate(s->prefetch_call);
+  }
   if (config_.stall_timeout_ms <= 0) return;
   const auto timeout = static_cast<std::int64_t>(config_.stall_timeout_ms);
   for (auto& s : streams_) {
-    if (!s->quarantined.load(std::memory_order_acquire) &&
-        s->hb.busy_age_ms() > timeout) {
-      quarantine(*s);
+    if (!s->quarantined.load(std::memory_order_acquire)) {
+      if (s->hb.busy_age_ms() > timeout) quarantine(*s);
+    } else if (s->prefetch_call.try_cancel(now, timeout)) {
+      // A quarantined stream's prefetch thread is joined, not detached:
+      // keep cancelling any decode still wedged (e.g. a fresh call that
+      // raced the quarantine cancel) so the join stays bounded.
+      cancels_.fetch_add(1, std::memory_order_relaxed);
+      s->cancels.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Shared stages (SDD pool, GPU0 executor, reference thread) serve every
   // stream, so they cannot be quarantined per stream — a stall there is
-  // surfaced in the health summary instead of acted on.
+  // surfaced in the health summary (and, with model_call_timeout_ms armed,
+  // already being acted on by the cancellation scan above).
   bool stalled = gpu0_hb_.busy_age_ms() > timeout || ref_hb_.busy_age_ms() > timeout;
   for (const auto& hb : sdd_hb_) stalled = stalled || hb.busy_age_ms() > timeout;
   if (stalled) stage_stall_ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FfsVaInstance::stage_backoff(int attempt) {
+  std::int64_t ms = static_cast<std::int64_t>(
+                        std::max(0, config_.stage_restart_backoff_ms))
+                    << std::min(attempt, 20);
+  ms = std::min<std::int64_t>(ms, 100);
+  const auto until = Clock::now() + std::chrono::milliseconds(ms);
+  // Sliced so stop() aborts the wait promptly.
+  while (Clock::now() < until && !stop_.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 InstanceStats FfsVaInstance::run(bool online) {
@@ -1187,8 +1461,8 @@ InstanceStats FfsVaInstance::run(bool online) {
   // Wire the stage wakeups before any thread starts (set_waiter is
   // unsynchronized by contract).
   for (auto& s : streams_) {
-    s->sdd_q.set_waiter(sdd_work_.get());
-    s->snm_q.set_waiter(gpu0_work_.get());
+    s->sdd_q.set_waiter(&sdd_work_);
+    s->snm_q.set_waiter(&gpu0_work_);
   }
   // Resolve which streams take the fused hinted-ingest path (DESIGN.md §13)
   // before any thread starts: the flag and its sdd_done pre-set are read by
@@ -1210,10 +1484,12 @@ InstanceStats FfsVaInstance::run(bool online) {
   }
   const int workers = sdd_pool_size(unfused);
   sdd_hb_ = std::vector<runtime::Heartbeat>(static_cast<std::size_t>(workers));
+  sdd_call_ = std::vector<runtime::InflightCall>(static_cast<std::size_t>(workers));
   const int affinity = runtime::resolve_ingest_affinity(config_.ingest_affinity);
 
   // thread-ok: per-stream prefetch threads — a camera/decoder is inherently
-  // per-stream; joined (or quarantine-detached) below.
+  // per-stream; all joined below (quarantine cancels a wedged decode, so
+  // the join is bounded).
   std::vector<std::thread> prefetch_threads;
   prefetch_threads.reserve(streams_.size());
   for (auto& s : streams_) {
@@ -1225,13 +1501,14 @@ InstanceStats FfsVaInstance::run(bool online) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers) + 2);
   for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([this, w] { sdd_worker_loop(w); });
+    threads.emplace_back([this, w] { sdd_worker_entry(w); });
   }
-  threads.emplace_back([this] { gpu0_loop(); });
-  threads.emplace_back([this] { reference_loop(); });
+  threads.emplace_back([this] { gpu0_entry(); });
+  threads.emplace_back([this] { reference_entry(); });
 
   runtime::Watchdog watchdog;
-  if (config_.stall_timeout_ms > 0 || config_.run_deadline_ms > 0) {
+  if (config_.stall_timeout_ms > 0 || config_.run_deadline_ms > 0 ||
+      config_.model_call_timeout_ms > 0) {
     int tick = 50;
     if (config_.stall_timeout_ms > 0) {
       tick = std::min(tick, std::max(1, config_.stall_timeout_ms / 4));
@@ -1239,38 +1516,22 @@ InstanceStats FfsVaInstance::run(bool online) {
     if (config_.run_deadline_ms > 0) {
       tick = std::min(tick, std::max(1, config_.run_deadline_ms / 4));
     }
+    if (config_.model_call_timeout_ms > 0) {
+      tick = std::min(tick, std::max(1, config_.model_call_timeout_ms / 4));
+    }
     watchdog.start(std::chrono::milliseconds(tick), [this, t0] { supervise(t0); });
   }
 
-  // Quarantine-aware join: a quarantined stream's prefetch thread may be
-  // hung inside its source, so wait for exit OR quarantine, then join or
-  // detach. A detached thread co-owns its Stream (shared_ptr) and touches
-  // nothing else, so it can finish whenever the source finally returns.
-  for (std::size_t i = 0; i < streams_.size(); ++i) {
-    Stream& s = *streams_[i];
-    runtime::UniqueLock lk(s.exit_mu);
-    while (!s.prefetch_exited &&
-           !s.quarantined.load(std::memory_order_acquire)) {
-      s.exit_cv.wait(lk);
-    }
-    const bool exited = s.prefetch_exited;
-    lk.unlock();
-    if (exited) {
-      prefetch_threads[i].join();
-    } else {
-      // detach-ok: watchdog quarantine — the thread is hung inside its
-      // source; it co-owns its Stream (shared_ptr) and touches nothing
-      // else, so it may finish whenever the source finally returns
-      // (DESIGN.md Section 9).
-      prefetch_threads[i].detach();
-    }
-  }
+  // Joined, never detached: a prefetch thread wedged inside its source is
+  // un-wedged by cancellation — quarantine cancels its in-flight decode,
+  // and supervise() keeps re-cancelling a call that stays wedged — so each
+  // join completes in bounded time. The watchdog stays alive until these
+  // joins are done (it stops below).
+  for (auto& t : prefetch_threads) t.join();
   for (auto& t : threads) t.join();
   watchdog.stop();
-  // Stage threads have quiesced: the exporter's final row and the trace
-  // rings now hold the run's closing state. A detached quarantined prefetch
-  // thread may still tick its Stream atomics (surfaced as gauges), which
-  // the final sample reads with the usual relaxed-snapshot caveat.
+  // Every stage thread has quiesced: the exporter's final row and the trace
+  // rings now hold the run's exact closing state.
   exporter_.stop();
   if (tracing_requested_) trace().disable();
   running_.store(false, std::memory_order_release);
@@ -1301,6 +1562,8 @@ InstanceStats FfsVaInstance::run(bool online) {
     s.stats.fault.restarts = s.restarts.load(std::memory_order_relaxed);
     s.stats.fault.degraded_frames = s.degraded.load(std::memory_order_relaxed);
     s.stats.fault.discarded_frames = s.discarded.load(std::memory_order_relaxed);
+    s.stats.fault.cancelled_calls = s.cancels.load(std::memory_order_relaxed);
+    s.stats.fault.poisoned_frames = s.poisoned.load(std::memory_order_relaxed);
     s.stats.fault.quarantined = s.quarantined.load(std::memory_order_acquire);
     // Ingest accounting: decode work actually performed vs skipped via the
     // compressed-domain hint, plus the decode-stage latency distribution.
@@ -1343,6 +1606,9 @@ InstanceStats FfsVaInstance::run(bool online) {
 
     out.streams.push_back(s.stats);
   }
+  out.health.cancels = cancels_.load(std::memory_order_relaxed);
+  out.health.stage_restarts = stage_restarts_.load(std::memory_order_relaxed);
+  out.health.poisoned_frames = poisoned_frames_.load(std::memory_order_relaxed);
   out.health.stage_stall_ticks = stage_stall_ticks_.load(std::memory_order_relaxed);
   out.health.stopped = stop_.stop_requested();
   out.health.deadline_hit = deadline_hit_.load(std::memory_order_relaxed);

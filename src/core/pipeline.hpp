@@ -70,11 +70,13 @@ struct FaultStats {
   std::uint64_t restarts = 0;         ///< Source restarts attempted.
   std::uint64_t degraded_frames = 0;  ///< Frames a throwing model degraded.
   std::uint64_t discarded_frames = 0; ///< In-flight frames dumped by quarantine.
+  std::uint64_t cancelled_calls = 0;  ///< Wedged calls the watchdog cancelled.
+  std::uint64_t poisoned_frames = 0;  ///< Frames dropped after wedging two stages.
   bool quarantined = false;           ///< Stream was quarantined by the watchdog.
 
   bool any() const {
     return decode_errors || retries || restarts || degraded_frames ||
-           discarded_frames || quarantined;
+           discarded_frames || cancelled_calls || poisoned_frames || quarantined;
   }
 };
 
@@ -114,10 +116,17 @@ struct HealthSummary {
   std::uint64_t restarts = 0;
   std::uint64_t degraded_frames = 0;
   std::uint64_t discarded_frames = 0;
+  /// Escalation counters (DESIGN.md Section 14): model calls the watchdog
+  /// cancelled, stage restarts taken after a cancel, and frames dropped as
+  /// poisoned after wedging two stages.
+  std::uint64_t cancels = 0;
+  std::uint64_t stage_restarts = 0;
+  std::uint64_t poisoned_frames = 0;
   /// Watchdog ticks on which a *shared* stage (an SDD worker, the GPU0
   /// executor, the reference thread) was busy past the stall timeout.
-  /// Shared stages cannot be quarantined per stream, so stalls there are
-  /// surfaced instead of acted on.
+  /// Shared stages cannot be quarantined per stream; with
+  /// model_call_timeout_ms armed the wedged call is cancelled and the stage
+  /// restarted, otherwise the stall is only surfaced here.
   std::uint64_t stage_stall_ticks = 0;
   bool stopped = false;       ///< stop() was requested (by a caller or the deadline).
   bool deadline_hit = false;  ///< run_deadline_ms expired.
@@ -215,9 +224,11 @@ class FfsVaInstance {
   /// Request a graceful shutdown of an in-flight run() from any thread:
   /// ingest stops, in-flight frames drain, run() returns with the stats
   /// accumulated so far. Idempotent; safe before, during, or after run().
-  /// With stall detection enabled (config.stall_timeout_ms > 0) run()
-  /// returns within roughly the stall timeout even if a source is hung —
-  /// the watchdog quarantines the hung stream and its thread is detached.
+  /// With supervision armed, run() returns in bounded time even when a
+  /// source or model call is hung: a wedged call is cancelled by the
+  /// watchdog (config.model_call_timeout_ms) or its stream quarantined
+  /// (config.stall_timeout_ms) — quarantine cancels the in-flight decode,
+  /// so every prefetch thread is joined, never detached.
   void stop();
 
   /// Collected outputs (when no sink is set). Valid after run() returns —
@@ -260,20 +271,40 @@ class FfsVaInstance {
 
  private:
   struct Stream;
+  struct RefEntry;
 
-  /// Static + shared_ptr: a prefetch thread whose source hung is detached
-  /// at join time (quarantine), so everything it may still touch after
-  /// run() returns must live in the Stream it co-owns, not in `this`.
+  /// Static + shared_ptr: the prefetch loop touches only the Stream it
+  /// co-owns, never `this`, so the instance registry stays single-schema
+  /// (prefetch state surfaces as gauges over Stream atomics). The thread is
+  /// always joined before run() returns — a wedged decode is un-wedged by
+  /// cancellation (quarantine cancels the stream's in-flight call).
   /// `affinity_base` >= 0 pins the thread to CPU (base + stream id) mod
   /// cpu_count before the first decode (runtime::pin_current_thread).
   static void prefetch_loop(std::shared_ptr<Stream> s, bool online,
                             int affinity_base);
-  void sdd_worker_loop(int worker);
-  void gpu0_loop();
-  void reference_loop();
 
-  /// The watchdog tick: run deadline, per-stream stall quarantine, shared-
-  /// stage stall observation. Runs on the watchdog thread.
+  /// Stage entry points: each wraps its loop in the restart policy of
+  /// DESIGN.md Section 14 — a loop returning false was unwound by a
+  /// watchdog cancel and re-enters after stage_backoff(), up to
+  /// config.stage_max_restarts times; past the budget the loop handles
+  /// further cancels inline (degrade the frame, keep serving) and never
+  /// requests a restart. The loops return true when their work is finished.
+  void sdd_worker_entry(int worker);
+  void gpu0_entry();
+  void reference_entry();
+  bool sdd_worker_loop(int worker, bool allow_restart);
+  bool gpu0_loop(bool allow_restart);
+  /// `pending` lives in reference_entry so entries already popped from
+  /// ref_q survive a stage restart (per-stream FIFO and conservation hold
+  /// through the unwind).
+  bool reference_loop(bool allow_restart, std::vector<RefEntry>& pending);
+  /// Sliced sleep before a stage re-enters its loop: stage_restart_backoff_ms
+  /// doubled per attempt, capped at 100 ms, aborted early by stop().
+  void stage_backoff(int attempt);
+
+  /// The watchdog tick: run deadline, wedged-call cancellation
+  /// (model_call_timeout_ms), per-stream stall quarantine, shared-stage
+  /// stall observation. Runs on the watchdog thread.
   void supervise(std::chrono::steady_clock::time_point t0);
   void quarantine(Stream& s);
 
@@ -297,27 +328,42 @@ class FfsVaInstance {
   // empty or claimed; the GPU0 executor sleeps here when no SNM batch is
   // ready and no T-YOLO work is queued. GPU0 needs no mutex — the executor
   // thread owns it; the reference model (GPU1) is owned by its one thread.
-  // shared_ptr because each Stream keeps the waiters alive for any
-  // detached (quarantined) prefetch thread that outlives the instance.
-  std::shared_ptr<runtime::QueueWaiter> sdd_work_;
-  std::shared_ptr<runtime::QueueWaiter> gpu0_work_;
+  // Plain members: every thread that notifies them (including each
+  // prefetch thread) is joined before the instance is destroyed.
+  runtime::QueueWaiter sdd_work_;
+  runtime::QueueWaiter gpu0_work_;
 
   // Supervision state.
   runtime::StopToken stop_;
   std::atomic<bool> run_called_{false};
   std::atomic<bool> deadline_hit_{false};
   std::atomic<std::uint64_t> stage_stall_ticks_{0};
+  /// Escalation totals (DESIGN.md Section 14); per-stream attribution lives
+  /// in the Stream atomics, these are the instance rollups the health
+  /// summary and the supervision.* gauges read.
+  std::atomic<std::uint64_t> cancels_{0};
+  std::atomic<std::uint64_t> stage_restarts_{0};
+  std::atomic<std::uint64_t> poisoned_frames_{0};
   std::vector<runtime::Heartbeat> sdd_hb_;  ///< One per SDD worker.
   runtime::Heartbeat gpu0_hb_;
   runtime::Heartbeat ref_hb_;
+  /// In-flight model-call registration slots, one per worker thread that
+  /// runs model calls (SDD pool workers, the GPU0 executor, the reference
+  /// thread; each Stream holds its prefetch slot). The watchdog scans these
+  /// to attribute a stall to a specific {worker, stream, frame} and cancel
+  /// exactly that call.
+  std::vector<runtime::InflightCall> sdd_call_;
+  runtime::InflightCall gpu0_call_;
+  runtime::InflightCall ref_call_;
 
   struct TYoloShared;
   std::unique_ptr<TYoloShared> tyolo_shared_;
 
-  // Telemetry. The registry lives in the instance (stage threads join
-  // before run() returns, so instance lifetime covers every recorder
-  // except the detached quarantined prefetch thread — which therefore
-  // reports only through its Stream's atomics, surfaced here as gauges).
+  // Telemetry. The registry lives in the instance; every stage thread —
+  // prefetch included — joins before run() returns, so instance lifetime
+  // covers every recorder. Prefetch state still reports through its
+  // Stream's atomics (surfaced here as gauges) to keep the loop free of
+  // instance coupling.
   telemetry::Registry metrics_;
   telemetry::MetricsExporter exporter_{metrics_};
   std::ostream* metrics_sink_ = nullptr;
@@ -360,6 +406,10 @@ class FfsVaInstance {
     /// quarantine-discarded — kept OUT of latency.output_ms so the output
     /// distribution describes only emitted frames.
     telemetry::AtomicHistogram* drop_latency_ms = nullptr;
+    /// Time from a watchdog cancel to the affected stage serving again
+    /// (after its restart backoff) — the time-to-recovery distribution of
+    /// the escalation path (DESIGN.md Section 14).
+    telemetry::AtomicHistogram* recovery_ms = nullptr;
   };
   Hot hot_;
 };

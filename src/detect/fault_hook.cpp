@@ -1,0 +1,98 @@
+// relaxed-ok: per-stage call counters and trigger slots are injection
+// bookkeeping read after the workload joins; the hook pointer swing is the
+// only real edge and uses acquire/release.
+#include "detect/fault_hook.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/cancel.hpp"
+
+namespace ffsva::detect {
+
+namespace {
+
+std::atomic<FaultHook*> g_hook{nullptr};
+
+}  // namespace
+
+const char* to_string(FaultStage stage) {
+  switch (stage) {
+    case FaultStage::kSdd: return "sdd";
+    case FaultStage::kSnm: return "snm";
+    case FaultStage::kTyolo: return "tyolo";
+    case FaultStage::kRef: return "ref";
+  }
+  return "?";
+}
+
+FaultHook::FaultHook(std::vector<ModelFaultSpec> specs)
+    : specs_(std::move(specs)), matched_(specs_.size()) {}
+
+FaultHook::~FaultHook() {
+  FaultHook* self = this;
+  g_hook.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+void FaultHook::install() { g_hook.store(this, std::memory_order_release); }
+
+void FaultHook::uninstall() { g_hook.store(nullptr, std::memory_order_release); }
+
+void FaultHook::on_call(FaultStage stage) {
+  FaultHook* h = g_hook.load(std::memory_order_acquire);
+  if (h != nullptr) h->fire(stage);
+}
+
+std::int64_t FaultHook::calls(FaultStage stage) const {
+  return calls_[static_cast<std::size_t>(static_cast<int>(stage))].load(
+      std::memory_order_relaxed);
+}
+
+int FaultHook::triggered(std::size_t spec) const {
+  const int raw = matched_[spec].load(std::memory_order_relaxed);
+  return raw < specs_[spec].max_triggers ? raw : specs_[spec].max_triggers;
+}
+
+void FaultHook::fire(FaultStage stage) {
+  const std::int64_t idx =
+      calls_[static_cast<std::size_t>(static_cast<int>(stage))].fetch_add(
+          1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const ModelFaultSpec& spec = specs_[i];
+    if (spec.stage != stage || idx < spec.offset) continue;
+    const std::int64_t rel = idx - spec.offset;
+    if (spec.period > 0 ? rel % spec.period != 0 : rel != 0) continue;
+    // Claim one of the spec's max_triggers slots; overshoot just means the
+    // trigger budget is spent (triggered() clamps on read).
+    if (matched_[i].fetch_add(1, std::memory_order_relaxed) >= spec.max_triggers) {
+      continue;
+    }
+    switch (spec.kind) {
+      case ModelFaultSpec::Kind::kThrow:
+        throw std::runtime_error("injected model fault");
+      case ModelFaultSpec::Kind::kSleep:
+        // cancel-ok: a deliberate latency spike, bounded by duration_ms by
+        // definition — the stall kind below is the cancellable one.
+        std::this_thread::sleep_for(std::chrono::milliseconds(spec.duration_ms));
+        break;
+      case ModelFaultSpec::Kind::kStall: {
+        // Cooperative wedge: hold the call busy until the watchdog cancels
+        // it (the real recovery path) or the cap expires (the bounded
+        // fallback for runs without escalation armed).
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(spec.duration_ms);
+        while (std::chrono::steady_clock::now() < deadline) {
+          if (runtime::cancel_requested()) {
+            cancelled_stalls_.fetch_add(1, std::memory_order_relaxed);
+            throw runtime::CancelledError("injected stall cancelled");
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace ffsva::detect

@@ -1,0 +1,94 @@
+// relaxed-ok: fault counters are statistics read after the workload joins;
+// the install/uninstall edge uses acquire/release on the hook pointer.
+//
+// Deterministic in-model fault injection.
+//
+// video::FaultInjectingSource wedges the *ingest* side of the engine; this
+// hook wedges the *model* side: a stall, latency spike, or throw fired
+// inside a forward (SDD distance, SNM predict, T-YOLO detect, reference
+// segmentation) at an exact per-stage call index. That is what the
+// escalation tests need — "SDD call #5 stalls" is reproducible run over
+// run, like the index-pinned `*_at` knobs on FaultInjectingSource, with no
+// dependence on thread scheduling.
+//
+// An injected stall is cooperative: it sleeps in 1 ms slices polling the
+// current thread's CancelToken (runtime/cancel.hpp) and unwinds via
+// CancelledError when the watchdog cancels the call — exactly the unwind
+// path a real wedged kernel takes at its next tile boundary. The stall is
+// capped at `duration_ms` so a build without escalation armed (or a unit
+// test without an engine) still terminates.
+//
+// Install/uninstall swing one process-global atomic pointer; the per-call
+// cost with no hook installed is a single relaxed load.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace ffsva::detect {
+
+/// Which forward the hook intercepts.
+enum class FaultStage : int { kSdd = 0, kSnm = 1, kTyolo = 2, kRef = 3 };
+inline constexpr int kFaultStageCount = 4;
+
+const char* to_string(FaultStage stage);
+
+/// One deterministic trigger. Fires on per-stage call indices i >= offset
+/// with (i - offset) % period == 0 (period <= 0: only at i == offset), at
+/// most max_triggers times.
+struct ModelFaultSpec {
+  enum class Kind {
+    kStall,  ///< sliced sleep up to duration_ms, unwound early by a cancel
+    kSleep,  ///< plain latency spike of duration_ms; returns normally
+    kThrow,  ///< throws std::runtime_error("injected model fault")
+  };
+
+  FaultStage stage = FaultStage::kSnm;
+  Kind kind = Kind::kStall;
+  std::int64_t offset = 0;
+  std::int64_t period = 0;
+  int max_triggers = 1;
+  int duration_ms = 1000;
+};
+
+/// The installable hook. Construct with the trigger plan, install(), run
+/// the workload, read the counters. fire() is thread-safe (SDD workers call
+/// it concurrently); install/uninstall must not race a workload that is
+/// still calling into the hook — uninstall after the engine joined.
+class FaultHook {
+ public:
+  explicit FaultHook(std::vector<ModelFaultSpec> specs);
+  ~FaultHook();
+
+  FaultHook(const FaultHook&) = delete;
+  FaultHook& operator=(const FaultHook&) = delete;
+
+  /// Make this hook the process-global interceptor (replacing any other).
+  void install();
+  /// Remove whatever hook is installed.
+  static void uninstall();
+
+  /// Model forwards call this at entry; no-op unless a hook is installed.
+  static void on_call(FaultStage stage);
+
+  /// Total forward entries seen per stage since install.
+  std::int64_t calls(FaultStage stage) const;
+  /// Faults actually fired for spec i (clamped to its max_triggers).
+  int triggered(std::size_t spec) const;
+  /// Injected stalls that were unwound early by a cancel.
+  int cancelled_stalls() const {
+    return cancelled_stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void fire(FaultStage stage);
+
+  const std::vector<ModelFaultSpec> specs_;
+  std::array<std::atomic<std::int64_t>, kFaultStageCount> calls_{};
+  std::vector<std::atomic<int>> matched_;  // per spec, may overshoot max
+  std::atomic<int> cancelled_stalls_{0};
+};
+
+}  // namespace ffsva::detect

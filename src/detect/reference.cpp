@@ -1,12 +1,20 @@
+// relaxed-ok: the batch-cancelled flag only latches "some lane saw a
+// cancel"; the lanes synchronize via the parallel_for join, after which the
+// single reader rethrows.
 #include "detect/reference.hpp"
 
+#include <atomic>
 #include <cassert>
 
+#include "detect/fault_hook.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace ffsva::detect {
 
 DetectionResult ReferenceDetector::detect(const image::Image& frame) const {
+  FaultHook::on_call(FaultStage::kRef);
+  runtime::check_cancel();
   DetectionResult out;
   const auto comps = foreground_components(frame, background_, config_.segmentation);
   out.detections.reserve(comps.size());
@@ -34,17 +42,28 @@ std::vector<RefBatchItem> detect_batch(
   // only its own slot, so the chunks share no mutable state. Exceptions are
   // captured per frame — parallel_for would otherwise rethrow the first one
   // and abandon the remaining chunks, dropping innocent batch-mates.
+  // Cancellation is the exception to that rule: a watchdog cancel targets
+  // the whole call, so it is recorded per frame but rethrown once after the
+  // join (every lane observes the same token, so batch-mates unwind too) —
+  // swallowing it here would hide the wedge from the escalation machinery.
+  std::atomic<bool> cancelled{false};
   runtime::parallel_for(0, static_cast<std::int64_t>(frames.size()), 1,
                         [&](std::int64_t b, std::int64_t e) {
                           for (std::int64_t i = b; i < e; ++i) {
                             const auto idx = static_cast<std::size_t>(i);
                             try {
                               out[idx].result = detectors[idx]->detect(*frames[idx]);
+                            } catch (const runtime::CancelledError&) {
+                              out[idx].ok = false;
+                              cancelled.store(true, std::memory_order_relaxed);
                             } catch (...) {
                               out[idx].ok = false;
                             }
                           }
                         });
+  if (cancelled.load(std::memory_order_relaxed)) {
+    throw runtime::CancelledError("reference batch cancelled");
+  }
   return out;
 }
 

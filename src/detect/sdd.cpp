@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "detect/fault_hook.hpp"
 #include "image/ops.hpp"
+#include "runtime/cancel.hpp"
 
 namespace ffsva::detect {
 
@@ -29,6 +31,8 @@ SddFilter::SddFilter(SddConfig config, const image::Image& reference_background)
 }
 
 double SddFilter::distance(const image::Image& frame) const {
+  FaultHook::on_call(FaultStage::kSdd);
+  runtime::check_cancel();
   image::Image small = image::resize_bilinear(frame, config_.width, config_.height);
   if (small.channels() != reference_.channels()) {
     // Mixed gray/color inputs: fall back to luma on both sides.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "image/ops.hpp"
+#include "runtime/cancel.hpp"
 
 namespace ffsva::detect {
 
@@ -32,10 +33,15 @@ image::Image motion_map(const image::Image& frame, const image::Image& backgroun
 std::vector<image::Component> foreground_components(const image::Image& frame,
                                                     const image::Image& background,
                                                     const SegmentationParams& params) {
+  // Cancellation boundaries between the full-resolution passes: each pass
+  // is O(pixels), so a cancelled segmentation unwinds within one pass.
   image::Image diff = motion_map(frame, background);
+  runtime::check_cancel();
   if (params.blur_sigma > 0.0) diff = image::gaussian_blur(diff, params.blur_sigma);
+  runtime::check_cancel();
   image::Image mask = image::threshold(diff, params.diff_threshold);
   if (params.morph_open) mask = image::dilate3x3(image::erode3x3(mask));
+  runtime::check_cancel();
   return image::connected_components(mask, params.min_pixels);
 }
 

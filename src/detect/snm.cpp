@@ -7,10 +7,12 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "detect/fault_hook.hpp"
 #include "image/ops.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
 #include "runtime/binary_io.hpp"
+#include "runtime/cancel.hpp"
 
 namespace ffsva::detect {
 
@@ -95,6 +97,8 @@ nn::Tensor SnmFilter::preprocess_batch_augmented(
 }
 
 double SnmFilter::predict(const image::Image& frame) const {
+  FaultHook::on_call(FaultStage::kSnm);
+  runtime::check_cancel();
   const int s = config_.input_size;
   scratch_.input.resize(1, 1, s, s);
   diff_preprocess(frame, background_small_, s, scratch_.pre, scratch_.input, 0);
@@ -106,6 +110,8 @@ std::vector<double> SnmFilter::predict_batch(
     const std::vector<const image::Image*>& frames) const {
   std::vector<double> out;
   if (frames.empty()) return out;
+  FaultHook::on_call(FaultStage::kSnm);
+  runtime::check_cancel();
   diff_preprocess_batch(frames, background_small_, config_.input_size,
                         scratch_.pre_batch, scratch_.input);
   const nn::Tensor& logits = net_->forward_inference(scratch_.input, scratch_.net);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "detect/fault_hook.hpp"
 #include "image/ops.hpp"
+#include "runtime/cancel.hpp"
 
 namespace ffsva::detect {
 
@@ -14,6 +16,8 @@ TYoloDetector::TYoloDetector(TYoloConfig config, const image::Image& background)
       scale_y_(static_cast<double>(background.height()) / config.input_size) {}
 
 DetectionResult TYoloDetector::detect(const image::Image& frame) const {
+  FaultHook::on_call(FaultStage::kTyolo);
+  runtime::check_cancel();
   DetectionResult out;
   // Plan-based resize into thread-local staging: a detector instance may be
   // shared across threads, so the warm buffers live per thread, not per

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/cancel.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace ffsva::nn {
@@ -54,6 +55,7 @@ void im2col(const Tensor& x, int n, int kernel, int stride, int pad,
 
 void gemm_naive(const float* a, const float* b, float* c, int m, int k, int n) {
   std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  runtime::check_cancel();  // cancellation boundary for thin-shape forwards
   for (int i = 0; i < m; ++i) {
     for (int p = 0; p < k; ++p) {
       const float aip = a[static_cast<std::size_t>(i) * k + p];
@@ -231,8 +233,12 @@ void gemm(const float* a, const float* b, float* c, int m, int k, int n,
       // every C row is accumulated in one fixed k-order by one worker —
       // bitwise-deterministic for any thread count.
       auto rows_body = [&](std::int64_t ir0, std::int64_t ir1) {
+        // Cancellation boundary: one check per row panel (~kMR*kc*nc MACs)
+        // keeps a cancelled forward's unwind latency at tile granularity
+        // without measurable cost in the dense inner loops.
         alignas(64) float acc[kMR * kNR];
         for (std::int64_t ir = ir0; ir < ir1; ++ir) {
+          runtime::check_cancel();
           float* apanel = ws.a_pack.data() + static_cast<std::size_t>(ir) * kMR * kc;
           std::int32_t* aidx = ws.a_idx.data() + static_cast<std::size_t>(ir) * kc;
           const int steps = pack_a_panel(a, k, m, pc, kc, static_cast<int>(ir),
@@ -287,6 +293,7 @@ void conv2d_im2col_into(const Tensor& x, const Tensor& weight, const Tensor& bia
   const int k = weight.c() * kernel * kernel;
   const int cols = oh * ow;
   auto run_sample = [&](int n, GemmScratch& lane) {
+    runtime::check_cancel();  // cancellation boundary: per conv sample
     im2col(x, n, kernel, stride, pad, oh, ow, lane.columns);
     float* out = y.data() + static_cast<std::size_t>(n) * out_ch * cols;
     gemm(weight.data(), lane.columns.data(), out, out_ch, k, cols, lane);

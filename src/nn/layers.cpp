@@ -6,6 +6,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/cancel.hpp"
+
 namespace ffsva::nn {
 
 namespace {
@@ -329,6 +331,9 @@ const Tensor& Sequential::forward_inference(const Tensor& x, InferenceScratch& w
   const Tensor* cur = &x;
   int slot = 0;
   for (auto& l : layers_) {
+    // Cancellation boundary between layers: layers whose kernels have no
+    // internal check (activations, pooling) still unwind within one layer.
+    runtime::check_cancel();
     Tensor& out = ws.acts[slot];
     l->forward_into(*cur, out, ws.gemm);
     cur = &out;

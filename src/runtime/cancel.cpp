@@ -1,0 +1,33 @@
+#include "runtime/cancel.hpp"
+
+#include <chrono>
+
+namespace ffsva::runtime {
+
+namespace {
+
+thread_local const CancelToken* t_current_token = nullptr;
+
+}  // namespace
+
+std::int64_t CancelToken::now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const CancelToken* current_cancel_token() { return t_current_token; }
+
+void check_cancel() {
+  const CancelToken* t = t_current_token;
+  if (t != nullptr && t->cancelled()) throw CancelledError();
+}
+
+ScopedCancelToken::ScopedCancelToken(const CancelToken& token)
+    : prev_(t_current_token) {
+  t_current_token = &token;
+}
+
+ScopedCancelToken::~ScopedCancelToken() { t_current_token = prev_; }
+
+}  // namespace ffsva::runtime

@@ -1,0 +1,115 @@
+// relaxed-ok: the cancel flag and deadline are advisory single-bit signals
+// polled on the kernel hot path; the unwind synchronizes via exception
+// propagation and queue edges, never via this flag's ordering.
+//
+// Cooperative cancellation for the inference hot path.
+//
+// A wedged model call (a stuck forward, a pathological frame) used to be
+// merely *observable* via heartbeat stall ticks; the thread itself stayed
+// stuck for the rest of the run. CancelToken makes such calls unwindable:
+// the watchdog flips a shared flag, and the call notices at the next tile
+// boundary — a GEMM row panel, a conv sample, a segmentation pass — and
+// unwinds via CancelledError. The check is designed to be cheap enough for
+// kernel inner loops: one thread-local load plus one relaxed atomic load
+// when no deadline is armed.
+//
+// Propagation model: a stage thread installs its token with
+// ScopedCancelToken for the duration of one model call; parallel_for
+// captures the caller's current token and re-installs it on every pool
+// worker running that loop's chunks, so `check_cancel()` observes the same
+// request from every lane. Tokens are copyable handles on shared state
+// (same idiom as StopToken) and a cancelled token stays cancelled until
+// reset() — one token is reused across calls by resetting it between them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+namespace ffsva::runtime {
+
+/// Thrown by check_cancel() when the installed token is cancelled. Derives
+/// from std::runtime_error so generic catch sites still account the frame;
+/// cancellation-aware sites catch this type first to trigger escalation.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("model call cancelled") {}
+  explicit CancelledError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Copyable handle on a shared cancellation flag plus an optional absolute
+/// deadline on the steady clock. All copies observe the same request.
+/// cancel() / set_deadline() may race with cancelled() from any thread; the
+/// flag is a relaxed load on the hot path (the unwind itself synchronizes
+/// via the exception propagation and queue edges, not via this flag).
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// Request cancellation. Idempotent, thread-safe.
+  void cancel() const { state_->flag.store(true, std::memory_order_relaxed); }
+
+  /// Clear the flag and deadline so the token can guard the next call.
+  /// Only the owning stage thread calls this, between calls.
+  void reset() const {
+    state_->flag.store(false, std::memory_order_relaxed);
+    state_->deadline_ms.store(0, std::memory_order_relaxed);
+  }
+
+  /// Arm an absolute deadline (steady_now_ms() timebase). 0 disarms.
+  void set_deadline_ms(std::int64_t deadline_ms) const {
+    state_->deadline_ms.store(deadline_ms, std::memory_order_relaxed);
+  }
+
+  /// True once cancel() was called or the armed deadline passed.
+  bool cancelled() const {
+    if (state_->flag.load(std::memory_order_relaxed)) return true;
+    const std::int64_t d = state_->deadline_ms.load(std::memory_order_relaxed);
+    return d > 0 && now_ms() >= d;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    std::atomic<std::int64_t> deadline_ms{0};  // 0 = no deadline armed
+  };
+
+  static std::int64_t now_ms();
+
+  std::shared_ptr<State> state_;
+};
+
+/// The token installed on the current thread, or nullptr. Kernel-level
+/// checks go through check_cancel() instead; this accessor exists for
+/// blocking work (a fault-injected stall, a sliced sleep) that must poll
+/// without the exception cost.
+const CancelToken* current_cancel_token();
+
+/// True when a token is installed on this thread and it is cancelled.
+inline bool cancel_requested() {
+  const CancelToken* t = current_cancel_token();
+  return t != nullptr && t->cancelled();
+}
+
+/// Throw CancelledError when the current thread's token is cancelled.
+/// No-op (one thread-local load) when no token is installed.
+void check_cancel();
+
+/// RAII installer: makes `token` the current thread's cancel token for the
+/// enclosing scope and restores the previous one on exit. Nests — an inner
+/// scope (e.g. a pool worker running a chunk of an outer loop) shadows and
+/// then restores the outer token.
+class ScopedCancelToken {
+ public:
+  explicit ScopedCancelToken(const CancelToken& token);
+  ~ScopedCancelToken();
+
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  const CancelToken* prev_;
+};
+
+}  // namespace ffsva::runtime

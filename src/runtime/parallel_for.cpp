@@ -8,9 +8,11 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "runtime/annotations.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ffsva::runtime {
@@ -80,11 +82,19 @@ struct LoopState {
   LoopState(std::int64_t begin_, std::int64_t end_, std::int64_t grain_,
             std::int64_t chunks_, detail::ChunkFn invoke_, void* ctx_)
       : invoke(invoke_), ctx(ctx_), begin(begin_), end(end_), grain(grain_),
-        chunks(chunks_) {}
+        chunks(chunks_) {
+    // Capture the caller's cancel token (an aliasing copy — shared state,
+    // so a late helper scheduled after the join can still install it
+    // safely) and re-install it on every worker running this loop's
+    // chunks: check_cancel() inside a chunk body then observes the same
+    // cancellation request from every lane.
+    if (const CancelToken* t = current_cancel_token()) token.emplace(*t);
+  }
 
   const detail::ChunkFn invoke;
   void* const ctx;
   const std::int64_t begin, end, grain, chunks;
+  std::optional<CancelToken> token;
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> finished{0};
   std::atomic<bool> failed{false};
@@ -93,6 +103,8 @@ struct LoopState {
   std::exception_ptr error FFSVA_GUARDED_BY(mu);
 
   void run_chunks() FFSVA_EXCLUDES(mu) {
+    std::optional<ScopedCancelToken> scope;
+    if (token) scope.emplace(*token);
     for (;;) {
       const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= chunks) break;

@@ -52,6 +52,9 @@ void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
 /// parallelism is 1; the callable is passed by reference (no std::function
 /// conversion) either way. Exceptions thrown by fn are rethrown on the
 /// calling thread (first one wins); remaining chunks are abandoned.
+/// The caller's CancelToken (runtime/cancel.hpp), if one is installed, is
+/// re-installed on every pool worker running this loop's chunks, so a
+/// check_cancel() in the body unwinds the whole loop via CancelledError.
 template <typename Fn>
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   Fn&& fn) {

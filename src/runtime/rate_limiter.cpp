@@ -22,6 +22,8 @@ void RateLimiter::acquire() {
   if (tokens_ < 1.0) {
     const double deficit = 1.0 - tokens_;
     const auto wait = std::chrono::duration<double>(deficit / rate_);
+    // cancel-ok: bounded by one token's refill interval (1/rate, sub-second
+    // at any configured FPS) — pacing, not an open-ended block.
     std::this_thread::sleep_for(wait);
     refill(Clock::now());
   }

@@ -1,3 +1,7 @@
+// relaxed-ok: InflightCall slot fields (stream/frame/start/cancelled_at)
+// ride the seq counter's acquire/release edges; the cancel flag itself is
+// advisory (see runtime/cancel.hpp).
+//
 // Supervision primitives for the threaded pipeline engine: cooperative
 // cancellation, stage heartbeats, and a watchdog thread.
 //
@@ -7,7 +11,7 @@
 // three small pieces carry that contract:
 //
 //  * StopToken — a copyable handle on a shared stop flag. Copies alias the
-//    same state, so a token handed to a detached thread outlives the object
+//    same state, so a token handed to a worker thread outlives the object
 //    that issued it (std::stop_token is not used because the engine needs
 //    to pair the flag with queue closes, not with std::jthread).
 //  * Heartbeat — a stage publishes busy()/idle() transitions around calls
@@ -17,6 +21,10 @@
 //  * Watchdog — one thread running a supplied check on a fixed tick. The
 //    engine's check compares heartbeat busy-ages against the configured
 //    stall timeout and quarantines the offending stream.
+//  * InflightCall / ModelCallGuard — a per-worker registration slot for the
+//    cancellable model call currently in flight, so the watchdog can
+//    attribute a stall to a specific {worker, stream, frame} and cancel
+//    exactly that call instead of only observing it.
 #pragma once
 
 #include <atomic>
@@ -27,6 +35,7 @@
 #include <thread>
 
 #include "runtime/annotations.hpp"
+#include "runtime/cancel.hpp"
 
 namespace ffsva::runtime {
 
@@ -68,6 +77,84 @@ class Heartbeat {
 
  private:
   std::atomic<std::int64_t> busy_since_ms_{-1};
+};
+
+/// One worker slot's cancellable in-flight model call. Single-writer for
+/// begin()/end() (the stage thread owning the slot); the watchdog reads the
+/// slot and may issue a cancel from its own thread. The sequence counter is
+/// odd while a call is in flight; try_cancel() snapshots it before
+/// cancelling so a cancel is only issued against the call it observed
+/// running. A cancel can still land in the tiny window after that call
+/// returns and the next one begins — the next call then unwinds and is
+/// degraded like any cancelled call, so at most one extra frame is
+/// affected; the escalation path tolerates that (documented in DESIGN.md
+/// Section 14).
+class InflightCall {
+ public:
+  /// Stage thread: register a call about to start. Resets the token.
+  void begin(int stream, std::int64_t frame) {
+    token_.reset();
+    stream_.store(stream, std::memory_order_relaxed);
+    frame_.store(frame, std::memory_order_relaxed);
+    start_ms_.store(steady_now_ms(), std::memory_order_relaxed);
+    seq_.fetch_add(1, std::memory_order_release);  // even -> odd: in flight
+  }
+
+  /// Stage thread: the call returned (normally or by unwinding).
+  void end() {
+    seq_.fetch_add(1, std::memory_order_release);  // odd -> even: idle
+    start_ms_.store(-1, std::memory_order_relaxed);
+  }
+
+  /// The token a ModelCallGuard installs for the call's duration.
+  const CancelToken& token() const { return token_; }
+
+  /// Watchdog: cancel the in-flight call if it has been running for more
+  /// than timeout_ms. Returns true when a cancel was issued.
+  bool try_cancel(std::int64_t now_ms, std::int64_t timeout_ms) {
+    const std::uint64_t s = seq_.load(std::memory_order_acquire);
+    if ((s & 1U) == 0) return false;  // idle
+    const std::int64_t start = start_ms_.load(std::memory_order_relaxed);
+    if (start < 0 || now_ms - start <= timeout_ms) return false;
+    if (token_.cancelled()) return false;  // already cancelled; don't recount
+    cancelled_at_ms_.store(now_ms, std::memory_order_relaxed);
+    token_.cancel();
+    return true;
+  }
+
+  /// Stream the cancelled/in-flight call was serving (-1 = none recorded).
+  int stream() const { return stream_.load(std::memory_order_relaxed); }
+
+  /// When the watchdog issued the cancel (steady ms) — the start point of
+  /// the time-to-recovery measurement. -1 until the first cancel.
+  std::int64_t cancelled_at_ms() const {
+    return cancelled_at_ms_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  CancelToken token_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::int64_t> start_ms_{-1};
+  std::atomic<std::int64_t> cancelled_at_ms_{-1};
+  std::atomic<int> stream_{-1};
+  std::atomic<std::int64_t> frame_{-1};
+};
+
+/// RAII guard around one model call: registers it with the worker's
+/// InflightCall slot and installs the slot's token on the current thread so
+/// kernel-level check_cancel() observes a watchdog cancel.
+class ModelCallGuard {
+ public:
+  ModelCallGuard(InflightCall& call, int stream, std::int64_t frame)
+      : call_(call), install_((call.begin(stream, frame), call.token())) {}
+  ~ModelCallGuard() { call_.end(); }
+
+  ModelCallGuard(const ModelCallGuard&) = delete;
+  ModelCallGuard& operator=(const ModelCallGuard&) = delete;
+
+ private:
+  InflightCall& call_;
+  ScopedCancelToken install_;
 };
 
 /// A periodic check on its own thread. start() is restartable; stop() is

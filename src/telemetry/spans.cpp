@@ -149,10 +149,11 @@ bool TraceBuffer::write_chrome_trace(const std::string& path) const {
 }
 
 TraceBuffer& TraceBuffer::global() {
-  // Leaked on purpose: a detached (quarantined) prefetch thread may record
-  // into the global buffer during process teardown.
-  static TraceBuffer* instance = new TraceBuffer();
-  return *instance;
+  // Meyers singleton: every recorder (including each prefetch thread) is
+  // joined before the engine returns, so no thread can touch the buffer
+  // during static destruction.
+  static TraceBuffer instance;
+  return instance;
 }
 
 }  // namespace ffsva::telemetry

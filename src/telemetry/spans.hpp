@@ -90,9 +90,10 @@ class TraceBuffer {
   /// Same, to a file; false if the file cannot be opened.
   bool write_chrome_trace(const std::string& path) const;
 
-  /// Process-wide buffer used by the threaded engine (a detached
-  /// quarantined prefetch thread may outlive its instance, so the engine
-  /// cannot own the rings its threads record into).
+  /// Process-wide buffer used by the threaded engine. A Meyers singleton:
+  /// every recording thread (including each prefetch thread, quarantined
+  /// or not) is joined before run() returns, so nothing races static
+  /// destruction.
   static TraceBuffer& global();
 
   /// One thread's span ring; public only so the thread-local ring cache in

@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/cancel.hpp"
+
 namespace ffsva::video {
 
 FaultInjectingSource::FaultInjectingSource(std::unique_ptr<FrameSource> inner,
@@ -28,13 +30,27 @@ std::optional<Frame> FaultInjectingSource::next() {
     throw SourceError(SourceError::Kind::kFatal, "fault injection: session drop");
   }
   if (plan_.stall_at >= 0 && i == plan_.stall_at && plan_.stall_ms > 0) {
-    // A hung decode: next() simply does not return. This is what the
-    // watchdog's stall detection exists for.
-    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.stall_ms));
+    // A hung decode: next() does not return until the sleep elapses or the
+    // watchdog cancels the call. Sliced so the stall observes a cancel
+    // within ~1 ms — this is what the escalation path (cancel, then
+    // quarantine) exists for.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(plan_.stall_ms);
+    bool cancelled = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (runtime::cancel_requested()) {
+        cancelled = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     ++log_.stalls;
     if (plan_.stall_done) plan_.stall_done->store(true, std::memory_order_release);
+    if (cancelled) throw runtime::CancelledError("injected decode stall cancelled");
   }
   if (plan_.p_latency_spike > 0.0 && rng_.chance(plan_.p_latency_spike)) {
+    // cancel-ok: a deliberate latency spike, bounded by latency_spike_ms by
+    // definition — the stall path above is the cancellable wedge.
     std::this_thread::sleep_for(std::chrono::milliseconds(plan_.latency_spike_ms));
     ++log_.latency_spikes;
   }

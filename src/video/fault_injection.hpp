@@ -41,10 +41,11 @@ struct FaultPlan {
   /// source resumes at its pre-fault position (no frame loss).
   bool restartable = true;
 
-  /// Optional completion latch for the stall: set to true after the stall
-  /// sleep finishes. A quarantined prefetch thread is detached, so a test
-  /// that injected a stall waits on this before tearing down, instead of
-  /// guessing at sleep durations.
+  /// Optional completion latch for the stall: set to true once the stall
+  /// ends — either the full sleep elapsed or a watchdog cancel unwound it
+  /// early (the stall polls the thread's CancelToken and throws
+  /// CancelledError when cancelled). Tests that injected a stall wait on
+  /// this instead of guessing at sleep durations.
   std::shared_ptr<std::atomic<bool>> stall_done;
 };
 

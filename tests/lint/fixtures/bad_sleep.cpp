@@ -1,0 +1,12 @@
+// Seeded violation for ffsva_lint --self-test: a worker loop that sleeps
+// blind — no cancellation check within the marker window and no cancel-ok
+// marker, so stop() and the watchdog cannot wind it down.
+#include <chrono>
+#include <thread>
+
+void fixture_blind_sleep() {
+  for (;;) {
+    // A comment mentioning a poll does not count; the check must be code.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}

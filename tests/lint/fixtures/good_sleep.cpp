@@ -1,0 +1,18 @@
+// Clean fixture for ffsva_lint --self-test: both sanctioned shapes of a
+// blocking sleep — a sliced polling loop whose cancellation check sits
+// within the marker window, and a marked sleep whose bound is explained.
+#include <chrono>
+#include <thread>
+
+bool stop_requested();
+
+void fixture_sliced_sleep() {
+  while (!stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void fixture_marked_sleep() {
+  // cancel-ok: fixture pacing sleep, bounded to one 10 ms tick.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}

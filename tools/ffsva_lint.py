@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific concurrency lint for the FFS-VA tree.
 
-Four rules, each enforcing a structural invariant the compiler cannot:
+Five rules, each enforcing a structural invariant the compiler cannot:
 
   raw-thread         std::thread may only appear under src/runtime/ (the
                      supervised-thread vocabulary lives there). Elsewhere a
@@ -22,9 +22,18 @@ Four rules, each enforcing a structural invariant the compiler cannot:
                      silently defeat it.
 
   naked-detach       .detach() may only appear under src/runtime/supervision
-                     or with a `// detach-ok: <reason>` marker. The only
-                     sanctioned use is the watchdog's quarantine of a wedged
-                     prefetch thread (DESIGN.md Section 9).
+                     or with a `// detach-ok: <reason>` marker. The engine
+                     joins every thread it starts (DESIGN.md Section 14);
+                     a detach hides a lifetime from the supervisor.
+
+  uncancellable-block  std::this_thread::sleep_for/sleep_until must sit
+                     within MARKER_WINDOW lines of a cancellation check
+                     (cancel_requested / check_cancel / stop_requested /
+                     aborted / cancelled) or carry a `// cancel-ok: <reason>`
+                     marker saying why the block is bounded without one. A
+                     worker loop that sleeps blind cannot be wound down by
+                     stop() or the watchdog's escalation (DESIGN.md
+                     Section 14).
 
 A marker counts when it appears on the flagged line or within the
 MARKER_WINDOW preceding lines, and must be followed by a non-empty reason.
@@ -55,6 +64,7 @@ MARKER_RE = {
     "relaxed-ok": re.compile(r"//.*\brelaxed-ok:\s*(\S.*)?"),
     "bounded-ok": re.compile(r"//.*\bbounded-ok:\s*(\S.*)?"),
     "detach-ok": re.compile(r"//.*\bdetach-ok:\s*(\S.*)?"),
+    "cancel-ok": re.compile(r"//.*\bcancel-ok:\s*(\S.*)?"),
 }
 
 
@@ -102,6 +112,21 @@ THREAD_RE = re.compile(r"\bstd::thread\b(?!::)")  # ::hardware_concurrency ok
 RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
 CHANNEL_RE = re.compile(r"\bstd::(?:queue|deque)\s*<")
 DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+CANCEL_CHECK_RE = re.compile(
+    r"\b(?:cancel_requested|check_cancel|cancelled|stop_requested|aborted)\b"
+)
+
+
+def has_cancel_check(lines: list[str], idx: int) -> bool:
+    """True when a cancellation check appears in the *code* (not comments)
+    of line `idx` or the MARKER_WINDOW lines above it — the shape of every
+    sliced polling loop in the tree."""
+    lo = max(0, idx - MARKER_WINDOW)
+    return any(
+        CANCEL_CHECK_RE.search(strip_line_comment(probe))
+        for probe in lines[lo : idx + 1]
+    )
 
 
 def scan_file(relpath: str, text: str) -> list[Violation]:
@@ -169,6 +194,21 @@ def scan_file(relpath: str, text: str) -> list[Violation]:
                     )
                 )
 
+        if SLEEP_RE.search(code):
+            if not has_cancel_check(lines, i) and not has_marker(
+                lines, i, "cancel-ok"
+            ):
+                out.append(
+                    Violation(
+                        relpath,
+                        lineno,
+                        "uncancellable-block",
+                        "blocking sleep with no cancellation check within "
+                        f"{MARKER_WINDOW} lines and no "
+                        "'// cancel-ok: <reason>' marker",
+                    )
+                )
+
     for i, marker in marker_without_reason(lines):
         out.append(
             Violation(
@@ -229,6 +269,8 @@ def self_test(root: str) -> int:
         "bad_queue.hpp": ("src/core/bad_queue.hpp", {"unbounded-channel"}),
         "bad_detach.cpp": ("src/core/bad_detach.cpp", {"naked-detach"}),
         "bad_marker.cpp": ("src/core/bad_marker.cpp", {"bare-marker"}),
+        "bad_sleep.cpp": ("src/core/bad_sleep.cpp", {"uncancellable-block"}),
+        "good_sleep.cpp": ("src/core/good_sleep.cpp", set()),
         "clean.cpp": ("src/core/clean.cpp", set()),
         # The same thread fixture under src/runtime/ must pass: the rule is
         # a location rule, not a token ban.
