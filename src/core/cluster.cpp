@@ -85,16 +85,28 @@ void ClusterManager::detach_stream(int stream_id) {
 
 void ClusterManager::attach_stream_locked(int stream_id, int instance_id) {
   detach_stream_locked(stream_id);
-  instances_.at(static_cast<std::size_t>(instance_id)).streams.push_back(stream_id);
+  auto& inst = instances_.at(static_cast<std::size_t>(instance_id));
+  inst.streams.push_back(stream_id);
   stream_home_[stream_id] = instance_id;
+  // Membership changed: the instance's cumulative tyolo_served() sums over
+  // its *current* streams, so a stream arriving with history shifts the
+  // counter by that stream's accumulated tyolo_in. Without a reset the next
+  // snapshot's delta is inflated by the whole history (and a departure that
+  // later returns can push the delta negative, silently clamped) — so the
+  // served-delta baseline restarts at the next report_snapshot.
+  inst.have_baseline = false;
 }
 
 void ClusterManager::detach_stream_locked(int stream_id) {
   const auto it = stream_home_.find(stream_id);
   if (it == stream_home_.end()) return;
-  auto& v = instances_.at(static_cast<std::size_t>(it->second)).streams;
+  auto& inst = instances_.at(static_cast<std::size_t>(it->second));
+  auto& v = inst.streams;
   v.erase(std::remove(v.begin(), v.end(), stream_id), v.end());
   stream_home_.erase(it);
+  // Same baseline reset as attach: the departing stream takes its
+  // accumulated tyolo_in out of the instance's cumulative counter.
+  inst.have_baseline = false;
 }
 
 int ClusterManager::instance_of(int stream_id) const {

@@ -183,6 +183,20 @@ struct FfsVaConfig {
   /// doubles per consecutive restart, capped at 100 ms, aborts on stop.
   int stage_restart_backoff_ms = 1;
 
+  // --- dynamic streams / cluster serving (DESIGN.md §15) -------------------
+  /// Stream-slot capacity for add_stream() DURING run(). 0 (default) keeps
+  /// the classic contract — every stream is registered before run() and the
+  /// set is fixed. > 0 reserves that many slots up front so a control plane
+  /// (an ffsva_node serving hand-offs) can attach streams to a live engine;
+  /// add_stream() then fails once the reservation is exhausted.
+  int max_streams = 0;
+  /// Keep the stage workers alive when every registered stream has ended,
+  /// waiting for more streams, until stop() is called. Off (default), run()
+  /// returns once the last stream drains — the single-shot batch contract.
+  /// A node process serving a scheduler turns this on: its engine starts
+  /// empty and serves whatever streams are assigned over its lifetime.
+  bool serve_until_stopped = false;
+
   // --- telemetry -----------------------------------------------------------
   /// Sampling period of the live metrics exporter (JSONL rows): queue
   /// depths, per-stage FPS, drop rates, supervision counters. Used when

@@ -177,6 +177,17 @@ struct FfsVaInstance::Stream {
   std::atomic<std::uint64_t> discarded{0};
   std::atomic<bool> quarantined{false};
 
+  /// Hand-off support (DESIGN.md §15). `ingest_end` is the end_stream()
+  /// cut: the prefetch loop treats it as end-of-source at its next
+  /// iteration. `ingest_done` is set (once) when the prefetch loop exits.
+  /// `terminated` ticks exactly once per ingested frame, at the site where
+  /// the frame's outcome becomes durable (emitted / dropped / discarded /
+  /// poisoned / lost at ingest) — `ingest_done && terminated == prefetch_in`
+  /// is the quiescence predicate stream_quiesced() answers.
+  std::atomic<bool> ingest_end{false};
+  std::atomic<bool> ingest_done{false};
+  std::atomic<std::uint64_t> terminated{0};
+
   /// Escalation accounting (DESIGN.md Section 14): model calls serving this
   /// stream that the watchdog cancelled (written by the watchdog thread)
   /// and frames of this stream dropped as poisoned after wedging two
@@ -254,12 +265,75 @@ FfsVaInstance::FfsVaInstance(FfsVaConfig config)
 
 FfsVaInstance::~FfsVaInstance() = default;
 
-void FfsVaInstance::add_stream(std::unique_ptr<video::FrameSource> source,
-                               detect::StreamModels models) {
-  auto s = std::make_shared<Stream>(static_cast<int>(streams_.size()),
-                                    std::move(source), std::move(models), config_);
+int FfsVaInstance::add_stream(std::unique_ptr<video::FrameSource> source,
+                              detect::StreamModels models) {
+  runtime::MutexLock lk(streams_mu_);
+  const int id = nstreams_.load(std::memory_order_relaxed);
+  auto s = std::make_shared<Stream>(id, std::move(source), std::move(models),
+                                    config_);
   s->stop = stop_;
+  if (!run_called_.load(std::memory_order_acquire)) {
+    // Classic pre-run registration: single caller, no stage threads yet.
+    streams_.push_back(std::move(s));
+    nstreams_.store(id + 1, std::memory_order_release);
+    return id;
+  }
+  // Dynamic attach to a live engine (DESIGN.md §15).
+  if (!engine_live_ || stop_.stop_requested()) {
+    throw std::logic_error(
+        "FfsVaInstance::add_stream: engine is not accepting streams "
+        "(run finished or stopping)");
+  }
+  if (!config_.serve_until_stopped) {
+    throw std::logic_error(
+        "FfsVaInstance::add_stream: mid-run add requires "
+        "config.serve_until_stopped");
+  }
+  if (static_cast<std::size_t>(id) >= streams_.capacity()) {
+    throw std::logic_error(
+        "FfsVaInstance::add_stream: config.max_streams slots exhausted");
+  }
+  // Same pre-thread setup run() performs for the initial streams: wire the
+  // stage wakeups and resolve the fused hinted-ingest path before the
+  // stream is visible to any stage worker.
+  s->sdd_q.set_waiter(&sdd_work_);
+  s->snm_q.set_waiter(&gpu0_work_);
+  s->fused_ingest = run_hinted_ && s->source->has_hints();
+  if (s->fused_ingest) s->sdd_done.store(true, std::memory_order_release);
+  std::shared_ptr<Stream> sp = s;
+  // Publish: capacity is reserved, so push_back cannot reallocate; the
+  // release store pairs with num_streams()' acquire load, making the new
+  // slot visible to stage scans only once fully constructed.
   streams_.push_back(std::move(s));
+  nstreams_.store(id + 1, std::memory_order_release);
+  late_prefetch_.emplace_back(&FfsVaInstance::prefetch_loop, std::move(sp),
+                              run_online_, run_affinity_);
+  // Wake stage workers parked on "every stream done" in serve mode.
+  sdd_work_.notify();
+  gpu0_work_.notify();
+  return id;
+}
+
+void FfsVaInstance::end_stream(int stream_id) {
+  runtime::MutexLock lk(streams_mu_);
+  if (stream_id < 0 || stream_id >= nstreams_.load(std::memory_order_acquire)) {
+    throw std::out_of_range("FfsVaInstance::end_stream: unknown stream id");
+  }
+  Stream& s = *streams_[static_cast<std::size_t>(stream_id)];
+  s.ingest_end.store(true, std::memory_order_release);
+}
+
+bool FfsVaInstance::stream_quiesced(int stream_id) const {
+  if (stream_id < 0 || stream_id >= num_streams()) {
+    throw std::out_of_range("FfsVaInstance::stream_quiesced: unknown stream id");
+  }
+  const Stream& s = *streams_[static_cast<std::size_t>(stream_id)];
+  if (!s.ingest_done.load(std::memory_order_acquire)) return false;
+  // ingest_done is set after the prefetch loop's last counter write, and
+  // every terminal tick happens after the outcome it records — so once the
+  // two counters agree the stream's results are complete and stable.
+  return s.terminated.load(std::memory_order_acquire) >=
+         s.prefetch_in.load(std::memory_order_acquire);
 }
 
 void FfsVaInstance::set_output_sink(std::function<void(const OutputEvent&)> sink) {
@@ -327,11 +401,16 @@ void FfsVaInstance::wire_metrics() {
   // Prefetch/fault/supervision state lives in Stream and instance atomics
   // (single-writer cells the prefetch loop and watchdog tick without
   // touching the registry), surfaced as gauges polled at snapshot time.
+  // Every gauge below scans the stream slots bounded by num_streams(), not
+  // the vector's size: the count is the release/acquire publication point
+  // for dynamically added streams (see the streams_ member comment).
   const auto sum = [this](auto member) {
     return [this, member]() {
       std::uint64_t total = 0;
-      for (const auto& s : streams_) {
-        total += ((*s).*member).load(std::memory_order_relaxed);
+      const int n = num_streams();
+      for (int i = 0; i < n; ++i) {
+        total += ((*streams_[static_cast<std::size_t>(i)]).*member)
+                     .load(std::memory_order_relaxed);
       }
       return static_cast<double>(total);
     };
@@ -349,7 +428,10 @@ void FfsVaInstance::wire_metrics() {
   const auto decode_quantile = [this](double q) {
     return [this, q]() {
       telemetry::HistogramSnapshot merged;
-      for (const auto& s : streams_) merged.merge(s->decode_ms.snapshot());
+      const int n = num_streams();
+      for (int i = 0; i < n; ++i) {
+        merged.merge(streams_[static_cast<std::size_t>(i)]->decode_ms.snapshot());
+      }
       return merged.count ? merged.quantile(q) : 0.0;
     };
   };
@@ -363,11 +445,15 @@ void FfsVaInstance::wire_metrics() {
   metrics_.gauge("fault.cancelled_calls", sum(&Stream::cancels));
   metrics_.gauge("fault.poisoned_frames", sum(&Stream::poisoned));
   metrics_.gauge("streams.quarantined", [this] {
-    double n = 0;
-    for (const auto& s : streams_) {
-      if (s->quarantined.load(std::memory_order_relaxed)) ++n;
+    double q = 0;
+    const int n = num_streams();
+    for (int i = 0; i < n; ++i) {
+      if (streams_[static_cast<std::size_t>(i)]->quarantined.load(
+              std::memory_order_relaxed)) {
+        ++q;
+      }
     }
-    return n;
+    return q;
   });
   metrics_.gauge("supervise.stall_ticks", [this] {
     return static_cast<double>(
@@ -386,7 +472,10 @@ void FfsVaInstance::wire_metrics() {
   const auto depth_sum = [this](runtime::BoundedQueue<Item> Stream::* q) {
     return [this, q]() {
       std::size_t total = 0;
-      for (const auto& s : streams_) total += ((*s).*q).depth();
+      const int n = num_streams();
+      for (int i = 0; i < n; ++i) {
+        total += ((*streams_[static_cast<std::size_t>(i)]).*q).depth();
+      }
       return static_cast<double>(total);
     };
   };
@@ -407,11 +496,14 @@ InstanceSnapshot FfsVaInstance::snapshot() const {
                          .count();
     snap.t_sec = static_cast<double>(now - t0) * 1e-9;
   }
-  snap.streams.reserve(streams_.size());
-  for (const auto& sp : streams_) {
-    const Stream& s = *sp;
+  const int n = num_streams();
+  snap.streams.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Stream& s = *streams_[static_cast<std::size_t>(i)];
     StreamSnapshot ss;
     ss.id = s.id;
+    ss.terminated = s.terminated.load(std::memory_order_relaxed);
+    ss.ingest_done = s.ingest_done.load(std::memory_order_acquire);
     ss.prefetch_in = s.prefetch_in.load(std::memory_order_relaxed);
     ss.prefetch_passed = s.prefetch_passed.load(std::memory_order_relaxed);
     ss.dropped_at_ingest = s.dropped_ingest.load(std::memory_order_relaxed);
@@ -475,10 +567,22 @@ void FfsVaInstance::stop() {
   // as each drains, so in-flight frames still complete. A fused stream's
   // prefetch thread pushes into snm_q instead, so that is the queue whose
   // close unblocks it (its sdd_q is unused but closed for uniformity).
-  for (auto& s : streams_) {
-    s->sdd_q.close();
-    if (s->fused_ingest) s->snm_q.close();
+  // Serialized on streams_mu_ against add_stream: a stream either publishes
+  // before this close sweep (and is closed here) or its add observes
+  // stop_requested and is rejected — no stream can miss the close.
+  {
+    runtime::MutexLock lk(streams_mu_);
+    const int n = nstreams_.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      Stream& s = *streams_[static_cast<std::size_t>(i)];
+      s.sdd_q.close();
+      if (s.fused_ingest) s.snm_q.close();
+    }
   }
+  // Wake stage workers parked on "every stream done" (serve mode) so they
+  // observe the stop and wind down.
+  sdd_work_.notify();
+  gpu0_work_.notify();
 }
 
 void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
@@ -504,8 +608,11 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
   }
 
   const auto aborted = [&s] {
+    // An end_stream() cut reads as end-of-source: the loop winds down
+    // normally and the stream's in-flight frames drain through the cascade.
     return s->stop.stop_requested() ||
-           s->quarantined.load(std::memory_order_acquire);
+           s->quarantined.load(std::memory_order_acquire) ||
+           s->ingest_end.load(std::memory_order_acquire);
   };
   // Exponential backoff, sliced so stop/quarantine aborts it promptly.
   const auto backoff = [&](int attempt) {
@@ -541,6 +648,7 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
         const double ms = ms_since(t0);
         s->decode_ms.record(ms);
         s->lat_sdd.add(ms);
+        s->terminated.fetch_add(1, std::memory_order_release);
         continue;
       }
     }
@@ -652,10 +760,12 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
           // Closed under us (stop/quarantine) — same accounting as the
           // SDD worker's failed handoff.
           s->discarded.fetch_add(1, std::memory_order_relaxed);
+          s->terminated.fetch_add(1, std::memory_order_release);
           break;
         }
       } else {
         s->lat_sdd.add(ms_since(item.ingest));
+        s->terminated.fetch_add(1, std::memory_order_release);
       }
       s->prefetch_passed.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -666,12 +776,24 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
       // cannot absorb the frame within one frame time, the frame is lost
       // and counted (the admission controller re-forwards such streams).
       if (!s->sdd_q.push_for(std::move(item), frame_interval)) {
-        if (s->sdd_q.closed()) break;  // stop()/quarantine closed it under us
+        if (s->sdd_q.closed()) {
+          // stop()/quarantine closed it under us; the ingested frame is lost.
+          s->discarded.fetch_add(1, std::memory_order_relaxed);
+          s->terminated.fetch_add(1, std::memory_order_release);
+          break;
+        }
         s->dropped_ingest.fetch_add(1, std::memory_order_relaxed);
+        s->terminated.fetch_add(1, std::memory_order_release);
         continue;
       }
     } else {
-      if (!s->sdd_q.push(std::move(item))) break;  // queue closed underneath us
+      if (!s->sdd_q.push(std::move(item))) {
+        // Queue closed underneath us (stop/quarantine): the frame was
+        // already counted into prefetch_in, so it must terminate here.
+        s->discarded.fetch_add(1, std::memory_order_relaxed);
+        s->terminated.fetch_add(1, std::memory_order_release);
+        break;
+      }
     }
     s->prefetch_passed.fetch_add(1, std::memory_order_relaxed);
   }
@@ -681,6 +803,9 @@ void FfsVaInstance::prefetch_loop(std::shared_ptr<Stream> s, bool online,
   // end-of-stream edge the executor waits for is snm_q's close — exactly
   // what the SDD pool would have published for a non-fused stream.
   if (s->fused_ingest) s->snm_q.close();
+  // Ordered after the loop's last counter write: once a reader observes
+  // ingest_done, prefetch_in is final (half of the quiescence predicate).
+  s->ingest_done.store(true, std::memory_order_release);
 }
 
 void FfsVaInstance::sdd_worker_entry(int worker) {
@@ -703,14 +828,17 @@ void FfsVaInstance::sdd_worker_entry(int worker) {
 }
 
 bool FfsVaInstance::sdd_worker_loop(int worker, bool allow_restart) {
-  const int n = static_cast<int>(streams_.size());
-  if (n == 0) return true;
   const int run_length = std::max(1, config_.sdd_run_length);
   runtime::Heartbeat& hb = sdd_hb_[static_cast<std::size_t>(worker)];
   runtime::InflightCall& call = sdd_call_[static_cast<std::size_t>(worker)];
-  int cursor = worker % n;  // stagger workers across streams
+  int cursor = worker;  // stagger workers across streams
   for (;;) {
     const auto ticket = sdd_work_.prepare();
+    // Re-read the published stream count every cycle: add_stream() may have
+    // appended slots since the last scan (serve mode), and the eventcount
+    // notify it issues lands after the count's release store — so a worker
+    // that misses the new stream here wakes and rescans.
+    const int n = num_streams();
     bool all_done = true;
     bool did_work = false;
     for (int step = 0; step < n; ++step) {
@@ -742,6 +870,7 @@ bool FfsVaInstance::sdd_worker_loop(int worker, bool allow_restart) {
           // Drain-and-discard: the watchdog closed this stream's queues;
           // its in-flight frames are dumped, not processed.
           s.discarded.fetch_add(1, std::memory_order_relaxed);
+          s.terminated.fetch_add(1, std::memory_order_release);
           continue;
         }
         s.sdd_in.fetch_add(1, std::memory_order_relaxed);
@@ -785,11 +914,13 @@ bool FfsVaInstance::sdd_worker_loop(int worker, bool allow_restart) {
           // worker (other workers keep serving other streams meanwhile).
           if (!s.snm_q.push(std::move(*item))) {
             s.discarded.fetch_add(1, std::memory_order_relaxed);
+            s.terminated.fetch_add(1, std::memory_order_release);
             break;  // closed by quarantine
           }
         } else {
           hot_.drop_sdd->add();
           s.lat_sdd.add(ms_since(item->ingest));
+          s.terminated.fetch_add(1, std::memory_order_release);
         }
         if (cancelled && allow_restart) {
           // The frame is fully accounted (routed or dropped above); now
@@ -805,7 +936,15 @@ bool FfsVaInstance::sdd_worker_loop(int worker, bool allow_restart) {
         cursor = idx;  // keep draining near the stream we just served
       }
     }
-    if (all_done) return true;
+    if (all_done) {
+      // Every registered stream's SDD stage has ended. In serve mode the
+      // pool parks here waiting for the next add_stream() (whose notify
+      // races safely against this wait via the prepared ticket); otherwise
+      // — or once stop is requested — the run is over.
+      if (!config_.serve_until_stopped || stop_.stop_requested()) return true;
+      sdd_work_.wait(ticket);
+      continue;
+    }
     if (!did_work) sdd_work_.wait(ticket);
   }
 }
@@ -835,9 +974,11 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
   TYoloScheduler scheduler(config_.num_tyolo);
   const DynamicBatcher batcher(config_.batch_policy, config_.batch_size,
                                config_.snm_queue_depth);
-  const std::size_t n = streams_.size();
-  std::vector<bool> snm_done(n, false);
-  std::vector<int> tyolo_depths(n, 0);
+  // The stream set can grow mid-run (serve mode): both per-stream scratch
+  // vectors are re-sized to the published count at each use, so a stream
+  // added between cycles simply appears as a fresh not-done slot.
+  std::vector<char> snm_done;
+  std::vector<int> tyolo_depths;
   std::vector<Item> items;
   std::vector<const image::Image*> imgs;
   items.reserve(static_cast<std::size_t>(std::max(1, config_.batch_size)));
@@ -863,6 +1004,8 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
   // thread owns GPU0. Clears `running` if the reference queue was closed
   // underneath us (shutdown).
   const auto serve_tyolo = [&]() -> bool {
+    const auto n = static_cast<std::size_t>(num_streams());
+    tyolo_depths.resize(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
       tyolo_depths[i] = static_cast<int>(streams_[i]->tyolo_q.depth());
     }
@@ -879,6 +1022,7 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
       progressed = true;
       if (s.quarantined.load(std::memory_order_acquire)) {
         s.discarded.fetch_add(1, std::memory_order_relaxed);
+        s.terminated.fetch_add(1, std::memory_order_release);
         continue;  // drain, but don't run the model or feed admission
       }
       s.tyolo_in.fetch_add(1, std::memory_order_relaxed);
@@ -917,11 +1061,16 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
             have_det ? det.boxes() : std::vector<image::Box>{};
         if (!tyolo_shared_->ref_q.push(
                 {s.id, std::move(*item), std::move(candidates)})) {
+          // ref_q closed underneath us (shutdown): the popped frame cannot
+          // reach the reference stage, so it terminates here.
+          s.discarded.fetch_add(1, std::memory_order_relaxed);
+          s.terminated.fetch_add(1, std::memory_order_release);
           running = false;
         }
       } else {
         hot_.drop_tyolo->add();
         s.lat_tyolo.add(ms_since(item->ingest));
+        s.terminated.fetch_add(1, std::memory_order_release);
       }
       if (cancelled && allow_restart) {
         // The frame is accounted; stop picking and let the cycle end so the
@@ -943,6 +1092,8 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
 
   while (running) {
     const auto ticket = gpu0_work_.prepare();
+    const auto n = static_cast<std::size_t>(num_streams());
+    snm_done.resize(n, 0);  // new slots start not-done
     bool did_work = false;
     bool all_snm_done = true;
 
@@ -961,10 +1112,11 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
         while (s.tyolo_q.try_pop()) ++dumped;
         if (dumped > 0) {
           s.discarded.fetch_add(dumped, std::memory_order_relaxed);
+          s.terminated.fetch_add(dumped, std::memory_order_release);
           did_work = true;
         }
         if (s.snm_q.closed() && s.snm_q.depth() == 0) {
-          snm_done[i] = true;
+          snm_done[i] = 1;
         } else {
           all_snm_done = false;
         }
@@ -973,7 +1125,7 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
       const bool ended = s.snm_q.closed();  // read before depth (see sdd_worker_loop)
       const int avail = static_cast<int>(s.snm_q.depth());
       if (ended && avail == 0) {
-        snm_done[i] = true;
+        snm_done[i] = 1;
         continue;
       }
       all_snm_done = false;
@@ -1017,7 +1169,10 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
         s.degraded.fetch_add(items.size(), std::memory_order_relaxed);
       }
       const double t_pre = s.models.snm->t_pre();
-      for (std::size_t j = 0; j < items.size() && running; ++j) {
+      // Every popped frame is accounted, even when `running` flips false
+      // mid-batch (ref_q closed at shutdown): a frame that can no longer be
+      // routed terminates as discarded rather than vanishing.
+      for (std::size_t j = 0; j < items.size(); ++j) {
         s.snm_in.fetch_add(1, std::memory_order_relaxed);
         hot_.snm_in->add();
         const bool pass =
@@ -1040,12 +1195,14 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
                  !s.tyolo_q.closed()) {
             serve_tyolo();
           }
-          if (running && !s.tyolo_q.push(std::move(items[j]))) {
+          if (!running || !s.tyolo_q.push(std::move(items[j]))) {
             s.discarded.fetch_add(1, std::memory_order_relaxed);
+            s.terminated.fetch_add(1, std::memory_order_release);
           }
         } else {
           hot_.drop_snm->add();
           s.lat_snm.add(ms_since(items[j].ingest));
+          s.terminated.fetch_add(1, std::memory_order_release);
         }
       }
     }
@@ -1061,8 +1218,18 @@ bool FfsVaInstance::gpu0_loop(bool allow_restart) {
     if (restart_requested) return false;
     if (all_snm_done) {
       bool drained = true;
-      for (const auto& s : streams_) drained = drained && s->tyolo_q.depth() == 0;
-      if (drained) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        drained = drained && streams_[i]->tyolo_q.depth() == 0;
+      }
+      if (drained) {
+        // Nothing left anywhere. In serve mode the executor parks here
+        // waiting for the next add_stream() (its notify pairs with the
+        // prepared ticket); otherwise — or once stop is requested — the
+        // run is over.
+        if (!config_.serve_until_stopped || stop_.stop_requested()) break;
+        if (!did_work) gpu0_work_.wait(ticket);
+        continue;
+      }
       continue;  // only T-YOLO work remains; keep serving micro-batches
     }
     if (!did_work) gpu0_work_.wait(ticket);
@@ -1100,6 +1267,7 @@ bool FfsVaInstance::reference_loop(bool allow_restart,
     // latency record at all; they now feed the drop-latency histogram
     // (telemetry only — per-stream stats freeze at quarantine, as before).
     s.discarded.fetch_add(1, std::memory_order_relaxed);
+    s.terminated.fetch_add(1, std::memory_order_release);
     hot_.drop_latency_ms->record(ms_since(item.ingest));
   };
   const auto drop = [&](Stream& s, const Item& item) {
@@ -1110,6 +1278,7 @@ bool FfsVaInstance::reference_loop(bool allow_restart,
     // describes emitted frames only; lat_drop still merges into
     // stats.latency_ms, so every ingested frame terminates exactly once.
     s.degraded.fetch_add(1, std::memory_order_relaxed);
+    s.terminated.fetch_add(1, std::memory_order_release);
     hot_.drop_ref->add();
     const double ms = ms_since(item.ingest);
     s.lat_drop.add(ms);
@@ -1119,6 +1288,7 @@ bool FfsVaInstance::reference_loop(bool allow_restart,
     // Second wedge: the frame is poisoned — same terminal accounting as a
     // reference-stage drop, but counted as poisoned instead of degraded.
     s.poisoned.fetch_add(1, std::memory_order_relaxed);
+    s.terminated.fetch_add(1, std::memory_order_release);
     poisoned_frames_.fetch_add(1, std::memory_order_relaxed);
     hot_.drop_ref->add();
     const double ms = ms_since(item.ingest);
@@ -1140,6 +1310,9 @@ bool FfsVaInstance::reference_loop(bool allow_restart,
       runtime::MutexLock lk(outputs_mu_);
       outputs_.push_back(std::move(ev));
     }
+    // Ticked after the sink call: stream_quiesced() implying "all outputs
+    // delivered" is what lets a hand-off serialize a complete result set.
+    s.terminated.fetch_add(1, std::memory_order_release);
   };
 
   if (config_.ref_mode == RefMode::kSingle) {
@@ -1388,7 +1561,7 @@ void FfsVaInstance::supervise(Clock::time_point t0) {
       if (!call.try_cancel(now, call_timeout)) return;
       cancels_.fetch_add(1, std::memory_order_relaxed);
       const int st = call.stream();
-      if (st >= 0 && st < static_cast<int>(streams_.size())) {
+      if (st >= 0 && st < num_streams()) {
         streams_[static_cast<std::size_t>(st)]->cancels.fetch_add(
             1, std::memory_order_relaxed);
       }
@@ -1396,11 +1569,16 @@ void FfsVaInstance::supervise(Clock::time_point t0) {
     for (auto& c : sdd_call_) escalate(c);
     escalate(gpu0_call_);
     escalate(ref_call_);
-    for (auto& s : streams_) escalate(s->prefetch_call);
+    const int np = num_streams();
+    for (int i = 0; i < np; ++i) {
+      escalate(streams_[static_cast<std::size_t>(i)]->prefetch_call);
+    }
   }
   if (config_.stall_timeout_ms <= 0) return;
   const auto timeout = static_cast<std::int64_t>(config_.stall_timeout_ms);
-  for (auto& s : streams_) {
+  const int nq = num_streams();
+  for (int i = 0; i < nq; ++i) {
+    auto& s = streams_[static_cast<std::size_t>(i)];
     if (!s->quarantined.load(std::memory_order_acquire)) {
       if (s->hb.busy_age_ms() > timeout) quarantine(*s);
     } else if (s->prefetch_call.try_cancel(now, timeout)) {
@@ -1433,7 +1611,8 @@ void FfsVaInstance::stage_backoff(int attempt) {
 }
 
 InstanceStats FfsVaInstance::run(bool online) {
-  if (streams_.empty()) {
+  const bool serve = config_.serve_until_stopped;
+  if (streams_.empty() && !serve) {
     throw std::invalid_argument("FfsVaInstance::run: no streams registered");
   }
   if (run_called_.exchange(true)) {
@@ -1446,7 +1625,6 @@ InstanceStats FfsVaInstance::run(bool online) {
                        t0.time_since_epoch())
                        .count(),
                    std::memory_order_relaxed);
-  running_.store(true, std::memory_order_release);
   // All registry handles and gauges exist before any stage thread starts —
   // from here the hot path never touches the registry map.
   wire_metrics();
@@ -1458,42 +1636,65 @@ InstanceStats FfsVaInstance::run(bool online) {
     exporter_.start_stream(metrics_sink_, config_.metrics_interval_ms,
                            metrics_label_);
   }
-  // Wire the stage wakeups before any thread starts (set_waiter is
-  // unsynchronized by contract).
-  for (auto& s : streams_) {
-    s->sdd_q.set_waiter(&sdd_work_);
-    s->snm_q.set_waiter(&gpu0_work_);
-  }
-  // Resolve which streams take the fused hinted-ingest path (DESIGN.md §13)
-  // before any thread starts: the flag and its sdd_done pre-set are read by
-  // the SDD pool, the prefetch loop, and stop(), all unsynchronized after
-  // this point. A fused stream's prefetch thread owns the whole SDD stage,
-  // so the worker pool only needs to cover the remaining streams.
+  // Resolve the run-wide ingest parameters once; add_stream() replays them
+  // for dynamically attached streams (DESIGN.md §15).
   const bool hinted = config_.decode_policy == DecodePolicy::kHinted && !online;
+  const int affinity = runtime::resolve_ingest_affinity(config_.ingest_affinity);
+  int n0 = 0;
   int unfused = 0;
-  for (auto& s : streams_) {
-    s->fused_ingest = hinted && s->source->has_hints();
-    if (s->fused_ingest) {
-      // Pre-retire the stream from the pool's perspective: workers scan
-      // sdd_done and never claim it, making the fused prefetch loop the
-      // single closer of snm_q.
-      s->sdd_done.store(true, std::memory_order_release);
-    } else {
-      ++unfused;
+  {
+    runtime::MutexLock lk(streams_mu_);
+    n0 = nstreams_.load(std::memory_order_relaxed);
+    // Reserve every slot a mid-run add_stream() may fill: a push_back
+    // within this capacity never reallocates, so the raw Stream pointers
+    // stage threads hold across their scans stay valid for the whole run.
+    streams_.reserve(std::max(
+        streams_.size(),
+        static_cast<std::size_t>(std::max(0, config_.max_streams))));
+    // Wire the stage wakeups before any thread starts (set_waiter is
+    // unsynchronized by contract), and resolve which streams take the fused
+    // hinted-ingest path (DESIGN.md §13): the flag and its sdd_done pre-set
+    // are read by the SDD pool, the prefetch loop, and stop(), all
+    // unsynchronized after this point. A fused stream's prefetch thread
+    // owns the whole SDD stage, so the worker pool only needs to cover the
+    // remaining streams.
+    for (int i = 0; i < n0; ++i) {
+      auto& s = streams_[static_cast<std::size_t>(i)];
+      s->sdd_q.set_waiter(&sdd_work_);
+      s->snm_q.set_waiter(&gpu0_work_);
+      s->fused_ingest = hinted && s->source->has_hints();
+      if (s->fused_ingest) {
+        // Pre-retire the stream from the pool's perspective: workers scan
+        // sdd_done and never claim it, making the fused prefetch loop the
+        // single closer of snm_q.
+        s->sdd_done.store(true, std::memory_order_release);
+      } else {
+        ++unfused;
+      }
     }
+    run_online_ = online;
+    run_hinted_ = hinted;
+    run_affinity_ = affinity;
+    engine_live_ = true;
   }
-  const int workers = sdd_pool_size(unfused);
+  running_.store(true, std::memory_order_release);
+  // A serving engine cannot size its pool by the (changing, possibly zero)
+  // stream count — it keeps a full pool parked on the eventcount instead.
+  const int workers = serve ? (config_.sdd_workers > 0
+                                   ? config_.sdd_workers
+                                   : runtime::compute_parallelism())
+                            : sdd_pool_size(unfused);
   sdd_hb_ = std::vector<runtime::Heartbeat>(static_cast<std::size_t>(workers));
   sdd_call_ = std::vector<runtime::InflightCall>(static_cast<std::size_t>(workers));
-  const int affinity = runtime::resolve_ingest_affinity(config_.ingest_affinity);
 
   // thread-ok: per-stream prefetch threads — a camera/decoder is inherently
   // per-stream; all joined below (quarantine cancels a wedged decode, so
   // the join is bounded).
   std::vector<std::thread> prefetch_threads;
-  prefetch_threads.reserve(streams_.size());
-  for (auto& s : streams_) {
-    prefetch_threads.emplace_back(&FfsVaInstance::prefetch_loop, s, online,
+  prefetch_threads.reserve(static_cast<std::size_t>(n0));
+  for (int i = 0; i < n0; ++i) {
+    prefetch_threads.emplace_back(&FfsVaInstance::prefetch_loop,
+                                  streams_[static_cast<std::size_t>(i)], online,
                                   affinity);
   }
   // thread-ok: the fixed stage set (SDD pool, GPU0 executor, reference
@@ -1529,6 +1730,16 @@ InstanceStats FfsVaInstance::run(bool online) {
   // joins are done (it stops below).
   for (auto& t : prefetch_threads) t.join();
   for (auto& t : threads) t.join();
+  {
+    // The stage threads are gone, so no new stream can be served: close the
+    // engine to further adds, then join the prefetch threads add_stream()
+    // spawned mid-run (stop()'s close sweep unblocked them; a wedged decode
+    // is still cancellable — the watchdog stops only after these joins).
+    runtime::MutexLock lk(streams_mu_);
+    engine_live_ = false;
+    for (auto& t : late_prefetch_) t.join();
+    late_prefetch_.clear();
+  }
   watchdog.stop();
   // Every stage thread has quiesced: the exporter's final row and the trace
   // rings now hold the run's exact closing state.

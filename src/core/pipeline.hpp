@@ -39,6 +39,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/config.hpp"
@@ -155,6 +156,14 @@ struct StreamSnapshot {
   std::uint64_t snm_in = 0, snm_passed = 0;
   std::uint64_t tyolo_in = 0, tyolo_passed = 0;
   std::uint64_t ref_in = 0, ref_passed = 0;
+  /// Frames that reached a terminal outcome (emitted, dropped by a filter,
+  /// dropped at ingest, discarded, or poisoned). Every ingested frame
+  /// terminates exactly once, so `ingest_done && terminated == prefetch_in`
+  /// is the stream-quiescent predicate a hand-off waits on (DESIGN.md §15).
+  std::uint64_t terminated = 0;
+  /// The stream's prefetch thread has exited (source ended, end_stream()
+  /// cut, or fault escalation) — no further frames will be ingested.
+  bool ingest_done = false;
   std::size_t sdd_queue_depth = 0;
   std::size_t snm_queue_depth = 0;
   std::size_t tyolo_queue_depth = 0;
@@ -202,10 +211,31 @@ class FfsVaInstance {
   FfsVaInstance(const FfsVaInstance&) = delete;
   FfsVaInstance& operator=(const FfsVaInstance&) = delete;
 
-  /// Register a stream before run(). The models must target the same class
-  /// the stream's events are defined over.
-  void add_stream(std::unique_ptr<video::FrameSource> source,
-                  detect::StreamModels models);
+  /// Register a stream. Before run() this is always legal (the classic
+  /// contract). DURING run() it requires config.serve_until_stopped and a
+  /// config.max_streams reservation with a free slot: the stream is attached
+  /// to the live engine — its prefetch thread starts immediately and the
+  /// stage workers pick it up — which is how a node accepts a hand-off
+  /// (DESIGN.md §15). Throws std::logic_error when the engine cannot accept
+  /// the stream (run finished, stopping, or slots exhausted).
+  /// Returns the engine-local stream id.
+  int add_stream(std::unique_ptr<video::FrameSource> source,
+                 detect::StreamModels models);
+
+  /// Cut one stream's ingest: its prefetch loop winds down as if the source
+  /// had ended, in-flight frames drain through the cascade normally, and the
+  /// stream quiesces without disturbing any other stream or the run. The
+  /// first half of a hand-off — poll stream_quiesced() for the second.
+  /// Idempotent; safe on an ended stream. Throws std::out_of_range on an
+  /// unknown id.
+  void end_stream(int stream_id);
+
+  /// True once the stream has fully quiesced: its prefetch thread exited
+  /// and every ingested frame reached a terminal outcome (emitted or
+  /// dropped — nothing in flight). Exact, not approximate: the terminal
+  /// counter is ticked after the frame's outcome is durable, so a true
+  /// return means the stream's results are complete and stable.
+  bool stream_quiesced(int stream_id) const;
 
   /// Optional sink invoked (from the reference-model thread) for every
   /// surviving frame. When unset, outputs are collected in outputs().
@@ -218,7 +248,9 @@ class FfsVaInstance {
   ///
   /// Single-shot: a second invocation throws std::logic_error (the engine's
   /// queues and counters are consumed by a run). An instance with no
-  /// registered streams throws std::invalid_argument.
+  /// registered streams throws std::invalid_argument — unless
+  /// config.serve_until_stopped is set, in which case an empty engine
+  /// starts, waits for add_stream(), and serves until stop().
   InstanceStats run(bool online);
 
   /// Request a graceful shutdown of an in-flight run() from any thread:
@@ -239,7 +271,12 @@ class FfsVaInstance {
   }
 
   const FfsVaConfig& config() const { return config_; }
-  int num_streams() const { return static_cast<int>(streams_.size()); }
+  /// Streams registered so far (monotonic; grows under dynamic add). The
+  /// acquire load pairs with add_stream's release publish, so any index
+  /// below the returned count reads a fully constructed stream.
+  int num_streams() const {
+    return nstreams_.load(std::memory_order_acquire);
+  }
 
   // --- live telemetry ------------------------------------------------------
 
@@ -259,6 +296,10 @@ class FfsVaInstance {
   bool enable_metrics_export(const std::string& path, std::string label = {});
   /// Same, into a caller-owned stream that must outlive run().
   void enable_metrics_export(std::ostream* sink, std::string label = {});
+
+  /// Stamp exported metrics rows with a cluster node id (DESIGN.md §15).
+  /// Call before run(); negative (the default) omits the field.
+  void set_metrics_node_id(int id) { exporter_.set_node_id(id); }
 
   /// Arm per-stage trace spans for the next run() (recorded into
   /// telemetry::TraceBuffer::global(); enabling resets that buffer). Export
@@ -319,7 +360,30 @@ class FfsVaInstance {
   void wire_metrics();
 
   FfsVaConfig config_;
+  /// Stream slots. Append-only; capacity is reserved up front in run() when
+  /// dynamic add is configured (config.max_streams), so a mid-run push_back
+  /// never reallocates and never invalidates the pointers stage threads
+  /// hold. Readers never consult the vector's size — they bound every scan
+  /// by num_streams() (the release/acquire-published count), which is what
+  /// makes a concurrent append invisible until fully constructed. Writes
+  /// are serialized on streams_mu_.
   std::vector<std::shared_ptr<Stream>> streams_;
+  std::atomic<int> nstreams_{0};
+  /// Serializes add_stream/end_stream/stop against each other and guards
+  /// the dynamic-add state below.
+  mutable runtime::Mutex streams_mu_;
+  /// True from just before the stage threads start until they are joined:
+  /// the window in which add_stream attaches to the live engine.
+  bool engine_live_ FFSVA_GUARDED_BY(streams_mu_) = false;
+  bool run_online_ FFSVA_GUARDED_BY(streams_mu_) = false;
+  bool run_hinted_ FFSVA_GUARDED_BY(streams_mu_) = false;
+  int run_affinity_ FFSVA_GUARDED_BY(streams_mu_) = -1;
+  /// Prefetch threads of streams added during run(); joined by run() after
+  /// the stage threads exit (every one has wound down by then — stop()
+  /// closed the ingest queues).
+  // thread-ok: per-stream prefetch threads attached mid-run; always joined
+  // by run() before it returns (see above).
+  std::vector<std::thread> late_prefetch_ FFSVA_GUARDED_BY(streams_mu_);
   std::function<void(const OutputEvent&)> sink_;
   runtime::Mutex outputs_mu_;
   std::vector<OutputEvent> outputs_ FFSVA_GUARDED_BY(outputs_mu_);

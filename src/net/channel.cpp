@@ -1,0 +1,150 @@
+// relaxed-ok: the NetCounters atomics are monotonic telemetry tallies read
+// by metric-gauge callbacks; no consumer orders other memory against them.
+#include "net/channel.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "runtime/binary_io.hpp"
+#include "runtime/supervision.hpp"
+
+namespace ffsva::net {
+
+namespace {
+constexpr int kMaxBackoffMs = 1000;
+constexpr std::size_t kRecvChunk = 64 * 1024;
+}  // namespace
+
+std::string HelloInfo::serialize() const {
+  std::ostringstream os;
+  runtime::write_pod(os, &wire_version);
+  runtime::write_pod(os, &node_id);
+  return std::move(os).str();
+}
+
+std::optional<HelloInfo> HelloInfo::parse(std::string_view payload) {
+  std::istringstream is{std::string(payload)};
+  HelloInfo h;
+  if (!runtime::read_pod(is, &h.wire_version) ||
+      !runtime::read_pod(is, &h.node_id)) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+bool Channel::send(MsgType type, std::string_view payload) {
+  if (!sock_.valid()) return false;
+  const std::string frame = encode_frame(type, payload);
+  if (!sock_.send_all(frame.data(), frame.size())) {
+    sock_.close();
+    return false;
+  }
+  if (counters_) {
+    counters_->bytes_tx.fetch_add(frame.size(), std::memory_order_relaxed);
+  }
+  return true;
+}
+
+std::optional<WireFrame> Channel::recv(int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (!queued_.empty()) {
+      WireFrame f = std::move(queued_.front());
+      queued_.erase(queued_.begin());
+      last_rx_ms_ = runtime::steady_now_ms();
+      return f;
+    }
+    if (!sock_.valid()) return std::nullopt;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (left < 0) return std::nullopt;
+    char buf[kRecvChunk];
+    const long got = sock_.recv_some(buf, sizeof(buf), static_cast<int>(left));
+    if (got == -1) return std::nullopt;  // timeout
+    if (got <= 0) {                      // orderly close or hard error
+      sock_.close();
+      return std::nullopt;
+    }
+    if (!decoder_.feed(buf, static_cast<std::size_t>(got), queued_)) {
+      // Byte-desynchronized (garbage / foreign version / hostile length):
+      // the connection is dead by contract — no resync scan.
+      sock_.close();
+      return std::nullopt;
+    }
+    if (counters_) {
+      counters_->bytes_rx.fetch_add(static_cast<std::uint64_t>(got),
+                                    std::memory_order_relaxed);
+    }
+  }
+}
+
+bool Channel::handshake_client(std::uint32_t node_id, int timeout_ms) {
+  HelloInfo hello;
+  hello.node_id = node_id;
+  if (!send(MsgType::kHello, hello.serialize())) return false;
+  const auto reply = recv(timeout_ms);
+  if (!reply || reply->type != MsgType::kHelloAck) {
+    sock_.close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<HelloInfo> Channel::handshake_server(int timeout_ms) {
+  const auto frame = recv(timeout_ms);
+  if (!frame || frame->type != MsgType::kHello) {
+    sock_.close();
+    return std::nullopt;
+  }
+  const auto hello = HelloInfo::parse(frame->payload);
+  // The frame decoder already rejects a foreign wire version at the framing
+  // layer; this re-check guards the application-level field (a future-proof
+  // peer could frame correctly yet speak a protocol we don't).
+  if (!hello || hello->wire_version != kWireVersion) {
+    send(MsgType::kHelloReject);
+    sock_.close();
+    return std::nullopt;
+  }
+  if (!send(MsgType::kHelloAck, HelloInfo{}.serialize())) return std::nullopt;
+  return hello;
+}
+
+std::int64_t Channel::last_rx_age_ms() const {
+  if (last_rx_ms_ < 0) return -1;
+  return runtime::steady_now_ms() - last_rx_ms_;
+}
+
+Channel* ReconnectingClient::get(int timeout_ms) {
+  if (chan_.connected()) return &chan_;
+  const std::int64_t now = runtime::steady_now_ms();
+  if (now < next_dial_ms_) {
+    // cancel-ok: backoff remainder, bounded by kMaxBackoffMs (1 s); the
+    // caller loop re-checks its own stop condition between get() calls.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::int64_t>(next_dial_ms_ - now, kMaxBackoffMs)));
+  }
+  Socket s = connect_endpoint(ep_, timeout_ms);
+  if (s.valid()) {
+    Channel fresh(std::move(s), counters_);
+    if (fresh.handshake_client(node_id_, timeout_ms)) {
+      chan_ = std::move(fresh);
+      backoff_ms_ = 0;
+      next_dial_ms_ = 0;
+      if (ever_connected_ && counters_) {
+        counters_->reconnects.fetch_add(1, std::memory_order_relaxed);
+      }
+      ever_connected_ = true;
+      return &chan_;
+    }
+  }
+  backoff_ms_ = backoff_ms_ == 0 ? 10 : std::min(backoff_ms_ * 2, kMaxBackoffMs);
+  next_dial_ms_ = runtime::steady_now_ms() + backoff_ms_;
+  return nullptr;
+}
+
+void ReconnectingClient::reset() { chan_.close(); }
+
+}  // namespace ffsva::net

@@ -1,0 +1,110 @@
+// A framed control-plane conversation over one Socket (DESIGN.md §15):
+// versioned handshake, poll-gated frame send/recv, liveness bookkeeping,
+// and — for the client side — deadline-driven reconnect with capped
+// exponential backoff.
+//
+// Threading: a Channel belongs to one thread at a time (the scheduler's
+// per-node thread, the node's control loop). The NetCounters it ticks are
+// atomics shared with the telemetry registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace ffsva::net {
+
+/// Cluster wire telemetry, surfaced as `net.*` gauges in the registry.
+/// One instance per process side; every channel ticks the same counters.
+struct NetCounters {
+  std::atomic<std::uint64_t> bytes_tx{0};
+  std::atomic<std::uint64_t> bytes_rx{0};
+  std::atomic<std::uint64_t> reconnects{0};
+};
+
+/// Handshake payload (fixed-width fields, serialized field-by-field).
+struct HelloInfo {
+  std::uint16_t wire_version = kWireVersion;
+  std::uint32_t node_id = 0;
+
+  std::string serialize() const;
+  static std::optional<HelloInfo> parse(std::string_view payload);
+};
+
+class Channel {
+ public:
+  Channel() = default;
+  /// Wrap an accepted/connected socket. Counters may be null (not ticked).
+  Channel(Socket sock, NetCounters* counters)
+      : sock_(std::move(sock)), counters_(counters) {}
+
+  bool connected() const { return sock_.valid(); }
+  void close() { sock_.close(); }
+
+  /// Send one frame. False ⇒ the connection is unusable (caller drops it).
+  bool send(MsgType type, std::string_view payload = {});
+
+  /// Receive the next frame, waiting up to timeout_ms. nullopt on timeout;
+  /// a decode error or peer close also closes the channel (check
+  /// connected() to distinguish timeout from death).
+  std::optional<WireFrame> recv(int timeout_ms);
+
+  /// Client half of the handshake: send kHello, wait for kHelloAck.
+  /// kHelloReject / version mismatch / timeout ⇒ false and the channel is
+  /// closed.
+  bool handshake_client(std::uint32_t node_id, int timeout_ms = 2000);
+
+  /// Server half: wait for kHello, verify the version, reply kHelloAck (or
+  /// kHelloReject + close on mismatch). On success returns the client's
+  /// HelloInfo.
+  std::optional<HelloInfo> handshake_server(int timeout_ms = 2000);
+
+  /// Milliseconds since a frame was last received (liveness signal for the
+  /// caller's heartbeat/reconnect policy). -1 before any frame.
+  std::int64_t last_rx_age_ms() const;
+
+ private:
+  Socket sock_;
+  FrameDecoder decoder_;
+  std::vector<WireFrame> queued_;  ///< Decoded but not yet returned.
+  NetCounters* counters_ = nullptr;
+  std::int64_t last_rx_ms_ = -1;
+};
+
+/// Client-side connection maintenance: dial, handshake, and — when the
+/// connection dies or the peer goes silent past the deadline — reconnect
+/// with exponential backoff capped at `max_backoff_ms`.
+class ReconnectingClient {
+ public:
+  ReconnectingClient(Endpoint ep, std::uint32_t node_id, NetCounters* counters)
+      : ep_(std::move(ep)), node_id_(node_id), counters_(counters) {}
+
+  /// The live channel, (re)establishing it if needed. Blocks at most one
+  /// backoff slice + connect/handshake timeout per call; returns nullptr
+  /// while the peer stays unreachable (call again — backoff is tracked
+  /// across calls and resets on success).
+  Channel* get(int timeout_ms = 2000);
+
+  /// Drop the connection (next get() redials immediately).
+  void reset();
+
+  bool connected() const { return chan_.connected(); }
+  Channel* channel() { return chan_.connected() ? &chan_ : nullptr; }
+
+ private:
+  Endpoint ep_;
+  std::uint32_t node_id_;
+  NetCounters* counters_;
+  Channel chan_;
+  int backoff_ms_ = 0;
+  std::int64_t next_dial_ms_ = 0;  ///< steady_now_ms gate for the next dial.
+  bool ever_connected_ = false;
+};
+
+}  // namespace ffsva::net

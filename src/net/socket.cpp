@@ -1,0 +1,277 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace ffsva::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_left(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+bool poll_one(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return (p.revents & (events | POLLERR | POLLHUP)) != 0;
+    if (r == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (!uds_path.empty()) return "unix:" + uds_path;
+  return host + ":" + std::to_string(port);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::wait_readable(int timeout_ms) const {
+  if (fd_ < 0) return false;
+  return poll_one(fd_, POLLIN, timeout_ms);
+}
+
+bool Socket::send_all(const void* data, std::size_t len, int deadline_ms) {
+  if (fd_ < 0) return false;
+  const char* p = static_cast<const char*>(data);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (len > 0) {
+    const auto sent = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (sent > 0) {
+      p += sent;
+      len -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      const int left = ms_left(deadline);
+      if (left <= 0 || !poll_one(fd_, POLLOUT, left)) return false;
+      continue;
+    }
+    return false;  // peer gone or hard error
+  }
+  return true;
+}
+
+long Socket::recv_some(void* buf, std::size_t cap, int timeout_ms) {
+  if (fd_ < 0) return -2;
+  if (!poll_one(fd_, POLLIN, timeout_ms)) return -1;
+  for (;;) {
+    const auto got = ::recv(fd_, buf, cap, 0);
+    if (got >= 0) return got;  // 0 = orderly close
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
+}
+
+namespace {
+
+Socket connect_tcp(const std::string& host, int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Socket{};
+  set_cloexec(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Socket{};
+  }
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    return Socket{};
+  }
+  if (!poll_one(fd, POLLOUT, timeout_ms)) {
+    ::close(fd);
+    return Socket{};
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+    ::close(fd);
+    return Socket{};
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket{fd};
+}
+
+Socket connect_uds(const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Socket{};
+  set_cloexec(fd);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Socket{};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      ::close(fd);
+      return Socket{};
+    }
+    if (!poll_one(fd, POLLOUT, timeout_ms)) {
+      ::close(fd);
+      return Socket{};
+    }
+  }
+  return Socket{fd};
+}
+
+}  // namespace
+
+Socket connect_endpoint(const Endpoint& ep, int timeout_ms) {
+  if (!ep.uds_path.empty()) return connect_uds(ep.uds_path, timeout_ms);
+  return connect_tcp(ep.host, ep.port, timeout_ms);
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), bound_port_(other.bound_port_),
+      uds_path_(std::move(other.uds_path_)) {
+  other.fd_ = -1;
+  other.bound_port_ = 0;
+  other.uds_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    bound_port_ = other.bound_port_;
+    uds_path_ = std::move(other.uds_path_);
+    other.fd_ = -1;
+    other.bound_port_ = 0;
+    other.uds_path_.clear();
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!uds_path_.empty()) {
+    ::unlink(uds_path_.c_str());
+    uds_path_.clear();
+  }
+  bound_port_ = 0;
+}
+
+bool Listener::listen(const Endpoint& ep) {
+  close();
+  if (!ep.uds_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    set_cloexec(fd);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.uds_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return false;
+    }
+    std::memcpy(addr.sun_path, ep.uds_path.c_str(), ep.uds_path.size() + 1);
+    ::unlink(ep.uds_path.c_str());  // stale socket file from a dead process
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, 16) < 0) {
+      ::close(fd);
+      return false;
+    }
+    fd_ = fd;
+    uds_path_ = ep.uds_path;
+    return true;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  set_cloexec(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  fd_ = fd;
+  return true;
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  if (!poll_one(fd_, POLLIN, timeout_ms)) return std::nullopt;
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_cloexec(fd);
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket{fd};
+    }
+    if (errno == EINTR) continue;
+    return std::nullopt;
+  }
+}
+
+}  // namespace ffsva::net

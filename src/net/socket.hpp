@@ -1,0 +1,105 @@
+// RAII sockets for the cluster control plane (DESIGN.md §15).
+//
+// This file (and socket.cpp) is the tree's ONLY home for raw socket
+// syscalls — ::socket/::bind/::connect/::send/::recv live here and nowhere
+// else (enforced by the `raw-socket` lint rule). Everything above it speaks
+// length-prefixed frames through net::Channel.
+//
+// Scope is deliberately lean: the control plane moves small frames (stream
+// specs, telemetry snapshots, heartbeats) between processes on one box or a
+// trusted LAN — TCP over localhost or a Unix-domain socket. Reads and
+// writes are poll-gated with millisecond deadlines, so a peer that stops
+// draining cannot wedge a caller; there are no worker threads here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ffsva::net {
+
+/// Where a peer listens. TCP when `port` > 0 (host defaults to loopback);
+/// a Unix-domain socket when `uds_path` is non-empty (takes precedence).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string uds_path;
+
+  static Endpoint tcp(std::string host, int port) {
+    Endpoint e;
+    e.host = std::move(host);
+    e.port = port;
+    return e;
+  }
+  static Endpoint uds(std::string path) {
+    Endpoint e;
+    e.uds_path = std::move(path);
+    return e;
+  }
+  std::string to_string() const;
+};
+
+/// A connected stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Block (via poll) until readable, up to timeout_ms (-1 = forever).
+  /// False on timeout or error.
+  bool wait_readable(int timeout_ms) const;
+
+  /// Write the whole buffer, poll-gating each chunk by deadline_ms of
+  /// cumulative stall. False on error/deadline (connection unusable).
+  bool send_all(const void* data, std::size_t len, int deadline_ms = 5000);
+
+  /// One poll-gated read of up to `cap` bytes. Returns bytes read, 0 on
+  /// orderly peer close, -1 on timeout, -2 on error.
+  long recv_some(void* buf, std::size_t cap, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to an endpoint. Returns an invalid Socket on failure.
+Socket connect_endpoint(const Endpoint& ep, int timeout_ms = 2000);
+
+/// A listening socket accepting Socket connections.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen. For TCP with port 0 the OS assigns one — read it back
+  /// from bound_port(). False on failure.
+  bool listen(const Endpoint& ep);
+
+  /// Accept one connection, waiting up to timeout_ms. nullopt on timeout.
+  std::optional<Socket> accept(int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int bound_port() const { return bound_port_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  int bound_port_ = 0;
+  std::string uds_path_;  ///< Unlinked on close so re-binding works.
+};
+
+}  // namespace ffsva::net

@@ -1,0 +1,89 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "runtime/binary_io.hpp"
+
+namespace ffsva::net {
+
+namespace {
+
+constexpr std::size_t kHeaderLen = 4 + 2 + 2 + 4;
+
+/// Header fields in wire order. Serialized field-by-field (never as one
+/// struct) so padding can't leak onto the wire; byte order is the host's —
+/// the control plane spans one box or a homogeneous LAN by design.
+struct Header {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t type = 0;
+  std::uint32_t len = 0;
+};
+
+Header parse_header(const char* p) {
+  Header h;
+  std::memcpy(&h.magic, p, 4);
+  std::memcpy(&h.version, p + 4, 2);
+  std::memcpy(&h.type, p + 6, 2);
+  std::memcpy(&h.len, p + 8, 4);
+  return h;
+}
+
+}  // namespace
+
+std::string encode_frame(MsgType type, std::string_view payload) {
+  std::ostringstream os;
+  const std::uint32_t magic = kWireMagic;
+  const std::uint16_t version = kWireVersion;
+  const auto t = static_cast<std::uint16_t>(type);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  runtime::write_pod(os, &magic);
+  runtime::write_pod(os, &version);
+  runtime::write_pod(os, &t);
+  runtime::write_pod(os, &len);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return std::move(os).str();
+}
+
+bool FrameDecoder::feed(const char* data, std::size_t len,
+                        std::vector<WireFrame>& out) {
+  if (error_ != Error::kNone) return false;
+  buf_.append(data, len);
+  std::size_t off = 0;
+  while (buf_.size() - off >= kHeaderLen) {
+    const Header h = parse_header(buf_.data() + off);
+    if (h.magic != kWireMagic) {
+      error_ = Error::kBadMagic;
+      break;
+    }
+    if (h.version != kWireVersion) {
+      error_ = Error::kBadVersion;
+      break;
+    }
+    if (h.len > kMaxFramePayload) {
+      error_ = Error::kOversized;
+      break;
+    }
+    if (buf_.size() - off - kHeaderLen < h.len) break;  // partial frame
+    WireFrame f;
+    f.type = static_cast<MsgType>(h.type);
+    f.payload.assign(buf_, off + kHeaderLen, h.len);
+    out.push_back(std::move(f));
+    off += kHeaderLen + h.len;
+  }
+  buf_.erase(0, off);
+  return error_ == Error::kNone;
+}
+
+const char* to_string(FrameDecoder::Error e) {
+  switch (e) {
+    case FrameDecoder::Error::kNone: return "none";
+    case FrameDecoder::Error::kBadMagic: return "bad-magic";
+    case FrameDecoder::Error::kBadVersion: return "bad-version";
+    case FrameDecoder::Error::kOversized: return "oversized";
+  }
+  return "?";
+}
+
+}  // namespace ffsva::net

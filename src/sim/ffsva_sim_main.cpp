@@ -10,6 +10,7 @@
 // chrome://tracing / Perfetto-loadable JSON timeline of the simulated
 // stages (lanes: GPU0, GPU1, CPU pool). A one-line result summary goes to
 // stdout as JSON.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +18,7 @@
 #include <string>
 
 #include "sim/ffsva_sim.hpp"
+#include "sim/placement.hpp"
 #include "telemetry/spans.hpp"
 
 namespace {
@@ -34,8 +36,30 @@ void usage(const char* argv0) {
                "  --label S               label stamped into metrics rows\n"
                "  --metrics-out PATH      append metrics JSONL rows\n"
                "  --metrics-interval-ms N sampling period, virtual ms (default 100)\n"
-               "  --trace-out PATH        write chrome://tracing JSON\n",
+               "  --trace-out PATH        write chrome://tracing JSON\n"
+               "placement mode (cluster policy at scale, DESIGN.md §15):\n"
+               "  --placement             run the placement simulation instead\n"
+               "  --instances N           FFS-VA instances (default 8)\n"
+               "  --capacity-fps F        per-instance T-YOLO ceiling (160)\n"
+               "  --arrival-per-sec F     stream arrival rate (default 20)\n"
+               "  --hot-spot-at S         cut instance 0's capacity at S sec\n"
+               "  --seed N                demand/arrival seed (default 1)\n",
                argv0);
+}
+
+int run_placement(const ffsva::sim::PlacementSetup& setup) {
+  const auto r = ffsva::sim::simulate_placement(setup);
+  std::printf(
+      "{\"instances\":%d,\"streams\":%d,\"placed\":%d,\"policy_placed\":%d,"
+      "\"fallback_placed\":%d,\"reforwards\":%d,\"converged\":%s,"
+      "\"overloaded_final\":%d,\"max_stream_spread\":%d,"
+      "\"hot_spot_drain_sec\":%.2f,\"hot_spot_moves\":%d,"
+      "\"sim_time_sec\":%.1f}\n",
+      setup.instances, setup.streams, r.placed, r.policy_placed,
+      r.fallback_placed, r.reforwards, r.converged ? "true" : "false",
+      r.overloaded_final, r.max_stream_spread, r.hot_spot_drain_sec,
+      r.hot_spot_moves, r.sim_time_sec);
+  return r.placed == setup.streams && r.converged ? 0 : 1;
 }
 
 }  // namespace
@@ -49,6 +73,8 @@ int main(int argc, char** argv) {
   setup.online = true;
   double tor = 0.1;
   bool baseline = false;
+  bool placement = false;
+  sim::PlacementSetup pl;
   std::string metrics_out, trace_out;
 
   const auto need_value = [&](int i) {
@@ -76,6 +102,18 @@ int main(int argc, char** argv) {
       tor = std::atof(need_value(i++));
     } else if (!std::strcmp(a, "--baseline")) {
       baseline = true;
+    } else if (!std::strcmp(a, "--placement")) {
+      placement = true;
+    } else if (!std::strcmp(a, "--instances")) {
+      pl.instances = std::atoi(need_value(i++));
+    } else if (!std::strcmp(a, "--capacity-fps")) {
+      pl.capacity_fps = std::atof(need_value(i++));
+    } else if (!std::strcmp(a, "--arrival-per-sec")) {
+      pl.arrival_per_sec = std::atof(need_value(i++));
+    } else if (!std::strcmp(a, "--hot-spot-at")) {
+      pl.hot_spot_at_sec = std::atof(need_value(i++));
+    } else if (!std::strcmp(a, "--seed")) {
+      pl.seed = static_cast<std::uint64_t>(std::atoll(need_value(i++)));
     } else if (!std::strcmp(a, "--label")) {
       setup.metrics_label = need_value(i++);
     } else if (!std::strcmp(a, "--metrics-out")) {
@@ -96,6 +134,11 @@ int main(int argc, char** argv) {
   if (setup.num_streams < 1 || setup.frames_per_stream < 1) {
     std::fprintf(stderr, "%s: --streams and --frames must be >= 1\n", argv[0]);
     return 2;
+  }
+  if (placement) {
+    pl.streams = setup.num_streams;
+    pl.duration_sec = setup.duration_sec;
+    return run_placement(pl);
   }
   setup.make_outcomes = [tor](int stream) {
     return std::make_unique<sim::MarkovOutcomes>(

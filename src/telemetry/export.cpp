@@ -24,11 +24,16 @@ void append_number(std::string& out, double v) {
 
 std::string metrics_jsonl_row(const MetricsSnapshot& cur,
                               const MetricsSnapshot* prev, double t_sec,
-                              double dt_sec, const std::string& label) {
+                              double dt_sec, const std::string& label,
+                              int node_id) {
   std::string out;
   out.reserve(512);
   out += "{\"t_sec\":";
   append_number(out, t_sec);
+  if (node_id >= 0) {
+    out += ",\"node_id\":";
+    out += std::to_string(node_id);
+  }
   if (!label.empty()) {
     out += ",\"label\":\"";
     out += label;  // labels are caller-controlled identifiers, not user text
@@ -149,7 +154,7 @@ void MetricsExporter::sample_once() {
   MetricsSnapshot cur = registry_.snapshot();
   const double dt = t_sec - (have_prev_ ? prev_t_sec_ : 0.0);
   *sink_ << metrics_jsonl_row(cur, have_prev_ ? &prev_ : nullptr, t_sec, dt,
-                              label_)
+                              label_, node_id_)
          << '\n';
   prev_ = std::move(cur);
   prev_t_sec_ = t_sec;

@@ -34,9 +34,12 @@ namespace ffsva::telemetry {
 /// Serialize one sample as a single-line JSON object (no trailing newline).
 /// `dt_sec` is the time since the previous sample (rates denominator);
 /// `prev` may be null for the first sample (rates then span [0, t]).
+/// `node_id` >= 0 stamps a `"node_id"` field into the row, so rows from
+/// several cluster nodes can share one archive and still be attributed.
 std::string metrics_jsonl_row(const MetricsSnapshot& cur,
                               const MetricsSnapshot* prev, double t_sec,
-                              double dt_sec, const std::string& label);
+                              double dt_sec, const std::string& label,
+                              int node_id = -1);
 
 class MetricsExporter {
  public:
@@ -57,6 +60,10 @@ class MetricsExporter {
   /// Stop the sampler: takes one final sample, flushes, joins. Idempotent.
   void stop();
 
+  /// Stamp every row with a cluster node id (DESIGN.md §15). Call before
+  /// start; negative (the default) omits the field.
+  void set_node_id(int id) { node_id_ = id; }
+
   bool running() const { return thread_.joinable(); }
   std::uint64_t samples() const {
     return samples_.load(std::memory_order_relaxed);
@@ -74,6 +81,7 @@ class MetricsExporter {
   std::ofstream file_;
   std::ostream* sink_ = nullptr;
   std::string label_;
+  int node_id_ = -1;
   std::thread thread_;  // thread-ok: sampler thread, joined in stop()
   runtime::Mutex mu_;
   runtime::CondVar cv_;

@@ -230,6 +230,32 @@ TEST(ClusterManager, SnapshotCounterRegressionRebaselines) {
   EXPECT_TRUE(cm.instance_has_spare(0, 5.0));
 }
 
+TEST(ClusterManager, HandoffResetsServedBaseline) {
+  ClusterManager cm(2, cfg());
+  cm.attach_stream(7, 0);
+  // Instance 0 idles over a full window: two resident streams, small totals.
+  for (double t = 0.0; t <= 6.0; t += 0.1) {
+    cm.report_snapshot(0, t, snap_of(2, 1000));
+  }
+  ASSERT_TRUE(cm.instance_has_spare(0, 6.0));
+  // Stream 7 hands off to instance 1 and later returns carrying 100000
+  // accumulated tyolo_in frames. The cumulative tyolo_served() sum jumps by
+  // that history — a baseline shift, not service performed.
+  cm.attach_stream(7, 1);
+  cm.attach_stream(7, 0);
+  InstanceSnapshot ret = snap_of(2, 1000);
+  StreamSnapshot back;
+  back.id = 7;
+  back.tyolo_in = 100000;
+  ret.streams.push_back(back);
+  ++ret.health.healthy_streams;
+  for (double t = 6.1; t <= 11.0; t += 0.1) cm.report_snapshot(0, t, ret);
+  // Without the attach-time baseline reset the jump reads as a 100000-frame
+  // burst that sits in the 5 s admission window at t=11.0 and sinks these.
+  EXPECT_FALSE(cm.instance_overloaded(0, 11.0));
+  EXPECT_TRUE(cm.instance_has_spare(0, 11.0));
+}
+
 TEST(ClusterManager, RepeatedReforwardDrainsOverloadedInstance) {
   ClusterManager cm(2, cfg());
   for (int s = 0; s < 4; ++s) cm.attach_stream(s, 0);

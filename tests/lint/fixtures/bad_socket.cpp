@@ -1,0 +1,15 @@
+// Seeded violation for ffsva_lint --self-test: raw socket syscalls outside
+// src/net/ with no socket-ok marker. The self-test also scans this file
+// under a pretend src/net/ path, where it must pass (the syscalls' one
+// legal home).
+#include <sys/socket.h>
+
+int fixture_dial(const void* addr, unsigned len) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, static_cast<const sockaddr*>(addr), len) != 0) return -1;
+  char byte = 0;
+  ::send(fd, &byte, 1, 0);
+  ::recv(fd, &byte, 1, 0);
+  return fd;
+}

@@ -1,0 +1,20 @@
+// Clean fixture for ffsva_lint --self-test: the sanctioned shapes around
+// the raw-socket rule — a marked syscall site, and qualified member names
+// (Channel::send) that must not be mistaken for global-scope syscalls.
+#include <cstddef>
+
+struct Channel {
+  bool send(const void* data, std::size_t len);
+  bool recv(void* buf, std::size_t cap);
+};
+
+bool Channel::send(const void*, std::size_t) { return true; }
+bool Channel::recv(void*, std::size_t) { return true; }
+
+int fixture_marked_syscall(int fd) {
+  char byte = 0;
+  // socket-ok: fixture probe on an fd the net layer already owns.
+  return static_cast<int>(::recv(fd, &byte, 1, 0));
+}
+
+extern "C" long recv(int, void*, unsigned long, int);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific concurrency lint for the FFS-VA tree.
 
-Five rules, each enforcing a structural invariant the compiler cannot:
+Six rules, each enforcing a structural invariant the compiler cannot:
 
   raw-thread         std::thread may only appear under src/runtime/ (the
                      supervised-thread vocabulary lives there). Elsewhere a
@@ -25,6 +25,16 @@ Five rules, each enforcing a structural invariant the compiler cannot:
                      or with a `// detach-ok: <reason>` marker. The engine
                      joins every thread it starts (DESIGN.md Section 14);
                      a detach hides a lifetime from the supervisor.
+
+  raw-socket         Raw socket syscalls (::socket/::bind/::connect/
+                     ::accept/::send/::recv/...) may only appear under
+                     src/net/ — the tree's single home for the syscall
+                     surface (net/socket.hpp declares the invariant).
+                     Elsewhere a site must carry a `// socket-ok: <reason>`
+                     marker; everything above src/net/ speaks framed
+                     messages through net::Channel, so a stray syscall
+                     bypasses the wire protocol, its version gate, and the
+                     net.* byte accounting.
 
   uncancellable-block  std::this_thread::sleep_for/sleep_until must sit
                      within MARKER_WINDOW lines of a cancellation check
@@ -65,6 +75,7 @@ MARKER_RE = {
     "bounded-ok": re.compile(r"//.*\bbounded-ok:\s*(\S.*)?"),
     "detach-ok": re.compile(r"//.*\bdetach-ok:\s*(\S.*)?"),
     "cancel-ok": re.compile(r"//.*\bcancel-ok:\s*(\S.*)?"),
+    "socket-ok": re.compile(r"//.*\bsocket-ok:\s*(\S.*)?"),
 }
 
 
@@ -113,6 +124,12 @@ RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
 CHANNEL_RE = re.compile(r"\bstd::(?:queue|deque)\s*<")
 DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+# Global-scope socket syscalls only: the lookbehind rejects qualified names
+# (net::Channel::send definitions are not syscalls).
+SOCKET_RE = re.compile(
+    r"(?<![\w>])::(?:socket|bind|connect|accept4?|listen|send|recv|sendto|"
+    r"recvfrom|sendmsg|recvmsg|shutdown|getsockopt|setsockopt)\s*\("
+)
 CANCEL_CHECK_RE = re.compile(
     r"\b(?:cancel_requested|check_cancel|cancelled|stop_requested|aborted)\b"
 )
@@ -138,6 +155,7 @@ def scan_file(relpath: str, text: str) -> list[Violation]:
 
     in_runtime = relpath.startswith("src/runtime/")
     in_supervision = relpath.startswith("src/runtime/supervision")
+    in_net = relpath.startswith("src/net/")
 
     relaxed_headered = any(
         MARKER_RE["relaxed-ok"].search(line) for line in lines[:RELAXED_HEADER_LINES]
@@ -191,6 +209,18 @@ def scan_file(relpath: str, text: str) -> list[Violation]:
                         "naked-detach",
                         ".detach() outside supervision without a "
                         "'// detach-ok: <reason>' marker",
+                    )
+                )
+
+        if not in_net and SOCKET_RE.search(code):
+            if not has_marker(lines, i, "socket-ok"):
+                out.append(
+                    Violation(
+                        relpath,
+                        lineno,
+                        "raw-socket",
+                        "raw socket syscall outside src/net/ without a "
+                        "'// socket-ok: <reason>' marker",
                     )
                 )
 
@@ -270,11 +300,15 @@ def self_test(root: str) -> int:
         "bad_detach.cpp": ("src/core/bad_detach.cpp", {"naked-detach"}),
         "bad_marker.cpp": ("src/core/bad_marker.cpp", {"bare-marker"}),
         "bad_sleep.cpp": ("src/core/bad_sleep.cpp", {"uncancellable-block"}),
+        "bad_socket.cpp": ("src/core/bad_socket.cpp", {"raw-socket"}),
+        "good_socket.cpp": ("src/core/good_socket.cpp", set()),
         "good_sleep.cpp": ("src/core/good_sleep.cpp", set()),
         "clean.cpp": ("src/core/clean.cpp", set()),
         # The same thread fixture under src/runtime/ must pass: the rule is
         # a location rule, not a token ban.
         "bad_thread.cpp#runtime": ("src/runtime/bad_thread.cpp", set()),
+        # Same for sockets: the syscalls are legal in their one home.
+        "bad_socket.cpp#net": ("src/net/bad_socket.cpp", set()),
     }
     failures = 0
     for key, (relpath, expected) in cases.items():
