@@ -109,7 +109,8 @@ class ClusterManager {
   bool has_spare_locked(int id, double now_sec) FFSVA_REQUIRES(mu_);
 
   const int num_instances_;
-  mutable runtime::Mutex mu_;
+  mutable runtime::Mutex mu_{runtime::rank::kClusterManager,
+                             "core::ClusterManager::mu_"};
   std::vector<Instance> instances_ FFSVA_GUARDED_BY(mu_);
   std::map<int, int> stream_home_ FFSVA_GUARDED_BY(mu_);
   const FfsVaConfig config_;

@@ -1737,6 +1737,10 @@ InstanceStats FfsVaInstance::run(bool online) {
     // is still cancellable — the watchdog stops only after these joins).
     runtime::MutexLock lk(streams_mu_);
     engine_live_ = false;
+    // blocking-ok: joins under streams_mu_ are bounded — the ingest queues
+    // are closed, so each prefetch thread is on its way out, and holding
+    // the lock here is what makes add_stream's attach/engine-down check
+    // atomic against this teardown.
     for (auto& t : late_prefetch_) t.join();
     late_prefetch_.clear();
   }
@@ -1842,7 +1846,7 @@ BaselineStats run_yolo_baseline(
   // GPUs, the paper's baseline deployment.
   runtime::BoundedQueue<std::pair<int, Item>> q(8);
   std::atomic<std::uint64_t> frames{0}, dropped{0};
-  runtime::Mutex hist_mu;
+  runtime::Mutex hist_mu{runtime::rank::kBenchStats, "baseline::hist_mu"};
 
   // thread-ok: the baseline harness spawns its own producers/GPU workers —
   // it deliberately bypasses the engine (that is what it measures against);
@@ -1870,7 +1874,10 @@ BaselineStats run_yolo_baseline(
     });
   }
 
-  runtime::Mutex gpu[2];
+  // Each device lock is held across detect(), which fans out through the
+  // compute pool — hence kBenchDevice orders before the kComputePool group.
+  runtime::Mutex gpu[2]{{runtime::rank::kBenchDevice, "baseline::gpu[0]"},
+                        {runtime::rank::kBenchDevice, "baseline::gpu[1]"}};
   // thread-ok: the baseline's two GPU workers, joined below.
   std::vector<std::thread> workers;
   for (int g = 0; g < 2; ++g) {
@@ -1880,6 +1887,9 @@ BaselineStats run_yolo_baseline(
         detect::DetectionResult r;
         {
           runtime::MutexLock lk(gpu[g]);
+          // blocking-ok: the device lock exists precisely to serialize the
+          // model call — the baseline being measured runs one inference per
+          // GPU at a time; nothing else ever waits on gpu[g].
           r = models[static_cast<std::size_t>(stream_id)].reference->detect(
               item.frame.image);
         }

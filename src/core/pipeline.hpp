@@ -370,8 +370,11 @@ class FfsVaInstance {
   std::vector<std::shared_ptr<Stream>> streams_;
   std::atomic<int> nstreams_{0};
   /// Serializes add_stream/end_stream/stop against each other and guards
-  /// the dynamic-add state below.
-  mutable runtime::Mutex streams_mu_;
+  /// the dynamic-add state below. Ordered before outputs_mu_ and the queue
+  /// leaves: stop()'s close sweep and add_stream's waiter notifies run
+  /// under it.
+  mutable runtime::Mutex streams_mu_ FFSVA_ACQUIRED_BEFORE(outputs_mu_){
+      runtime::rank::kEngineStreams, "core::Engine::streams_mu_"};
   /// True from just before the stage threads start until they are joined:
   /// the window in which add_stream attaches to the live engine.
   bool engine_live_ FFSVA_GUARDED_BY(streams_mu_) = false;
@@ -385,7 +388,8 @@ class FfsVaInstance {
   // by run() before it returns (see above).
   std::vector<std::thread> late_prefetch_ FFSVA_GUARDED_BY(streams_mu_);
   std::function<void(const OutputEvent&)> sink_;
-  runtime::Mutex outputs_mu_;
+  runtime::Mutex outputs_mu_{runtime::rank::kEngineOutputs,
+                             "core::Engine::outputs_mu_"};
   std::vector<OutputEvent> outputs_ FFSVA_GUARDED_BY(outputs_mu_);
 
   // Multi-queue wakeups: SDD workers sleep here when every SDD queue is

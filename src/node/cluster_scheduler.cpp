@@ -125,9 +125,24 @@ void ClusterScheduler::dispatch(int node, const net::WireFrame& frame) {
       if (ended) on_stream_ended(node, *ended);
       return;
     }
-    default:
-      return;  // heartbeats, stray acks
+    // No default: -Wswitch must flag a new MsgType the scheduler ignores.
+    // Heartbeat echoes and stray acks arriving outside their send/await
+    // windows are dropped by design.
+    case net::MsgType::kHello:
+    case net::MsgType::kHelloAck:
+    case net::MsgType::kHelloReject:
+    case net::MsgType::kHeartbeat:
+    case net::MsgType::kSnapshot:
+    case net::MsgType::kAssignStream:
+    case net::MsgType::kAssignAck:
+    case net::MsgType::kEndStream:
+    case net::MsgType::kDrain:
+    case net::MsgType::kStop:
+    case net::MsgType::kStopAck:
+      return;
   }
+  // Unknown-but-well-framed u16 values fall out of the switch and are
+  // ignored (forward compat with newer peers).
 }
 
 void ClusterScheduler::on_stream_ended(int node, const StreamEnded& ended) {

@@ -132,9 +132,20 @@ void NodeServer::handle_frame(net::Channel& ch, const net::WireFrame& frame) {
       ch.send(net::MsgType::kStopAck);
       stopping_.store(true, std::memory_order_release);
       return;
-    default:
-      return;  // Unknown-but-well-framed messages are ignored (forward compat).
+    // No default: -Wswitch must flag a new MsgType the server ignores.
+    // These are scheduler-bound (or scheduler-sent control we answer above);
+    // a server ignores them when echoed back.
+    case net::MsgType::kHello:
+    case net::MsgType::kHelloAck:
+    case net::MsgType::kHelloReject:
+    case net::MsgType::kAssignAck:
+    case net::MsgType::kStreamEnded:
+    case net::MsgType::kStopAck:
+    case net::MsgType::kResults:
+      return;
   }
+  // Unknown-but-well-framed u16 values fall out of the switch and are
+  // ignored (forward compat with newer peers).
 }
 
 void NodeServer::handle_assign(net::Channel& ch, const net::WireFrame& frame) {
@@ -146,12 +157,14 @@ void NodeServer::handle_assign(net::Channel& ch, const net::WireFrame& frame) {
   }
   AssignAck ack;
   ack.stream_id = assign->spec.stream_id;
+  bool duplicate;
   {
     runtime::MutexLock lk(mu_);
-    if (owned_.count(assign->spec.stream_id) != 0) {
-      ch.send(net::MsgType::kAssignAck, ack.serialize());  // ok=false
-      return;
-    }
+    duplicate = owned_.count(assign->spec.stream_id) != 0;
+  }
+  if (duplicate) {
+    ch.send(net::MsgType::kAssignAck, ack.serialize());  // ok=false
+    return;
   }
   // Materialization (render calibration window + specialize) is the
   // expensive part of accepting a hand-off; it happens outside any lock and
@@ -233,7 +246,11 @@ void NodeServer::poll_quiesced(net::Channel* ch) {
       emitted_.erase(c.gid);
     }
     streams_owned_.fetch_sub(1, std::memory_order_relaxed);
-    if (c.owned.handoff) {
+    // A migration order can race natural completion: if the serving window
+    // is already fully ingested, the stream *finished* here — the scheduler
+    // won't resume it elsewhere, so it isn't a hand-off and must not tilt
+    // the handoffs_out/handoffs_in balance.
+    if (c.owned.handoff && ended.cursor < c.owned.spec.end) {
       handoffs_out_.fetch_add(1, std::memory_order_relaxed);
     }
   }

@@ -105,7 +105,11 @@ class NodeServer {
   std::atomic<bool> engine_joined_{false};
   core::InstanceStats stats_;
 
-  mutable runtime::Mutex mu_;
+  // Outermost rank in the tree: RPC handlers scope this closed before any
+  // engine call or socket send, but the engine's output sink takes it from
+  // the reference thread, so it must order before every engine lock.
+  mutable runtime::Mutex mu_{runtime::rank::kNodeControl,
+                             "node::NodeServer::mu_"};
   std::map<std::uint32_t, Owned> owned_ FFSVA_GUARDED_BY(mu_);
   std::map<int, std::uint32_t> local_to_global_ FFSVA_GUARDED_BY(mu_);
   /// Per-stream survivor indices, appended by the engine's output sink

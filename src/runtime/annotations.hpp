@@ -24,7 +24,10 @@
 
 #include <condition_variable>
 #include <chrono>
+#include <cstdint>
 #include <mutex>
+
+#include "runtime/lock_rank.hpp"
 
 #if defined(__clang__) && (!defined(SWIG))
 #define FFSVA_TSA(x) __attribute__((x))
@@ -58,20 +61,51 @@
 /// Opt a function out of the analysis entirely. Last resort; every use
 /// carries a comment naming the happens-before edge that replaces the lock.
 #define FFSVA_NO_TSA FFSVA_TSA(no_thread_safety_analysis)
+/// Declares static acquisition order on a Mutex member: this lock is taken
+/// before the listed ones. Mirrors the numeric rank in lock_rank.hpp so
+/// clang's analysis and the runtime verifier agree on one order.
+#define FFSVA_ACQUIRED_BEFORE(...) FFSVA_TSA(acquired_before(__VA_ARGS__))
+/// Declares static acquisition order: this lock is taken after the listed
+/// ones (the dual of FFSVA_ACQUIRED_BEFORE, for when only the outer lock
+/// is nameable from this header).
+#define FFSVA_ACQUIRED_AFTER(...) FFSVA_TSA(acquired_after(__VA_ARGS__))
 
 namespace ffsva::runtime {
 
-/// std::mutex with the capability attribute the analysis needs. Zero-cost:
-/// every member is a one-line inline forward.
+/// std::mutex with the capability attribute the analysis needs, plus an
+/// optional lock rank. Default-constructed mutexes are unranked (rank 0):
+/// the verifier ignores them and in Release builds the rank hooks are empty
+/// inlines, so the locking fast path is unchanged. Ranked mutexes name
+/// their place in the global acquisition order (lock_rank.hpp) and, in
+/// checked builds, abort with both lock names on the first out-of-order
+/// acquisition any thread performs.
 class FFSVA_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Ranked mutex: `r` from the lock_rank.hpp table, `name` a static
+  /// string identifying this lock in inversion reports.
+  Mutex(std::uint32_t r, const char* name) : rank_(r), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() FFSVA_ACQUIRE() { mu_.lock(); }
-  void unlock() FFSVA_RELEASE() { mu_.unlock(); }
-  bool try_lock() FFSVA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() FFSVA_ACQUIRE() {
+    lockrank_detail::acquire(rank_, name_);
+    mu_.lock();
+  }
+  void unlock() FFSVA_RELEASE() {
+    mu_.unlock();
+    lockrank_detail::release(rank_, name_);
+  }
+  bool try_lock() FFSVA_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A successful try_lock still has to respect the order: a trylock
+    // inversion only *sometimes* deadlocks, which is worse.
+    lockrank_detail::acquire(rank_, name_);
+    return true;
+  }
+
+  std::uint32_t lock_rank() const { return rank_; }
+  const char* lock_name() const { return name_; }
 
   /// The wrapped mutex, for CondVar's wait plumbing only. Locking through
   /// this reference is invisible to the analysis — never do it directly.
@@ -79,6 +113,8 @@ class FFSVA_CAPABILITY("mutex") Mutex {
 
  private:
   std::mutex mu_;
+  std::uint32_t rank_ = rank::kNone;
+  const char* name_ = nullptr;
 };
 
 /// std::lock_guard over Mutex: acquire at construction, release at scope
@@ -101,19 +137,37 @@ class FFSVA_SCOPED_CAPABILITY MutexLock {
 /// tracks the held/released state through the annotated members.
 class FFSVA_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& mu) FFSVA_ACQUIRE(mu) : lk_(mu.os_mutex()) {}
-  ~UniqueLock() FFSVA_RELEASE() = default;
+  explicit UniqueLock(Mutex& mu) FFSVA_ACQUIRE(mu)
+      : mu_(&mu), lk_(mu.os_mutex(), std::defer_lock) {
+    lockrank_detail::acquire(mu_->lock_rank(), mu_->lock_name());
+    lk_.lock();
+  }
+  ~UniqueLock() FFSVA_RELEASE() {
+    if (lk_.owns_lock()) {
+      lk_.unlock();
+      lockrank_detail::release(mu_->lock_rank(), mu_->lock_name());
+    }
+  }
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
-  void lock() FFSVA_ACQUIRE() { lk_.lock(); }
-  void unlock() FFSVA_RELEASE() { lk_.unlock(); }
+  void lock() FFSVA_ACQUIRE() {
+    lockrank_detail::acquire(mu_->lock_rank(), mu_->lock_name());
+    lk_.lock();
+  }
+  void unlock() FFSVA_RELEASE() {
+    lk_.unlock();
+    lockrank_detail::release(mu_->lock_rank(), mu_->lock_name());
+  }
 
-  /// For CondVar only: the native handle a std cv can block on.
+  /// For CondVar only: the native handle a std cv can block on. The rank
+  /// entry stays on the held stack across a cv wait — the thread is parked,
+  /// so it cannot acquire out of order, and on wake it holds the lock again.
   std::unique_lock<std::mutex>& native() { return lk_; }
 
  private:
+  Mutex* mu_;
   std::unique_lock<std::mutex> lk_;
 };
 

@@ -97,7 +97,9 @@ class QueueWaiter {
   }
 
  private:
-  mutable Mutex mu_;
+  // Innermost rank in the tree: notify() runs under whatever lock the
+  // producer already holds (queue mu_, engine streams_mu_ via close sweeps).
+  mutable Mutex mu_{rank::kQueueWaiter, "QueueWaiter::mu_"};
   mutable CondVar cv_;
   mutable std::atomic<std::uint64_t> epoch_{0};
   mutable std::atomic<int> waiters_{0};
@@ -282,7 +284,9 @@ class BoundedQueue {
  private:
   const std::size_t capacity_;
   QueueWaiter* waiter_ = nullptr;  ///< Optional multi-queue wakeup target.
-  mutable Mutex mu_;
+  // Queue-leaf rank: taken under the engine's streams_mu_ (stop/close
+  // sweep) and before only the QueueWaiter handshake.
+  mutable Mutex mu_{rank::kBoundedQueue, "BoundedQueue::mu_"};
   CondVar not_empty_;
   CondVar not_full_;
   // bounded-ok: capacity_ is enforced by every push path above; the deque

@@ -1,0 +1,96 @@
+#include "runtime/lock_rank.hpp"
+
+#if FFSVA_LOCK_RANK_CHECKS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ffsva::runtime::lockrank_detail {
+
+namespace {
+
+// Deepest ranked-lock nesting any FFS-VA thread legitimately reaches is 4
+// (engine → bench → pool → queue); 32 leaves generous headroom and keeps
+// the whole stack in one cache line pair.
+constexpr int kMaxHeld = 32;
+
+struct HeldLock {
+  std::uint32_t rank;
+  const char* name;
+};
+
+struct HeldStack {
+  HeldLock entries[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack t_held;
+
+[[noreturn]] void die(const char* what, std::uint32_t new_rank,
+                      const char* new_name) {
+  std::fprintf(stderr,
+               "ffsva lock-rank: %s acquiring \"%s\" (rank %u); held stack "
+               "(outermost first):\n",
+               what, new_name ? new_name : "<unnamed>",
+               static_cast<unsigned>(new_rank));
+  for (int i = 0; i < t_held.depth; ++i) {
+    std::fprintf(stderr, "  [%d] \"%s\" (rank %u)\n", i,
+                 t_held.entries[i].name ? t_held.entries[i].name : "<unnamed>",
+                 static_cast<unsigned>(t_held.entries[i].rank));
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void acquire(std::uint32_t r, const char* name) {
+  if (r == rank::kNone) return;
+  HeldStack& s = t_held;
+  if (s.depth > 0) {
+    const HeldLock& top = s.entries[s.depth - 1];
+    if (top.rank >= r) {
+      std::fprintf(stderr,
+                   "ffsva lock-rank: lock-order inversion: \"%s\" (rank %u) "
+                   "acquired while holding \"%s\" (rank %u)\n",
+                   name ? name : "<unnamed>", static_cast<unsigned>(r),
+                   top.name ? top.name : "<unnamed>",
+                   static_cast<unsigned>(top.rank));
+      die("inversion", r, name);
+    }
+  }
+  if (s.depth >= kMaxHeld) die("held-stack overflow", r, name);
+  s.entries[s.depth++] = HeldLock{r, name};
+}
+
+void release(std::uint32_t r, const char* name) noexcept {
+  if (r == rank::kNone) return;
+  HeldStack& s = t_held;
+  // Usually LIFO; search from the top so a UniqueLock::unlock under a
+  // later scoped lock still clears the right entry.
+  for (int i = s.depth - 1; i >= 0; --i) {
+    if (s.entries[i].rank == r && s.entries[i].name == name) {
+      for (int j = i; j < s.depth - 1; ++j) s.entries[j] = s.entries[j + 1];
+      --s.depth;
+      return;
+    }
+  }
+  // Releasing a lock we never saw acquired means the hooks are mispaired.
+  std::fprintf(stderr,
+               "ffsva lock-rank: release of \"%s\" (rank %u) not on held "
+               "stack\n",
+               name ? name : "<unnamed>", static_cast<unsigned>(r));
+  std::fflush(stderr);
+  std::abort();
+}
+
+int held_depth() noexcept { return t_held.depth; }
+
+}  // namespace ffsva::runtime::lockrank_detail
+
+#else
+
+// Checks compiled out: translation unit intentionally empty.
+namespace ffsva::runtime::lockrank_detail {}
+
+#endif  // FFSVA_LOCK_RANK_CHECKS_ENABLED

@@ -29,7 +29,9 @@ int parallelism_from_env() {
 }
 
 struct ComputePool {
-  Mutex mu;
+  // Held across ThreadPool construction/shutdown, which takes the pool's
+  // own lock (kThreadPool) and joins its workers.
+  Mutex mu{rank::kComputePool, "ComputePool::mu"};
   std::unique_ptr<ThreadPool> pool FFSVA_GUARDED_BY(mu);
   int parallelism FFSVA_GUARDED_BY(mu) = 0;  // 0 = not yet resolved
 
@@ -98,7 +100,7 @@ struct LoopState {
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> finished{0};
   std::atomic<bool> failed{false};
-  Mutex mu;
+  Mutex mu{rank::kLoopJoin, "LoopState::mu"};
   CondVar cv;
   std::exception_ptr error FFSVA_GUARDED_BY(mu);
 

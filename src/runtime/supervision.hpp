@@ -177,7 +177,7 @@ class Watchdog {
 
  private:
   std::thread thread_;  ///< Managed by start()/stop() on the owner's thread.
-  Mutex mu_;
+  Mutex mu_{rank::kWatchdog, "Watchdog::mu_"};
   CondVar cv_;
   bool stopping_ FFSVA_GUARDED_BY(mu_) = false;
 };

@@ -40,7 +40,7 @@ class ThreadPool {
  private:
   void worker_loop() FFSVA_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{rank::kThreadPool, "ThreadPool::mu_"};
   CondVar work_available_;
   CondVar idle_;
   // bounded-ok: the pool's own task queue; producers are the engine's

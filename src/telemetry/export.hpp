@@ -83,7 +83,8 @@ class MetricsExporter {
   std::string label_;
   int node_id_ = -1;
   std::thread thread_;  // thread-ok: sampler thread, joined in stop()
-  runtime::Mutex mu_;
+  runtime::Mutex mu_{runtime::rank::kTelemetryExporter,
+                     "telemetry::MetricsExporter::mu_"};
   runtime::CondVar cv_;
   bool stopping_ FFSVA_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> samples_{0};

@@ -170,7 +170,10 @@ class Registry {
   MetricsSnapshot snapshot() const FFSVA_EXCLUDES(mu_);
 
  private:
-  mutable runtime::Mutex mu_;
+  // Held across gauge callbacks in snapshot(): anything a callback locks
+  // (queue depths, pool state) must rank higher than this.
+  mutable runtime::Mutex mu_{runtime::rank::kTelemetryRegistry,
+                             "telemetry::Registry::mu_"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ FFSVA_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ FFSVA_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<AtomicHistogram>> histograms_

@@ -107,7 +107,8 @@ class TraceBuffer {
   std::uint64_t id_ = 0;  ///< Process-unique identity for thread ring caches.
   std::atomic<bool> enabled_{false};
   std::atomic<std::int64_t> epoch_ns_{0};
-  mutable runtime::Mutex mu_;
+  mutable runtime::Mutex mu_{runtime::rank::kTraceBuffer,
+                             "telemetry::TraceBuffer::mu_"};
   /// Ring registration is guarded; the rings' *contents* are the recorder
   /// threads' own atomics (see Ring::head), read by collect() via acquire.
   std::vector<std::unique_ptr<Ring>> rings_ FFSVA_GUARDED_BY(mu_);

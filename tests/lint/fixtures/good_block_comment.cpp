@@ -1,0 +1,9 @@
+// Regression fixture: tokens inside block comments are prose, not code.
+/*
+ * Design notes that mention std::thread, ::connect(), .detach() and
+ * sleep_for(10ms) freely — none of this is scanned.
+ * Even an unbounded std::queue<int> here is just words.
+ */
+int answer() {
+  /* inline block: std::thread worker; worker.detach(); */ return 42;
+}

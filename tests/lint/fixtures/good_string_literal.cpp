@@ -1,0 +1,18 @@
+// Regression fixture: rule tokens inside string literals are NOT code.
+// Before the code-view pass, the "::connect" in the log line below needed
+// a bogus socket-ok marker; none of these may fire.
+#include <string>
+
+void log(const std::string&);
+
+void report_errors() {
+  log("::connect refused by peer");
+  log("worker calls std::thread then sleep_for( forever )");
+  log("queue is a std::deque<Frame> under the hood");
+  const char* hint = "call .detach( ) and memory_order_relaxed at will";
+  log(hint);
+  // Raw strings too: the whole payload is data, not code.
+  log(R"(::send( and ::recv( are wire verbs, std::queue<int> is a type)");
+  const char quote = '"';  // a lone quote char must not open a string
+  log(std::string(1, quote) + "::bind( inside, still a literal");
+}

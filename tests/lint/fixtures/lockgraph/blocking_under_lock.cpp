@@ -1,0 +1,34 @@
+// Fixture: blocking calls under a held lock. The unmarked sites must be
+// flagged; the blocking-ok-marked one must not.
+#include <chrono>
+#include <thread>
+
+#include "runtime/annotations.hpp"
+
+using ffsva::runtime::Mutex;
+using ffsva::runtime::MutexLock;
+
+struct Peer {
+  bool send(int);
+};
+
+struct Relay {
+  Mutex mu_;
+  Peer peer_;
+
+  void forward_bad(int v) {
+    MutexLock lk(mu_);
+    peer_.send(v);  // socket send while holding mu_: flagged
+  }
+
+  void nap_bad() {
+    MutexLock lk(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  void forward_ok(int v) {
+    MutexLock lk(mu_);
+    // blocking-ok: loopback control socket, bounded 5 ms send buffer
+    peer_.send(v);
+  }
+};

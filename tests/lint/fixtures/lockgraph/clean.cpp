@@ -1,0 +1,40 @@
+// Fixture: well-ordered locking — consistent AB order, ranked locks taken
+// rank-ascending, waits in predicate loops, no blocking under locks. The
+// analyzer must stay silent.
+#include "runtime/annotations.hpp"
+
+using ffsva::runtime::CondVar;
+using ffsva::runtime::Mutex;
+using ffsva::runtime::MutexLock;
+using ffsva::runtime::UniqueLock;
+
+namespace cleanfix {
+
+struct Orderly {
+  Mutex outer_{ffsva::runtime::rank::kEngineStreams, "fixture::outer"};
+  Mutex inner_{ffsva::runtime::rank::kBoundedQueue, "fixture::inner"};
+  CondVar cv_;
+  bool ready_ = false;
+  int value_ = 0;
+
+  void nested_in_order() {
+    MutexLock lo(outer_);
+    MutexLock li(inner_);
+    ++value_;
+  }
+
+  void same_order_elsewhere() {
+    MutexLock lo(outer_);
+    {
+      MutexLock li(inner_);
+      --value_;
+    }
+  }
+
+  void wait_ready() {
+    UniqueLock lk(inner_);
+    while (!ready_) cv_.wait(lk);
+  }
+};
+
+}  // namespace cleanfix

@@ -1,0 +1,30 @@
+// Fixture: a CondVar wait outside a predicate loop must be flagged; the
+// while-looped waits (brace and single-line forms) must not.
+#include "runtime/annotations.hpp"
+
+using ffsva::runtime::CondVar;
+using ffsva::runtime::Mutex;
+using ffsva::runtime::UniqueLock;
+
+struct Gate {
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ = false;
+
+  void bad_wait() {
+    UniqueLock lk(mu_);
+    if (!ready_) cv_.wait(lk);  // spurious wakeup falls through: flagged
+  }
+
+  void good_wait() {
+    UniqueLock lk(mu_);
+    while (!ready_) cv_.wait(lk);
+  }
+
+  void good_wait_braced() {
+    UniqueLock lk(mu_);
+    while (!ready_) {
+      cv_.wait(lk);
+    }
+  }
+};

@@ -1,0 +1,21 @@
+// Fixture: two functions acquire the same pair of locks in opposite
+// orders — the classic AB/BA deadlock the cycle check must catch.
+#include "runtime/annotations.hpp"
+
+using ffsva::runtime::Mutex;
+using ffsva::runtime::MutexLock;
+
+struct Ledger {
+  Mutex a_;
+  Mutex b_;
+
+  void credit() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+  }
+
+  void debit() {
+    MutexLock lb(b_);
+    MutexLock la(a_);
+  }
+};

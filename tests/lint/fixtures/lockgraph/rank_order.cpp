@@ -1,0 +1,21 @@
+// Fixture: an acquisition edge that runs *against* the lock_rank.hpp
+// order — a leaf-rank lock held while taking a control-plane lock. The
+// runtime verifier would abort here; the rank-order check finds it first.
+#include "runtime/annotations.hpp"
+
+using ffsva::runtime::Mutex;
+using ffsva::runtime::MutexLock;
+
+namespace rankfix {
+
+struct Inverted {
+  Mutex leaf_{ffsva::runtime::rank::kQueueWaiter, "fixture::leaf"};
+  Mutex control_{ffsva::runtime::rank::kNodeControl, "fixture::control"};
+
+  void backwards() {
+    MutexLock inner(leaf_);
+    MutexLock outer(control_);  // rank 100 under rank 800: flagged
+  }
+};
+
+}  // namespace rankfix

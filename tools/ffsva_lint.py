@@ -49,6 +49,12 @@ A marker counts when it appears on the flagged line or within the
 MARKER_WINDOW preceding lines, and must be followed by a non-empty reason.
 Markers without a reason are themselves violations (bare-marker).
 
+Rules are matched against a *code view* of each file: string/char literal
+contents, // comments, and /* */ blocks are blanked out first, so a
+"::connect" inside a log message or a std::thread in a design comment
+never needs a marker. Markers themselves are matched against the raw
+lines — they live in comments by design.
+
 Usage:
   tools/ffsva_lint.py [--root DIR] [paths...]   # default: scan DIR/src
   tools/ffsva_lint.py --self-test               # verify rules on fixtures
@@ -90,11 +96,95 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def strip_line_comment(line: str) -> str:
-    """Code portion of a line (before any // comment). Good enough for lint:
-    the tree does not put the flagged tokens inside string literals."""
-    idx = line.find("//")
-    return line if idx < 0 else line[:idx]
+def strip_code(text: str) -> list[str]:
+    """Per-line *code view* of a translation unit: string/char literal
+    contents, line comments, and block comments are blanked with spaces
+    (newlines preserved), so rule regexes never fire on `log("::connect")`
+    or on tokens inside a /* ... */ paragraph. The quotes themselves are
+    kept so adjacent tokens stay separated. Raw strings (R"delim(...)delim")
+    are handled; markers are matched against the *raw* lines, never this
+    view, since they live in comments by design."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    delim = ""  # raw-string delimiter, ')delim"' form, when in a raw string
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out.append("\n")
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw string? Scan back over the prefix for R (u8R, LR, ...).
+                j = i - 1
+                while j >= 0 and text[j] in "uUL8":
+                    j -= 1
+                if j >= 0 and text[j] == "R":
+                    k = text.find("(", i + 1)
+                    if k < 0:
+                        out.append(c)
+                        i += 1
+                        continue
+                    delim = ")" + text[i + 1 : k] + '"'
+                    state = "raw_string"
+                    out.append('"')
+                    i = k + 1
+                else:
+                    state = "string"
+                    out.append('"')
+                    i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state in ("line_comment", "block_comment"):
+            if state == "block_comment" and c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                if nxt == "\n":  # line continuation: keep the newline
+                    out.append(" ")
+                    i += 1
+                else:
+                    out.append("  ")
+                    i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # raw_string
+            if text.startswith(delim, i):
+                state = "code"
+                out.append(" " * (len(delim) - 1) + '"')
+                i += len(delim)
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out).splitlines()
 
 
 def has_marker(lines: list[str], idx: int, marker: str) -> bool:
@@ -135,14 +225,13 @@ CANCEL_CHECK_RE = re.compile(
 )
 
 
-def has_cancel_check(lines: list[str], idx: int) -> bool:
-    """True when a cancellation check appears in the *code* (not comments)
-    of line `idx` or the MARKER_WINDOW lines above it — the shape of every
-    sliced polling loop in the tree."""
+def has_cancel_check(code_lines: list[str], idx: int) -> bool:
+    """True when a cancellation check appears in the *code view* (comments
+    and strings blanked) of line `idx` or the MARKER_WINDOW lines above it —
+    the shape of every sliced polling loop in the tree."""
     lo = max(0, idx - MARKER_WINDOW)
     return any(
-        CANCEL_CHECK_RE.search(strip_line_comment(probe))
-        for probe in lines[lo : idx + 1]
+        CANCEL_CHECK_RE.search(probe) for probe in code_lines[lo : idx + 1]
     )
 
 
@@ -151,6 +240,9 @@ def scan_file(relpath: str, text: str) -> list[Violation]:
     path-based exemptions key off it."""
     relpath = relpath.replace(os.sep, "/")
     lines = text.splitlines()
+    # Rules match the code view (strings/comments blanked); markers match
+    # the raw lines (they live in comments).
+    code_lines = strip_code(text)
     out: list[Violation] = []
 
     in_runtime = relpath.startswith("src/runtime/")
@@ -161,8 +253,8 @@ def scan_file(relpath: str, text: str) -> list[Violation]:
         MARKER_RE["relaxed-ok"].search(line) for line in lines[:RELAXED_HEADER_LINES]
     )
 
-    for i, raw in enumerate(lines):
-        code = strip_line_comment(raw)
+    for i in range(len(lines)):
+        code = code_lines[i] if i < len(code_lines) else ""
         lineno = i + 1
 
         if not in_runtime and THREAD_RE.search(code):
@@ -225,7 +317,7 @@ def scan_file(relpath: str, text: str) -> list[Violation]:
                 )
 
         if SLEEP_RE.search(code):
-            if not has_cancel_check(lines, i) and not has_marker(
+            if not has_cancel_check(code_lines, i) and not has_marker(
                 lines, i, "cancel-ok"
             ):
                 out.append(
@@ -304,6 +396,10 @@ def self_test(root: str) -> int:
         "good_socket.cpp": ("src/core/good_socket.cpp", set()),
         "good_sleep.cpp": ("src/core/good_sleep.cpp", set()),
         "clean.cpp": ("src/core/clean.cpp", set()),
+        # Rule tokens inside string literals / block comments are data, not
+        # code — the code-view pass must keep every rule silent.
+        "good_string_literal.cpp": ("src/core/good_string_literal.cpp", set()),
+        "good_block_comment.cpp": ("src/core/good_block_comment.cpp", set()),
         # The same thread fixture under src/runtime/ must pass: the rule is
         # a location rule, not a token ban.
         "bad_thread.cpp#runtime": ("src/runtime/bad_thread.cpp", set()),

@@ -1,0 +1,925 @@
+#!/usr/bin/env python3
+"""Whole-program lock-order analysis for the FFS-VA tree (DESIGN.md §16).
+
+Walks every function, extracts the acquired-capability graph from the
+thread-safety vocabulary (`MutexLock`/`UniqueLock` construction,
+`FFSVA_REQUIRES`, ranked `Mutex` declarations), and reports:
+
+  lock-cycle           A cycle in the acquisition-order graph: some thread
+                       can hold A wanting B while another holds B wanting A.
+                       Any cycle is a potential deadlock, whether or not the
+                       schedules that close it have been observed.
+
+  rank-order           An acquisition edge A -> B where both locks carry a
+                       rank from src/runtime/lock_rank.hpp and
+                       rank(A) >= rank(B). The runtime verifier would abort
+                       on this path in a sanitizer build; the analyzer finds
+                       it without needing the schedule to happen.
+
+  blocking-under-lock  A blocking call made while a lock is held — socket
+                       send/recv/poll/accept/connect, `CondVar` waits with a
+                       *second* lock held, model-call entry points (detect/
+                       forward/segment/...), thread joins, unbounded queue
+                       push/pop, sleep_for/sleep_until. Each site needs a
+                       `// blocking-ok: <reason>` marker within
+                       MARKER_WINDOW lines saying why holding the lock
+                       across the block is safe (bounded, leaf lock, ...).
+
+  condvar-no-loop      A `CondVar::wait`/`wait_for`/`wait_until` site not
+                       inside a predicate loop. Spurious wakeups make a
+                       non-looped wait a logic bug, and the tree's house
+                       style (annotations.hpp) demands the explicit loop.
+
+Two frontends share the findings engine:
+
+  text   (default) A lexical frontend: comment/string-stripped scope
+         tracking over src/. Self-contained, runs everywhere, and is the
+         authoritative gate for this tree.
+  clang  A libclang (clang.cindex) frontend driven by compile_commands.json
+         for AST-exact extraction. Exits 77 (ctest skip) when the python
+         clang bindings or libclang are unavailable, per house convention.
+
+Usage:
+  tools/ffsva_lockgraph.py [--root DIR] [paths...]     # scan DIR/src
+  tools/ffsva_lockgraph.py --self-test                 # fixture checks
+  tools/ffsva_lockgraph.py --dump-graph                # print edges + exit
+  tools/ffsva_lockgraph.py --frontend=clang [...]      # AST frontend
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error, 77 frontend
+unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from ffsva_lint import strip_code  # noqa: E402  (shared C++ lexer)
+
+MARKER_WINDOW = 6  # lines above a site in which a blocking-ok still applies
+
+CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".inl")
+
+BLOCKING_OK_RE = re.compile(r"//.*\bblocking-ok:\s*(\S.*)?")
+
+# --- What counts as blocking -------------------------------------------------
+# Unbounded (or unboundedly retried) operations only: the timed/try variants
+# are bounded by construction and stay out of the gate to keep triage signal
+# high.
+SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+SOCKET_RE = re.compile(
+    r"(?:\.|->)(?:send|send_all|recv|recv_some|accept|connect|"
+    r"handshake_client|handshake_server)\s*\(|(?<![\w>])::poll\s*\("
+)
+MODEL_RE = re.compile(
+    r"(?:\.|->)(?:detect|detect_batch|forward|segment|specialize|"
+    r"run_batch)\s*\("
+)
+JOIN_RE = re.compile(r"(?:\.|->)join\s*\(\s*\)")
+QUEUE_RE = re.compile(r"(?:\.|->)(?:pop|pop_batch|pop_exact|wait_idle)\s*\(")
+QUEUE_PUSH_RE = re.compile(r"(?:\.|->)push\s*\(")  # blocking push (not try_)
+
+BLOCKING_KINDS = [
+    ("sleep", SLEEP_RE),
+    ("socket", SOCKET_RE),
+    ("model-call", MODEL_RE),
+    ("join", JOIN_RE),
+    ("queue-pop", QUEUE_RE),
+    ("queue-push", QUEUE_PUSH_RE),
+]
+
+CV_WAIT_RE = re.compile(r"(\w+)(?:\.|->)wait(?:_for|_until)?\s*\(\s*(\w+)")
+
+ACQ_SCOPED_RE = re.compile(
+    r"\b(?:runtime::)?(MutexLock|UniqueLock)\s+(\w+)\s*[({]\s*([^;)}]+?)\s*[,)}]"
+)
+REQUIRES_RE = re.compile(r"\bFFSVA_REQUIRES\s*\(\s*([^)]*?)\s*\)")
+MUTEX_DECL_RE = re.compile(
+    r"(?:^|[\s(])(?:mutable\s+)?(?:ffsva::)?(?:runtime::)?Mutex\s+(\w+)\s*"
+    r"((?:\[[^\]]*\])?)\s*((?:FFSVA_ACQUIRED_\w+\s*\([^)]*\)\s*)*)(\{|;|=)",
+    re.M,
+)
+RANK_CONST_RE = re.compile(r"\bk(\w+)\s*=\s*(\d+)\s*;")
+RANK_USE_RE = re.compile(r"\brank::k(\w+)\b")
+NAME_IN_INIT_RE = re.compile(r'"([^"]+)"')
+
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(?:FFSVA_\w+\s*(?:\([^)]*\))?\s+)*(\w+)[^;{]*$"
+)
+NAMESPACE_RE = re.compile(r"\bnamespace\s+([\w:]+)\s*$")
+LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\b\s*)?(?:noexcept\b\s*)?"
+    r"(?:->\s*[\w:<>&*\s]+)?\s*$"
+)
+LOOP_RE = re.compile(r"\b(?:while|for|do)\b")
+FUNC_RE = re.compile(
+    r"(?:^|\s)~?([A-Za-z_]\w*(?:::~?[A-Za-z_]\w*)*)\s*\([^;{]*\)\s*"
+    r"(?:const\b\s*|noexcept\b\s*|override\b\s*|final\b\s*|"
+    r"FFSVA_\w+\s*(?:\([^)]*\))?\s*|->\s*[\w:<>&*,\s]+?\s*)*$"
+)
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+NOT_CALLS = frozenset(
+    """if while for switch return sizeof static_cast dynamic_cast
+    reinterpret_cast const_cast alignof decltype new delete catch assert
+    defined noexcept static_assert""".split()
+)
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int  # 1-based; 0 = whole-graph finding
+    message: str
+
+    def __str__(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class LockDecl:
+    node: str  # graph-node identity, e.g. "core::Engine::streams_mu_"
+    member: str  # declared member/variable name
+    owner: str  # enclosing class ("" for function locals / globals)
+    rank_name: str  # "kEngineStreams" or ""
+    path: str
+    line: int
+
+
+@dataclass
+class CallSite:
+    callee: str  # simple name
+    held: tuple  # lock nodes held at the call, outermost first
+    path: str
+    line: int
+
+
+@dataclass
+class FunctionFacts:
+    qual: str  # qualified name, best effort
+    path: str
+    acquires: list = field(default_factory=list)  # (node, line, held_before)
+    calls: list = field(default_factory=list)  # CallSite
+
+
+@dataclass
+class Analysis:
+    decls: dict = field(default_factory=dict)  # member name -> [LockDecl]
+    functions: list = field(default_factory=list)  # FunctionFacts
+    # Direct findings discovered during extraction (blocking / condvar).
+    findings: list = field(default_factory=list)
+    # Acquisition edges: (from_node, to_node, path, line)
+    edges: list = field(default_factory=list)
+    ranks: dict = field(default_factory=dict)  # "kName" -> int
+
+
+# ---------------------------------------------------------------------------
+# Rank table
+
+
+def parse_rank_table(root: str) -> dict:
+    path = os.path.join(root, "src", "runtime", "lock_rank.hpp")
+    ranks: dict = {}
+    if not os.path.isfile(path):
+        return ranks
+    with open(path, encoding="utf-8") as fh:
+        for m in RANK_CONST_RE.finditer(fh.read()):
+            ranks["k" + m.group(1)] = int(m.group(2))
+    return ranks
+
+
+# ---------------------------------------------------------------------------
+# Text frontend
+
+
+@dataclass
+class Scope:
+    kind: str  # namespace | class | function | lambda | loop | block
+    name: str = ""
+    locks: list = field(default_factory=list)  # nodes acquired RAII here
+    uniq: dict = field(default_factory=dict)  # UniqueLock var -> node
+
+
+class FileScanner:
+    """Lexical scope tracker for one file: classifies `{` scopes from the
+    header text that precedes them, tracks RAII acquisitions per scope, and
+    emits FunctionFacts + direct findings."""
+
+    def __init__(self, an: Analysis, relpath: str, raw_lines: list,
+                 code_lines: list):
+        self.an = an
+        self.relpath = relpath
+        self.raw = raw_lines
+        self.scopes: list[Scope] = []
+        self.pending = ""  # header text since the last {, } or top-level ;
+        self.func: FunctionFacts | None = None
+        self.code_lines = code_lines
+
+    # -- held-lock bookkeeping ------------------------------------------------
+
+    def held(self) -> list:
+        """Locks held at this point, outermost first. A lambda boundary
+        suspends the enclosing function's locks: the body runs on another
+        thread (or later), not under them."""
+        out: list = []
+        start = 0
+        for i in range(len(self.scopes) - 1, -1, -1):
+            if self.scopes[i].kind == "lambda":
+                start = i
+                break
+        for sc in self.scopes[start:]:
+            out.extend(sc.locks)
+        return out
+
+    def lookup_uniq(self, var: str) -> str | None:
+        for sc in reversed(self.scopes):
+            if var in sc.uniq:
+                return sc.uniq[var]
+            if sc.kind == "lambda":
+                break
+        return None
+
+    def current_class(self) -> str:
+        names = [s.name for s in self.scopes if s.kind == "class" and s.name]
+        return "::".join(names)
+
+    def in_loop(self) -> bool:
+        for sc in reversed(self.scopes):
+            if sc.kind == "loop":
+                return True
+            if sc.kind in ("function", "lambda"):
+                break
+        return False
+
+    # -- lock-node resolution -------------------------------------------------
+
+    def resolve_lock(self, expr: str, line: int, owner_hint: str = "") -> str:
+        """Map a MutexLock/UniqueLock constructor argument to a graph node."""
+        expr = expr.strip()
+        expr = re.sub(r"^\*?\s*(this\s*->)?", "", expr)
+        base = re.match(r"([A-Za-z_]\w*)", expr.split(".")[-1].split("->")[-1])
+        name = base.group(1) if base else expr
+        # Prefer a declaration in the enclosing class (lexical, or the class
+        # named by an out-of-line `X::f` definition), then a unique match
+        # anywhere, then a synthetic local node.
+        cands = self.an.decls.get(name, [])
+        contexts = [owner_hint, self.current_class()]
+        if self.func and "::" in self.func.qual:
+            contexts.append(self.func.qual.rsplit("::", 1)[0])
+        for cls in contexts:
+            for d in cands:
+                if d.owner and cls and (d.owner == cls or cls.endswith(d.owner)
+                                        or d.owner.endswith(cls)):
+                    return d.node
+        if len(cands) == 1:
+            return cands[0].node
+        if cands:
+            # Ambiguous member name with no class context: drop to a
+            # name-only node so unrelated classes' locks are never merged
+            # into false cycles, but note the ambiguity in the node id.
+            qual = self.func.qual if self.func else self.relpath
+            return f"{qual}::{name}"
+        qual = self.func.qual if self.func else self.relpath
+        return f"{qual}::{name}"
+
+    # -- per-segment analysis -------------------------------------------------
+
+    def note_acquire(self, node: str, line: int) -> None:
+        held = self.held()
+        for h in held:
+            if h != node:
+                self.an.edges.append((h, node, self.relpath, line))
+        if self.func:
+            self.func.acquires.append((node, line, tuple(held)))
+
+    def has_blocking_ok(self, idx: int) -> bool:
+        lo = max(0, idx - MARKER_WINDOW)
+        for probe in self.raw[lo : idx + 1]:
+            m = BLOCKING_OK_RE.search(probe)
+            if m and m.group(1):
+                return True
+        return False
+
+    def segment(self, text: str, lineno: int) -> None:
+        idx = lineno - 1
+
+        # Scoped acquisitions: MutexLock lk(mu_); / UniqueLock lk(mu_);
+        for m in ACQ_SCOPED_RE.finditer(text):
+            kind, var, arg = m.group(1), m.group(2), m.group(3)
+            node = self.resolve_lock(arg, lineno)
+            self.note_acquire(node, lineno)
+            if self.scopes:
+                self.scopes[-1].locks.append(node)
+                if kind == "UniqueLock":
+                    self.scopes[-1].uniq[var] = node
+
+        # UniqueLock unlock/relock toggles.
+        for m in re.finditer(r"(\w+)\.(unlock|lock)\s*\(\s*\)", text):
+            var, op = m.group(1), m.group(2)
+            node = self.lookup_uniq(var)
+            if node is None:
+                continue
+            for sc in reversed(self.scopes):
+                if var in sc.uniq:
+                    if op == "unlock":
+                        if node in sc.locks:
+                            sc.locks.remove(node)
+                    else:
+                        self.note_acquire(node, lineno)
+                        sc.locks.append(node)
+                    break
+
+        held = self.held()
+
+        # CondVar waits: the wait's own lock is exempt (that is what a wait
+        # is); any *other* held lock is blocking-under-lock, and every wait
+        # must sit in a predicate loop.
+        cv = CV_WAIT_RE.search(text)
+        cv_lock = None
+        if cv and self.lookup_uniq(cv.group(2)) is not None:
+            cv_lock = self.lookup_uniq(cv.group(2))
+            in_loop = self.in_loop() or LOOP_RE.search(text[: cv.start()])
+            if not in_loop:
+                self.an.findings.append(
+                    Finding(
+                        "condvar-no-loop",
+                        self.relpath,
+                        lineno,
+                        f"CondVar wait on '{cv.group(2)}' outside a predicate "
+                        "loop — spurious wakeups make this a logic bug",
+                    )
+                )
+            others = [h for h in held if h != cv_lock]
+            if others and not self.has_blocking_ok(idx):
+                self.an.findings.append(
+                    Finding(
+                        "blocking-under-lock",
+                        self.relpath,
+                        lineno,
+                        f"CondVar wait while also holding {others} — needs "
+                        "'// blocking-ok: <reason>'",
+                    )
+                )
+
+        # Other blocking calls under a held lock.
+        if held and cv is None:
+            for kind, pat in BLOCKING_KINDS:
+                m = pat.search(text)
+                if m and not self.has_blocking_ok(idx):
+                    self.an.findings.append(
+                        Finding(
+                            "blocking-under-lock",
+                            self.relpath,
+                            lineno,
+                            f"{kind} call `{m.group(0).strip()}` while "
+                            f"holding {held} — needs "
+                            "'// blocking-ok: <reason>'",
+                        )
+                    )
+                    break  # one finding per line is enough
+
+        # Record calls for the interprocedural summary.
+        if self.func is not None:
+            for m in CALL_RE.finditer(text):
+                name = m.group(1)
+                if name in NOT_CALLS or name in ("MutexLock", "UniqueLock"):
+                    continue
+                self.func.calls.append(
+                    CallSite(name, tuple(held), self.relpath, lineno)
+                )
+
+    # -- scope machinery ------------------------------------------------------
+
+    def classify_brace(self) -> Scope:
+        header = self.pending.strip()
+        tail = header[-160:]
+        m = NAMESPACE_RE.search(tail)
+        if m:
+            return Scope("namespace", m.group(1))
+        m = CLASS_RE.search(tail)
+        if m:
+            return Scope("class", m.group(2))
+        if LAMBDA_RE.search(tail):
+            return Scope("lambda")
+        # enum/array/initializer braces and control flow:
+        if re.search(r"\b(?:enum|=)\s*$|=\s*\{?\s*$", tail):
+            return Scope("block")
+        if LOOP_RE.search(tail):
+            return Scope("loop")
+        if re.search(r"\b(?:if|else|switch|try|catch)\b", tail):
+            return Scope("block")
+        m = FUNC_RE.search(header)
+        if m and m.group(1) not in NOT_CALLS:
+            name = m.group(1)
+            cls = self.current_class()
+            qual = name if "::" in name or not cls else f"{cls}::{name}"
+            sc = Scope("function", qual)
+            # REQUIRES capabilities are held for the whole body.
+            owner = qual.rsplit("::", 1)[0] if "::" in qual else ""
+            for rm in REQUIRES_RE.finditer(header):
+                for cap in rm.group(1).split(","):
+                    cap = cap.strip().lstrip("!")
+                    if cap:
+                        sc.locks.append(self.resolve_lock(cap, 0, owner))
+            return sc
+        return Scope("block")
+
+    def run(self) -> None:
+        paren = 0
+        for i, line in enumerate(self.code_lines):
+            lineno = i + 1
+            for piece in re.split(r"([{}])", line):
+                if piece == "{":
+                    sc = self.classify_brace()
+                    if sc.kind == "function" and self.func is None:
+                        self.func = FunctionFacts(sc.name, self.relpath)
+                    self.scopes.append(sc)
+                    self.pending = ""
+                    paren = 0
+                elif piece == "}":
+                    if self.scopes:
+                        closed = self.scopes.pop()
+                        if closed.kind == "function" and not any(
+                            s.kind == "function" for s in self.scopes
+                        ):
+                            if self.func is not None:
+                                self.an.functions.append(self.func)
+                            self.func = None
+                    self.pending = ""
+                    paren = 0
+                else:
+                    self.segment(piece, lineno)
+                    paren += piece.count("(") - piece.count(")")
+                    self.pending += piece + "\n"
+                    if paren <= 0 and piece.rstrip().endswith(";"):
+                        self.pending = ""
+                        paren = 0
+
+
+def collect_decls(an: Analysis, relpath: str, raw: str, code_lines: list) -> None:
+    """Pass 1: map Mutex member/local names to graph nodes (+ranks)."""
+    code_text = "\n".join(code_lines)
+    # Light class attribution: record, for each decl offset, the innermost
+    # class open at that offset via a mini brace scan.
+    class_at: list[tuple[int, str]] = []  # (offset, class path)
+    stack: list[tuple[str, str]] = []  # (kind, name)
+    pending = ""
+    for off, ch in enumerate(code_text):
+        if ch == "{":
+            tail = pending.strip()[-160:]
+            m = CLASS_RE.search(tail)
+            if m:
+                stack.append(("class", m.group(2)))
+            else:
+                mn = NAMESPACE_RE.search(tail)
+                stack.append(("ns", mn.group(1)) if mn else ("block", ""))
+            pending = ""
+        elif ch == "}":
+            if stack:
+                stack.pop()
+            pending = ""
+        else:
+            pending += ch
+            if ch == ";":
+                pending = ""
+        if ch in "{}":
+            cls = "::".join(n for k, n in stack if k == "class" and n)
+            class_at.append((off, cls))
+
+    def class_for(offset: int) -> str:
+        cls = ""
+        for off, c in class_at:
+            if off > offset:
+                break
+            cls = c
+        return cls
+
+    for m in MUTEX_DECL_RE.finditer(code_text):
+        name = m.group(1)
+        owner = class_for(m.start())
+        line = code_text.count("\n", 0, m.start()) + 1
+        rank_name = ""
+        node = f"{owner}::{name}" if owner else name
+        if m.group(4) == "{":
+            init = code_text[m.end() - 1 : m.end() + 240]
+            rm = RANK_USE_RE.search(init)
+            if rm:
+                rank_name = "k" + rm.group(1)
+            # Prefer the declared display name from the *raw* text (strings
+            # are blanked in the code view).
+            raw_init = raw[m.end() - 1 : m.end() + 240]
+            nm = NAME_IN_INIT_RE.search(raw_init)
+            if nm:
+                node = nm.group(1)
+        d = LockDecl(node, name, owner, rank_name, relpath, line)
+        an.decls.setdefault(name, []).append(d)
+
+
+def text_frontend(root: str, files: list[str]) -> Analysis:
+    an = Analysis()
+    an.ranks = parse_rank_table(root)
+    sources = []
+    for path in files:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            raw = fh.read()
+        code_lines = strip_code(raw)
+        sources.append((rel, raw, code_lines))
+        collect_decls(an, rel, raw, code_lines)
+    for rel, raw, code_lines in sources:
+        FileScanner(an, rel, raw.splitlines(), code_lines).run()
+    propagate_calls(an)
+    return an
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural propagation: if f() acquires L (transitively) and g calls
+# f while holding A, that is an A -> L edge even though g never names L.
+
+
+def propagate_calls(an: Analysis) -> None:
+    by_simple: dict[str, list[FunctionFacts]] = {}
+    for fn in an.functions:
+        by_simple.setdefault(fn.qual.split("::")[-1], []).append(fn)
+
+    direct: dict[str, set] = {
+        fn.qual: {node for node, _, _ in fn.acquires} for fn in an.functions
+    }
+    # Fixed-point transitive closure. A uniquely-named callee contributes
+    # its full transitive acquisition set; an ambiguous simple name (up to
+    # a small candidate cap) contributes only the union of the candidates'
+    # *direct* acquisitions — an over-approximation that still finds
+    # `q.close()`-style edges without letting utility names cascade the
+    # whole tree into one blob.
+    MAX_CANDIDATES = 4
+
+    def contribution(fn: FunctionFacts, callee: str, table: dict) -> set:
+        cands = [t for t in by_simple.get(callee, []) if t.qual != fn.qual]
+        if not cands:
+            return set()
+        if len(cands) == 1:
+            return table[cands[0].qual]
+        if len(cands) > MAX_CANDIDATES:
+            return set()
+        out: set = set()
+        for t in cands:
+            out |= direct[t.qual]
+        return out
+
+    trans = {q: set(s) for q, s in direct.items()}
+    for _ in range(len(an.functions)):
+        changed = False
+        for fn in an.functions:
+            acc = trans[fn.qual]
+            before = len(acc)
+            for call in fn.calls:
+                acc |= contribution(fn, call.callee, trans)
+            if len(acc) != before:
+                changed = True
+        if not changed:
+            break
+
+    for fn in an.functions:
+        for call in fn.calls:
+            if not call.held:
+                continue
+            for node in contribution(fn, call.callee, trans):
+                for h in call.held:
+                    if h != node:
+                        an.edges.append((h, node, call.path, call.line))
+
+
+# ---------------------------------------------------------------------------
+# clang.cindex frontend (AST-exact). Exits 77 upstream when unavailable.
+
+
+def clang_available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        clang.cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def clang_frontend(root: str, compile_commands: str) -> Analysis:
+    import clang.cindex as ci
+
+    an = Analysis()
+    an.ranks = parse_rank_table(root)
+    db = ci.CompilationDatabase.fromDirectory(compile_commands)
+    index = ci.Index.create()
+    seen = set()
+
+    def lock_node(cursor) -> str:
+        # First constructor argument's spelling, qualified by its record.
+        for child in cursor.walk_preorder():
+            if child.kind == ci.CursorKind.MEMBER_REF_EXPR:
+                parent = child.semantic_parent
+                owner = parent.spelling if parent else ""
+                return f"{owner}::{child.spelling}" if owner else child.spelling
+            if child.kind == ci.CursorKind.DECL_REF_EXPR:
+                return child.spelling
+        return cursor.spelling or "<unknown>"
+
+    def visit_function(fn) -> None:
+        facts = FunctionFacts(fn.spelling, str(fn.location.file))
+        held: list = []
+
+        def walk(cursor, held_now):
+            for child in cursor.get_children():
+                if child.kind == ci.CursorKind.VAR_DECL and child.type.spelling.split(
+                    "::"
+                )[-1] in ("MutexLock", "UniqueLock"):
+                    node = lock_node(child)
+                    for h in held_now:
+                        an.edges.append(
+                            (h, node, str(child.location.file), child.location.line)
+                        )
+                    facts.acquires.append((node, child.location.line, tuple(held_now)))
+                    held_now = held_now + [node]
+                elif child.kind == ci.CursorKind.CALL_EXPR:
+                    facts.calls.append(
+                        CallSite(
+                            child.spelling,
+                            tuple(held_now),
+                            str(child.location.file),
+                            child.location.line,
+                        )
+                    )
+                walk(child, held_now)
+
+        walk(fn, held)
+        an.functions.append(facts)
+
+    for cmd in db.getAllCompileCommands():
+        path = cmd.filename
+        if path in seen:
+            continue
+        seen.add(path)
+        args = [a for a in cmd.arguments][1:]
+        args = [a for a in args if a not in ("-c", path, "-o")]
+        try:
+            tu = index.parse(path, args=args)
+        except ci.TranslationUnitLoadError:
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind in (
+                ci.CursorKind.CXX_METHOD,
+                ci.CursorKind.FUNCTION_DECL,
+            ) and cursor.is_definition():
+                visit_function(cursor)
+    propagate_calls(an)
+    return an
+
+
+# ---------------------------------------------------------------------------
+# Graph checks
+
+
+def node_rank(an: Analysis, node: str) -> int | None:
+    for decls in an.decls.values():
+        for d in decls:
+            if d.node == node and d.rank_name:
+                return an.ranks.get(d.rank_name)
+    return None
+
+
+def graph_findings(an: Analysis) -> list[Finding]:
+    out: list[Finding] = []
+
+    adj: dict[str, dict[str, tuple]] = {}
+    for a, b, path, line in an.edges:
+        adj.setdefault(a, {}).setdefault(b, (path, line))
+        adj.setdefault(b, {})
+
+    # Tarjan SCC: any SCC with >1 node (or a self-edge) is a cycle.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on: set = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        work = [(v, iter(adj[v]))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on.add(w)
+                    work.append((w, iter(adj[w])))
+                    advanced = True
+                    break
+                if w in on:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                low[work[-1][0]] = min(low[work[-1][0]], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+
+    for v in list(adj):
+        if v not in index:
+            strongconnect(v)
+
+    for scc in sccs:
+        cyclic = len(scc) > 1 or (scc[0] in adj.get(scc[0], {}))
+        if not cyclic:
+            continue
+        members = sorted(scc)
+        sites = []
+        for a in members:
+            for b, (path, line) in adj.get(a, {}).items():
+                if b in scc:
+                    sites.append(f"{a} -> {b} ({path}:{line})")
+        out.append(
+            Finding(
+                "lock-cycle",
+                sites and sites[0].split("(")[-1].rstrip(")").split(":")[0] or "",
+                0,
+                "acquisition-order cycle between {"
+                + ", ".join(members)
+                + "}: "
+                + "; ".join(sorted(sites)),
+            )
+        )
+
+    # Rank-order: every edge must strictly increase rank when both ends carry
+    # one — the exact invariant the runtime verifier enforces per thread.
+    reported = set()
+    for a, b, path, line in an.edges:
+        ra, rb = node_rank(an, a), node_rank(an, b)
+        if ra is None or rb is None or ra < rb:
+            continue
+        key = (a, b)
+        if key in reported:
+            continue
+        reported.add(key)
+        out.append(
+            Finding(
+                "rank-order",
+                path,
+                line,
+                f"'{b}' (rank {rb}) acquired while holding '{a}' (rank {ra}) "
+                "— violates the lock_rank.hpp order; a sanitizer build "
+                "aborts here",
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    found: list[str] = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            found.append(full)
+        elif os.path.isdir(full):
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(CPP_EXTENSIONS):
+                        found.append(os.path.join(dirpath, name))
+        else:
+            raise FileNotFoundError(p)
+    return found
+
+
+def run_analysis(root: str, paths: list[str], frontend: str,
+                 compile_commands: str, dump: bool) -> int:
+    if frontend == "auto":
+        frontend = "clang" if clang_available() else "text"
+    if frontend == "clang":
+        if not clang_available():
+            print(
+                "ffsva_lockgraph: python clang bindings / libclang "
+                "unavailable; skipping (77)",
+                file=sys.stderr,
+            )
+            return 77
+        cc_dir = compile_commands or os.path.join(root, "build")
+        if not os.path.isfile(os.path.join(cc_dir, "compile_commands.json")):
+            print(
+                f"ffsva_lockgraph: no compile_commands.json under {cc_dir}; "
+                "skipping (77)",
+                file=sys.stderr,
+            )
+            return 77
+        an = clang_frontend(root, cc_dir)
+    else:
+        files = collect_files(root, paths or ["src"])
+        an = text_frontend(root, files)
+
+    if dump:
+        uniq = sorted({(a, b) for a, b, _, _ in an.edges})
+        for a, b in uniq:
+            print(f"{a} -> {b}")
+        print(f"# {len(uniq)} edges, {len(an.functions)} functions")
+        return 0
+
+    findings = an.findings + graph_findings(an)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"ffsva_lockgraph: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(
+        f"ffsva_lockgraph: clean ({len({(a, b) for a, b, _, _ in an.edges})} "
+        f"edges, {len(an.functions)} functions, frontend={frontend})"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: each must produce exactly the expected rule set.
+
+
+def self_test(root: str) -> int:
+    fixtures = os.path.join(root, "tests", "lint", "fixtures", "lockgraph")
+    cases = {
+        "cycle_ab.cpp": {"lock-cycle"},
+        "blocking_under_lock.cpp": {"blocking-under-lock"},
+        "condvar_no_loop.cpp": {"condvar-no-loop"},
+        "rank_order.cpp": {"rank-order"},
+        "clean.cpp": set(),
+    }
+    failures = 0
+    for fname, expected in cases.items():
+        path = os.path.join(fixtures, fname)
+        an = text_frontend(root, [path])
+        got = {f.rule for f in an.findings + graph_findings(an)}
+        if got != expected:
+            print(
+                f"self-test FAILED: {fname}: expected {sorted(expected)}, "
+                f"got {sorted(got)}",
+                file=sys.stderr,
+            )
+            for f in an.findings + graph_findings(an):
+                print(f"  {f}", file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print(f"ffsva_lockgraph self-test: {len(cases)} fixture cases ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--frontend", choices=("auto", "text", "clang"),
+                        default="text",
+                        help="extraction frontend (default: text)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="dir holding compile_commands.json (clang "
+                        "frontend; default: ROOT/build)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checks on fixtures")
+    parser.add_argument("--dump-graph", action="store_true",
+                        help="print the acquisition edges and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan (default: src)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return self_test(root)
+    try:
+        return run_analysis(root, args.paths, args.frontend,
+                            args.compile_commands, args.dump_graph)
+    except FileNotFoundError as exc:
+        print(f"ffsva_lockgraph: no such path: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
